@@ -1,0 +1,598 @@
+//! A from-scratch and-inverter graph (AIG) package.
+//!
+//! The paper's second baseline (Bürger et al. [12]) synthesizes RRAM
+//! circuits from AIGs: two-input AND nodes with complemented edges. This
+//! module provides the data structure with structural hashing, constant
+//! propagation, conversion from netlists, simulation, and a depth-reducing
+//! balancing pass.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_aig::Aig;
+//!
+//! let mut aig = Aig::with_inputs("f", 2);
+//! let (a, b) = (aig.input(0), aig.input(1));
+//! let x = aig.xor(a, b);
+//! aig.add_output("f", x);
+//! assert_eq!(aig.num_gates(), 3); // XOR costs three ANDs
+//! ```
+
+use rms_logic::netlist::{GateKind, Netlist, NetlistBuilder, Wire};
+use rms_logic::tt::{TruthTable, MAX_VARS};
+use std::collections::HashMap;
+
+/// An edge of the AIG: node index plus complement attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false.
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// A literal referring to `node`, complemented iff `complement`.
+    pub fn new(node: usize, complement: bool) -> Self {
+        AigLit(((node as u32) << 1) | complement as u32)
+    }
+
+    /// Index of the referenced node.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether the literal refers to the constant node.
+    pub fn is_constant(self) -> bool {
+        self.node() == 0
+    }
+
+    /// This literal complemented iff `c`.
+    #[must_use]
+    pub fn complement_if(self, c: bool) -> Self {
+        AigLit(self.0 ^ c as u32)
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+/// A node of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AigNode {
+    /// Constant false (always node 0).
+    Const0,
+    /// Primary input.
+    Input(u32),
+    /// Two-input AND over literals (sorted).
+    And([AigLit; 2]),
+}
+
+/// An and-inverter graph.
+#[derive(Debug, Clone)]
+pub struct Aig {
+    name: String,
+    num_inputs: usize,
+    nodes: Vec<AigNode>,
+    levels: Vec<u32>,
+    outputs: Vec<(String, AigLit)>,
+    strash: HashMap<[AigLit; 2], u32>,
+}
+
+impl Aig {
+    /// Creates an empty graph with `num_inputs` inputs.
+    pub fn with_inputs(name: impl Into<String>, num_inputs: usize) -> Self {
+        let mut nodes = Vec::with_capacity(num_inputs + 1);
+        nodes.push(AigNode::Const0);
+        for i in 0..num_inputs {
+            nodes.push(AigNode::Input(i as u32));
+        }
+        Aig {
+            name: name.into(),
+            num_inputs,
+            levels: vec![0; nodes.len()],
+            nodes,
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of AND nodes.
+    pub fn num_gates(&self) -> usize {
+        self.nodes.len() - 1 - self.num_inputs
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no AND nodes.
+    pub fn is_empty(&self) -> bool {
+        self.num_gates() == 0
+    }
+
+    /// The literal of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input(&self, i: usize) -> AigLit {
+        assert!(i < self.num_inputs);
+        AigLit::new(1 + i, false)
+    }
+
+    /// The node at `idx`.
+    pub fn node(&self, idx: usize) -> AigNode {
+        self.nodes[idx]
+    }
+
+    /// Fanins of an AND node.
+    pub fn and_children(&self, idx: usize) -> Option<[AigLit; 2]> {
+        match self.nodes[idx] {
+            AigNode::And(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Level of a node (longest path from inputs).
+    pub fn level(&self, idx: usize) -> u32 {
+        self.levels[idx]
+    }
+
+    /// Depth of the graph over its outputs.
+    pub fn depth(&self) -> u32 {
+        self.outputs
+            .iter()
+            .map(|(_, l)| self.levels[l.node()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[(String, AigLit)] {
+        &self.outputs
+    }
+
+    /// Declares a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal references a nonexistent node.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: AigLit) {
+        assert!(lit.node() < self.nodes.len());
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// Creates (or re-finds) an AND node, with constant propagation and
+    /// trivial-case simplification.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n = self.nodes.len();
+        assert!(a.node() < n && b.node() < n, "literal out of range");
+        // Trivial cases.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        let mut kids = [a, b];
+        kids.sort();
+        if let Some(&idx) = self.strash.get(&kids) {
+            return AigLit::new(idx as usize, false);
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(AigNode::And(kids));
+        let lvl = 1 + self.levels[kids[0].node()].max(self.levels[kids[1].node()]);
+        self.levels.push(lvl);
+        self.strash.insert(kids, idx as u32);
+        AigLit::new(idx, false)
+    }
+
+    /// Disjunction (by De Morgan).
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// Exclusive or (three AND nodes).
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let p = self.and(a, !b);
+        let q = self.and(!a, b);
+        self.or(p, q)
+    }
+
+    /// If-then-else (three AND nodes).
+    pub fn mux(&mut self, s: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        let p = self.and(s, t);
+        let q = self.and(!s, e);
+        self.or(p, q)
+    }
+
+    /// Three-input majority (five AND nodes).
+    pub fn maj(&mut self, a: AigLit, b: AigLit, c: AigLit) -> AigLit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let o = self.or(ab, ac);
+        self.or(o, bc)
+    }
+
+    /// Converts a gate-level netlist into an AIG.
+    pub fn from_netlist(nl: &Netlist) -> Aig {
+        let mut aig = Aig::with_inputs(nl.name().to_string(), nl.num_inputs());
+        let mut map: Vec<AigLit> = vec![AigLit::FALSE; nl.num_nodes()];
+        for i in 0..nl.num_inputs() {
+            map[1 + i] = aig.input(i);
+        }
+        let rd = |map: &[AigLit], w: Wire| map[w.node()].complement_if(w.is_complemented());
+        for (idx, gate) in nl.gates() {
+            let lit = match gate.kind {
+                GateKind::And => {
+                    let (a, b) = (rd(&map, gate.fanins[0]), rd(&map, gate.fanins[1]));
+                    aig.and(a, b)
+                }
+                GateKind::Or => {
+                    let (a, b) = (rd(&map, gate.fanins[0]), rd(&map, gate.fanins[1]));
+                    aig.or(a, b)
+                }
+                GateKind::Xor => {
+                    let (a, b) = (rd(&map, gate.fanins[0]), rd(&map, gate.fanins[1]));
+                    aig.xor(a, b)
+                }
+                GateKind::Maj => {
+                    let (a, b, c) = (
+                        rd(&map, gate.fanins[0]),
+                        rd(&map, gate.fanins[1]),
+                        rd(&map, gate.fanins[2]),
+                    );
+                    aig.maj(a, b, c)
+                }
+                GateKind::Mux => {
+                    let (s, t, e) = (
+                        rd(&map, gate.fanins[0]),
+                        rd(&map, gate.fanins[1]),
+                        rd(&map, gate.fanins[2]),
+                    );
+                    aig.mux(s, t, e)
+                }
+            };
+            map[idx] = lit;
+        }
+        for (name, w) in nl.outputs() {
+            let l = rd(&map, *w);
+            aig.add_output(name.clone(), l);
+        }
+        aig
+    }
+
+    /// Converts the AIG to a netlist of AND gates (for the generic
+    /// equivalence machinery).
+    pub fn to_netlist(&self) -> Netlist {
+        let mut b = NetlistBuilder::new(self.name.clone());
+        let mut map: Vec<Wire> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let w = match node {
+                AigNode::Const0 => b.const0(),
+                AigNode::Input(k) => b.input(format!("x{k}")),
+                AigNode::And(kids) => {
+                    let f: Vec<Wire> = kids
+                        .iter()
+                        .map(|l| {
+                            let base = map[l.node()];
+                            if l.is_complemented() {
+                                base.complement()
+                            } else {
+                                base
+                            }
+                        })
+                        .collect();
+                    b.and(f[0], f[1])
+                }
+            };
+            map.push(w);
+        }
+        for (name, l) in &self.outputs {
+            let base = map[l.node()];
+            let w = if l.is_complemented() {
+                base.complement()
+            } else {
+                base
+            };
+            b.output(name.clone(), w);
+        }
+        b.build()
+    }
+
+    /// Bit-parallel simulation (one word per input, one per output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs()`.
+    pub fn simulate_words(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.num_inputs);
+        let mut vals = vec![0u64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            vals[i] = match node {
+                AigNode::Const0 => 0,
+                AigNode::Input(k) => inputs[*k as usize],
+                AigNode::And(kids) => {
+                    let v = |l: AigLit| {
+                        let raw = vals[l.node()];
+                        if l.is_complemented() {
+                            !raw
+                        } else {
+                            raw
+                        }
+                    };
+                    v(kids[0]) & v(kids[1])
+                }
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|(_, l)| {
+                let raw = vals[l.node()];
+                if l.is_complemented() {
+                    !raw
+                } else {
+                    raw
+                }
+            })
+            .collect()
+    }
+
+    /// Exhaustive truth tables of every output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than [`MAX_VARS`] inputs.
+    pub fn truth_tables(&self) -> Vec<TruthTable> {
+        let n = self.num_inputs;
+        assert!(n <= MAX_VARS);
+        let mut tts: Vec<TruthTable> =
+            self.outputs.iter().map(|_| TruthTable::zero(n)).collect();
+        let total = 1u64 << n;
+        let mut base = 0u64;
+        while base < total {
+            let chunk = 64.min(total - base);
+            let inputs: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut w = 0u64;
+                    for b in 0..chunk {
+                        if ((base + b) >> i) & 1 == 1 {
+                            w |= 1 << b;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let outs = self.simulate_words(&inputs);
+            for (t, &w) in tts.iter_mut().zip(&outs) {
+                for b in 0..chunk {
+                    if (w >> b) & 1 == 1 {
+                        t.set_bit(base + b);
+                    }
+                }
+            }
+            base += chunk;
+        }
+        tts
+    }
+
+    /// Reference counts per node (fanins + outputs).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut refs = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            if let AigNode::And(kids) = node {
+                for k in kids {
+                    refs[k.node()] += 1;
+                }
+            }
+        }
+        for (_, l) in &self.outputs {
+            refs[l.node()] += 1;
+        }
+        refs
+    }
+
+    /// Rebuilds the graph keeping only nodes reachable from the outputs.
+    pub fn compact(&self) -> Aig {
+        let mut out = Aig::with_inputs(self.name.clone(), self.num_inputs);
+        let mut alive = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = self.outputs.iter().map(|(_, l)| l.node()).collect();
+        while let Some(i) = stack.pop() {
+            if alive[i] {
+                continue;
+            }
+            alive[i] = true;
+            if let AigNode::And(kids) = self.nodes[i] {
+                stack.extend(kids.iter().map(|k| k.node()));
+            }
+        }
+        let mut map: Vec<AigLit> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let l = match node {
+                AigNode::Const0 => AigLit::FALSE,
+                AigNode::Input(k) => out.input(*k as usize),
+                AigNode::And(kids) => {
+                    if alive[i] {
+                        let a = map[kids[0].node()].complement_if(kids[0].is_complemented());
+                        let b = map[kids[1].node()].complement_if(kids[1].is_complemented());
+                        out.and(a, b)
+                    } else {
+                        AigLit::FALSE
+                    }
+                }
+            };
+            map.push(l);
+        }
+        for (name, l) in &self.outputs {
+            let m = map[l.node()].complement_if(l.is_complemented());
+            out.add_output(name.clone(), m);
+        }
+        out
+    }
+
+    /// Depth-reducing balancing: AND trees are collected through
+    /// single-fanout uncomplemented edges and rebuilt as balanced trees
+    /// (shallowest operands deepest).
+    pub fn balance(&self) -> Aig {
+        let refs = self.fanout_counts();
+        let mut out = Aig::with_inputs(self.name.clone(), self.num_inputs);
+        let mut map: Vec<AigLit> = Vec::with_capacity(self.nodes.len());
+        for idx in 0..self.nodes.len() {
+            let lit = match self.nodes[idx] {
+                AigNode::Const0 => AigLit::FALSE,
+                AigNode::Input(k) => out.input(k as usize),
+                AigNode::And(_) => {
+                    // Collect the AND tree rooted here.
+                    let mut leaves: Vec<AigLit> = Vec::new();
+                    let mut stack = vec![AigLit::new(idx, false)];
+                    while let Some(l) = stack.pop() {
+                        let inner_tree = !l.is_complemented()
+                            && matches!(self.nodes[l.node()], AigNode::And(_))
+                            && (l.node() == idx || refs[l.node()] == 1);
+                        if inner_tree {
+                            let kids = self.and_children(l.node()).expect("and");
+                            stack.push(kids[0]);
+                            stack.push(kids[1]);
+                        } else {
+                            leaves.push(map[l.node()].complement_if(l.is_complemented()));
+                        }
+                    }
+                    // Greedy Huffman-style balancing by level.
+                    while leaves.len() > 1 {
+                        leaves.sort_by_key(|l| std::cmp::Reverse(out.levels[l.node()]));
+                        let a = leaves.pop().expect("two leaves");
+                        let b = leaves.pop().expect("two leaves");
+                        leaves.push(out.and(a, b));
+                    }
+                    leaves[0]
+                }
+            };
+            map.push(lit);
+        }
+        for (name, l) in &self.outputs {
+            let m = map[l.node()].complement_if(l.is_complemented());
+            out.add_output(name.clone(), m);
+        }
+        out.compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_logic::bench_suite;
+    use rms_logic::sim::check_equivalence;
+
+    #[test]
+    fn and_simplifications() {
+        let mut g = Aig::with_inputs("t", 2);
+        let (a, b) = (g.input(0), g.input(1));
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(a, AigLit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigLit::FALSE);
+        assert_eq!(g.num_gates(), 0);
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y, "strashing + commutativity");
+        assert_eq!(g.num_gates(), 1);
+    }
+
+    #[test]
+    fn derived_operators() {
+        let mut g = Aig::with_inputs("t", 3);
+        let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+        let or = g.or(a, b);
+        let xor = g.xor(a, b);
+        let mux = g.mux(a, b, c);
+        let maj = g.maj(a, b, c);
+        g.add_output("or", or);
+        g.add_output("xor", xor);
+        g.add_output("mux", mux);
+        g.add_output("maj", maj);
+        let tts = g.truth_tables();
+        for m in 0..8u64 {
+            let (av, bv, cv) = (m & 1 == 1, m & 2 != 0, m & 4 != 0);
+            assert_eq!(tts[0].bit(m), av || bv);
+            assert_eq!(tts[1].bit(m), av ^ bv);
+            assert_eq!(tts[2].bit(m), if av { bv } else { cv });
+            assert_eq!(tts[3].bit(m), m.count_ones() >= 2);
+        }
+    }
+
+    #[test]
+    fn netlist_round_trip() {
+        for name in ["rd53_f3", "exam3_d", "con2_f2", "sao2_f3"] {
+            let nl = bench_suite::build(name).unwrap();
+            let aig = Aig::from_netlist(&nl);
+            let back = aig.to_netlist();
+            let res = check_equivalence(&nl, &back);
+            assert!(res.holds(), "{name}: {res:?}");
+        }
+    }
+
+    #[test]
+    fn balance_preserves_function_and_reduces_chains() {
+        // A long AND chain balances to logarithmic depth.
+        let mut g = Aig::with_inputs("chain", 8);
+        let mut acc = g.input(0);
+        for i in 1..8 {
+            let v = g.input(i);
+            acc = g.and(acc, v);
+        }
+        g.add_output("f", acc);
+        assert_eq!(g.depth(), 7);
+        let b = g.balance();
+        assert_eq!(b.depth(), 3);
+        let res = check_equivalence(&g.to_netlist(), &b.to_netlist());
+        assert!(res.holds(), "{res:?}");
+    }
+
+    #[test]
+    fn balance_on_benchmarks() {
+        for name in ["9sym_d", "rd73_f2", "newtag_d"] {
+            let nl = bench_suite::build(name).unwrap();
+            let aig = Aig::from_netlist(&nl);
+            let bal = aig.balance();
+            assert!(bal.depth() <= aig.depth(), "{name}");
+            let res = check_equivalence(&aig.to_netlist(), &bal.to_netlist());
+            assert!(res.holds(), "{name}: {res:?}");
+        }
+    }
+
+    #[test]
+    fn compact_drops_dead_nodes() {
+        let mut g = Aig::with_inputs("t", 2);
+        let (a, b) = (g.input(0), g.input(1));
+        let _dead = g.xor(a, b);
+        let keep = g.and(a, b);
+        g.add_output("f", keep);
+        let c = g.compact();
+        assert_eq!(c.num_gates(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! And-inverter graphs and the AIG→RRAM synthesis baseline.
+//!
+//! The paper compares its MIG flow against the AIG-based RRAM synthesis of
+//! Bürger et al. [12] (Table III, right half). This crate provides:
+//!
+//! - [`aig`] — a from-scratch AIG package (structural hashing, constant
+//!   propagation, depth-reducing balancing), and
+//! - [`rram_synth`] — the node-serial implication realization of [12],
+//!   emitted as an executable [`rms_rram::Program`].
+//!
+//! # Example
+//!
+//! ```
+//! use rms_aig::{Aig, rram_synth};
+//! use rms_logic::bench_suite;
+//!
+//! # fn main() {
+//! let nl = bench_suite::build("exam1_d").expect("known benchmark");
+//! let aig = Aig::from_netlist(&nl).compact();
+//! let circuit = rram_synth::synthesize(&aig);
+//! assert!(circuit.steps() >= 3 * aig.num_gates() as u64);
+//! # }
+//! ```
+
+pub mod aig;
+pub mod rram_synth;
+
+pub use aig::{Aig, AigLit, AigNode};
+pub use rram_synth::{synthesize, AigRramCircuit};

@@ -1,0 +1,340 @@
+//! AIG-based RRAM synthesis — the baseline of Bürger et al. [12].
+//!
+//! [12] maps each AIG node to a short implication sequence and executes the
+//! graph node by node — there is no level parallelism, which is why its
+//! step counts grow with the node count and blow up on larger functions
+//! (1172 steps for `sym10_d`, 1564 for `t481_d` in the paper's Table III).
+//!
+//! Our generator reproduces that discipline. Per AND node with literal
+//! operands `a'`, `b'` (complemented operands pay one NOT step each):
+//!
+//! ```text
+//! [na ← a IMP 0 = ā]          only if the a-edge is complemented
+//! [nb ← b IMP 0 = b̄]          only if the b-edge is complemented
+//! x ← b' IMP 0 = !b'
+//! x ← a' IMP x = !(a'·b')
+//! v ← x IMP 0 = a'·b'
+//! ```
+//!
+//! so a node costs 3–5 sequential steps; complemented primary outputs pay a
+//! final NOT each. Device clears ride along with preceding steps exactly
+//! as in the MIG compiler.
+
+use crate::aig::{Aig, AigLit, AigNode};
+use rms_rram::isa::{MicroOp, Operand, Program, RegId};
+use std::collections::HashMap;
+
+/// Result of synthesizing an AIG to an RRAM program.
+#[derive(Debug, Clone)]
+pub struct AigRramCircuit {
+    /// The executable program.
+    pub program: Program,
+    /// Peak number of simultaneously live devices.
+    pub devices: u64,
+    /// AND nodes implemented.
+    pub nodes: u64,
+    /// NOT steps paid for complemented edges.
+    pub inversions: u64,
+}
+
+impl AigRramCircuit {
+    /// Number of sequential steps.
+    pub fn steps(&self) -> u64 {
+        self.program.num_steps()
+    }
+}
+
+#[derive(Default)]
+struct Allocator {
+    next: u32,
+    free: Vec<RegId>,
+    live: u64,
+    peak: u64,
+}
+
+impl Allocator {
+    fn alloc(&mut self) -> (RegId, bool) {
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        if let Some(r) = self.free.pop() {
+            (r, true)
+        } else {
+            let r = RegId(self.next);
+            self.next += 1;
+            (r, false)
+        }
+    }
+
+    fn alloc_fresh(&mut self) -> RegId {
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        let r = RegId(self.next);
+        self.next += 1;
+        r
+    }
+
+    fn release(&mut self, r: RegId) {
+        self.live -= 1;
+        self.free.push(r);
+    }
+}
+
+/// Synthesizes a node-serial RRAM program for every output of `aig`.
+///
+/// # Panics
+///
+/// Panics if the graph has no outputs.
+pub fn synthesize(aig: &Aig) -> AigRramCircuit {
+    assert!(!aig.outputs().is_empty(), "no outputs");
+    // Output cone only.
+    let mut alive = vec![false; aig.len()];
+    let mut stack: Vec<usize> = aig.outputs().iter().map(|(_, l)| l.node()).collect();
+    while let Some(i) = stack.pop() {
+        if alive[i] {
+            continue;
+        }
+        alive[i] = true;
+        if let AigNode::And(kids) = aig.node(i) {
+            stack.extend(kids.iter().map(|k| k.node()));
+        }
+    }
+    let mut consumers = vec![0u32; aig.len()];
+    for idx in 0..aig.len() {
+        if !alive[idx] {
+            continue;
+        }
+        if let AigNode::And(kids) = aig.node(idx) {
+            for k in kids {
+                consumers[k.node()] += 1;
+            }
+        }
+    }
+    for (_, l) in aig.outputs() {
+        consumers[l.node()] += 1;
+    }
+
+    let mut alloc = Allocator::default();
+    let mut steps: Vec<Vec<MicroOp>> = Vec::new();
+    let mut pending_clears: Vec<RegId> = Vec::new();
+    let mut value_reg: HashMap<usize, RegId> = HashMap::new();
+    let mut inversions = 0u64;
+
+    let take = |alloc: &mut Allocator, steps: &mut Vec<Vec<MicroOp>>, clears: &mut Vec<RegId>| -> RegId {
+        let (r, stale) = alloc.alloc();
+        if stale {
+            if let Some(prev) = steps.last_mut() {
+                prev.push(MicroOp::False { dst: r });
+            } else {
+                clears.push(r);
+            }
+        }
+        r
+    };
+
+    for idx in 0..aig.len() {
+        if !alive[idx] {
+            continue;
+        }
+        let AigNode::And(kids) = aig.node(idx) else {
+            continue;
+        };
+        // Resolve literal operands; complemented non-constant edges pay a
+        // serial NOT step into a scratch device.
+        let mut scratch: Vec<RegId> = Vec::new();
+        let mut resolve = |lit: AigLit,
+                           alloc: &mut Allocator,
+                           steps: &mut Vec<Vec<MicroOp>>,
+                           scratch: &mut Vec<RegId>,
+                           inversions: &mut u64|
+         -> Operand {
+            if lit.is_constant() {
+                return Operand::Const(lit.is_complemented());
+            }
+            let base = match aig.node(lit.node()) {
+                AigNode::Input(k) => Operand::Input(k as usize),
+                _ => Operand::Reg(value_reg[&lit.node()]),
+            };
+            if !lit.is_complemented() {
+                return base;
+            }
+            let r = take(alloc, steps, &mut pending_clears);
+            steps.push(vec![MicroOp::Imp { p: base, q: r }]);
+            *inversions += 1;
+            scratch.push(r);
+            Operand::Reg(r)
+        };
+        let a = resolve(kids[0], &mut alloc, &mut steps, &mut scratch, &mut inversions);
+        let b = resolve(kids[1], &mut alloc, &mut steps, &mut scratch, &mut inversions);
+        let x = take(&mut alloc, &mut steps, &mut pending_clears);
+        let v = take(&mut alloc, &mut steps, &mut pending_clears);
+        steps.push(vec![MicroOp::Imp { p: b, q: x }]);
+        steps.push(vec![MicroOp::Imp { p: a, q: x }]);
+        steps.push(vec![MicroOp::Imp { p: Operand::Reg(x), q: v }]);
+        scratch.push(x);
+        for r in scratch {
+            alloc.release(r);
+        }
+        value_reg.insert(idx, v);
+        for kid in kids {
+            let n = kid.node();
+            if n != 0 && !matches!(aig.node(n), AigNode::Input(_)) {
+                consumers[n] -= 1;
+                if consumers[n] == 0 {
+                    alloc.release(value_reg[&n]);
+                }
+            }
+        }
+    }
+
+    // Outputs: complemented or pass-through outputs need extra handling.
+    let mut outputs = Vec::new();
+    let mut passthrough: Vec<MicroOp> = Vec::new();
+    for (name, lit) in aig.outputs() {
+        let n = lit.node();
+        let is_gate = matches!(aig.node(n), AigNode::And(_));
+        if is_gate && !lit.is_complemented() {
+            outputs.push((name.clone(), value_reg[&n]));
+        } else if is_gate {
+            // Final NOT (serial, as everything in this flow).
+            let r = take(&mut alloc, &mut steps, &mut pending_clears);
+            steps.push(vec![MicroOp::Imp {
+                p: Operand::Reg(value_reg[&n]),
+                q: r,
+            }]);
+            inversions += 1;
+            outputs.push((name.clone(), r));
+        } else {
+            // Constant or input output.
+            let src = if lit.is_constant() {
+                Operand::Const(lit.is_complemented())
+            } else {
+                let k = match aig.node(n) {
+                    AigNode::Input(k) => k as usize,
+                    _ => unreachable!(),
+                };
+                Operand::Input(k)
+            };
+            let r = alloc.alloc_fresh();
+            if lit.is_complemented() && !lit.is_constant() {
+                steps.push(vec![MicroOp::Imp { p: src, q: r }]);
+                inversions += 1;
+            } else {
+                passthrough.push(MicroOp::Load { dst: r, src });
+            }
+            outputs.push((name.clone(), r));
+        }
+    }
+    if !passthrough.is_empty() {
+        if let Some(first) = steps.first_mut() {
+            first.extend(passthrough);
+        } else {
+            steps.push(passthrough);
+        }
+    }
+
+    let program = Program {
+        num_inputs: aig.num_inputs(),
+        num_regs: alloc.next as usize,
+        steps,
+        outputs,
+        model_rrams: alloc.peak,
+    };
+    debug_assert_eq!(program.validate(), Ok(()));
+    AigRramCircuit {
+        program,
+        devices: alloc.peak,
+        nodes: value_reg.len() as u64,
+        inversions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_logic::bench_suite;
+    use rms_rram::machine::Machine;
+
+    #[test]
+    fn programs_compute_the_aig_function() {
+        for name in ["rd53_f1", "exam3_d", "con1_f1", "9sym_d", "sao2_f2"] {
+            let nl = bench_suite::build(name).unwrap();
+            let aig = Aig::from_netlist(&nl);
+            let out = synthesize(&aig);
+            let got = Machine::truth_tables(&out.program).unwrap();
+            assert_eq!(got, nl.truth_tables(), "{name}");
+        }
+    }
+
+    #[test]
+    fn node_serial_step_count() {
+        // Every node costs exactly 3 steps plus 1 per complemented edge to
+        // a non-constant literal, plus output fixups.
+        let nl = bench_suite::build("exam3_d").unwrap();
+        let aig = Aig::from_netlist(&nl).compact();
+        let out = synthesize(&aig);
+        assert_eq!(
+            out.steps(),
+            3 * out.nodes + out.inversions,
+            "steps must decompose into node and inversion costs"
+        );
+    }
+
+    #[test]
+    fn serial_execution_is_much_slower_than_level_parallel_mig() {
+        // The headline contrast of Table III (right): AIG steps scale with
+        // node count.
+        let nl = bench_suite::build("9sym_d").unwrap();
+        let aig = Aig::from_netlist(&nl).compact();
+        let out = synthesize(&aig);
+        assert!(
+            out.steps() >= 3 * aig.num_gates() as u64,
+            "{} steps for {} nodes",
+            out.steps(),
+            aig.num_gates()
+        );
+    }
+
+    #[test]
+    fn single_and_gate() {
+        let mut g = Aig::with_inputs("and", 2);
+        let (a, b) = (g.input(0), g.input(1));
+        let v = g.and(a, b);
+        g.add_output("f", v);
+        let out = synthesize(&g);
+        assert_eq!(out.steps(), 3);
+        let tts = Machine::truth_tables(&out.program).unwrap();
+        assert_eq!(tts[0].words()[0] & 0xF, 0b1000);
+    }
+
+    #[test]
+    fn complemented_output_pays_a_not() {
+        let mut g = Aig::with_inputs("nand", 2);
+        let (a, b) = (g.input(0), g.input(1));
+        let v = g.and(a, b);
+        g.add_output("f", !v);
+        let out = synthesize(&g);
+        assert_eq!(out.steps(), 4);
+        let tts = Machine::truth_tables(&out.program).unwrap();
+        assert_eq!(tts[0].words()[0] & 0xF, 0b0111);
+    }
+
+    #[test]
+    fn input_passthrough_and_constants() {
+        let mut g = Aig::with_inputs("pt", 2);
+        let (a, b) = (g.input(0), g.input(1));
+        let v = g.and(a, b);
+        g.add_output("g", v);
+        g.add_output("x", a);
+        g.add_output("nx", !b);
+        g.add_output("one", AigLit::TRUE);
+        let out = synthesize(&g);
+        let tts = Machine::truth_tables(&out.program).unwrap();
+        for m in 0..4u64 {
+            let (av, bv) = (m & 1 == 1, m & 2 != 0);
+            assert_eq!(tts[0].bit(m), av && bv);
+            assert_eq!(tts[1].bit(m), av);
+            assert_eq!(tts[2].bit(m), !bv);
+            assert!(tts[3].bit(m));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! A from-scratch reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! This is the data structure behind the paper's first baseline
+//! (Chakraborti et al. [11]): plain ROBDDs — hash-consed, ITE-based, no
+//! complement edges (matching the cited work, where each node is realized
+//! as a 2:1 multiplexer on RRAMs).
+//!
+//! # Example
+//!
+//! ```
+//! use rms_bdd::BddManager;
+//!
+//! let mut m = BddManager::new(3);
+//! let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+//! let ab = m.and(a, b);
+//! let f = m.or(ab, c);
+//! assert_eq!(m.node_count(&[f]), 3);
+//! assert!(m.eval(f, 0b111));
+//! ```
+
+use std::collections::HashMap;
+
+/// Reference to a BDD node. `0` and `1` are the terminal nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(pub u32);
+
+impl BddRef {
+    /// The FALSE terminal.
+    pub const ZERO: BddRef = BddRef(0);
+    /// The TRUE terminal.
+    pub const ONE: BddRef = BddRef(1);
+
+    /// Whether this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+
+    /// Terminal value, if this is a terminal.
+    pub fn terminal_value(self) -> Option<bool> {
+        match self.0 {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Node {
+    /// Decision level (position in the variable order), not the external
+    /// variable index.
+    level: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+/// The BDD manager: unique table, ITE cache, and a variable order.
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    /// `order[level] = external variable index`.
+    level_to_var: Vec<u32>,
+    /// `var_to_level[var] = level`.
+    var_to_level: Vec<u32>,
+}
+
+impl BddManager {
+    /// Creates a manager for `num_vars` variables in natural order.
+    pub fn new(num_vars: usize) -> Self {
+        Self::with_order((0..num_vars as u32).collect())
+    }
+
+    /// Creates a manager with an explicit variable order
+    /// (`order[level] = variable index`; every variable exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn with_order(order: Vec<u32>) -> Self {
+        let n = order.len();
+        let mut var_to_level = vec![u32::MAX; n];
+        for (level, &v) in order.iter().enumerate() {
+            assert!(
+                (v as usize) < n && var_to_level[v as usize] == u32::MAX,
+                "order must be a permutation"
+            );
+            var_to_level[v as usize] = level as u32;
+        }
+        BddManager {
+            nodes: vec![
+                // Terminal placeholders (level = sentinel beyond all vars).
+                Node { level: u32::MAX, lo: BddRef::ZERO, hi: BddRef::ZERO },
+                Node { level: u32::MAX, lo: BddRef::ONE, hi: BddRef::ONE },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            level_to_var: order,
+            var_to_level,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.level_to_var.len()
+    }
+
+    /// The variable order (`order[level] = variable index`).
+    pub fn order(&self) -> &[u32] {
+        &self.level_to_var
+    }
+
+    /// The constant function `v`.
+    pub fn constant(&self, v: bool) -> BddRef {
+        if v {
+            BddRef::ONE
+        } else {
+            BddRef::ZERO
+        }
+    }
+
+    /// The projection function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var(&mut self, var: usize) -> BddRef {
+        assert!(var < self.num_vars(), "variable {var} out of range");
+        let level = self.var_to_level[var];
+        self.mk(level, BddRef::ZERO, BddRef::ONE)
+    }
+
+    /// External variable index decided at `f`'s root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn root_var(&self, f: BddRef) -> usize {
+        assert!(!f.is_terminal(), "terminals decide no variable");
+        self.level_to_var[self.nodes[f.0 as usize].level as usize] as usize
+    }
+
+    /// `(lo, hi)` cofactors of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn cofactors(&self, f: BddRef) -> (BddRef, BddRef) {
+        assert!(!f.is_terminal());
+        let n = self.nodes[f.0 as usize];
+        (n.lo, n.hi)
+    }
+
+    fn level_of(&self, f: BddRef) -> u32 {
+        self.nodes[f.0 as usize].level
+    }
+
+    fn mk(&mut self, level: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(level, lo, hi)) {
+            return r;
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push(Node { level, lo, hi });
+        self.unique.insert((level, lo, hi), r);
+        r
+    }
+
+    /// If-then-else `f ? g : h` — the universal operation.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        // Terminal cases.
+        if f == BddRef::ONE {
+            return g;
+        }
+        if f == BddRef::ZERO {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == BddRef::ONE && h == BddRef::ZERO {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let level = self
+            .level_of(f)
+            .min(self.level_of(g))
+            .min(self.level_of(h));
+        let cof = |m: &Self, x: BddRef, hi: bool| -> BddRef {
+            if m.level_of(x) == level {
+                let n = m.nodes[x.0 as usize];
+                if hi {
+                    n.hi
+                } else {
+                    n.lo
+                }
+            } else {
+                x
+            }
+        };
+        let (f0, f1) = (cof(self, f, false), cof(self, f, true));
+        let (g0, g1) = (cof(self, g, false), cof(self, g, true));
+        let (h0, h1) = (cof(self, h, false), cof(self, h, true));
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(level, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        self.ite(f, BddRef::ZERO, BddRef::ONE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, g, BddRef::ZERO)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, BddRef::ONE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Three-input majority.
+    pub fn maj(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        let gh_or = self.or(g, h);
+        let gh_and = self.and(g, h);
+        self.ite(f, gh_or, gh_and)
+    }
+
+    /// Evaluates `f` under the assignment packed in `minterm` (bit `i` =
+    /// variable `i`).
+    pub fn eval(&self, f: BddRef, minterm: u64) -> bool {
+        let mut cur = f;
+        while let Some(v) = match cur.terminal_value() {
+            Some(b) => return b,
+            None => Some(self.root_var(cur)),
+        } {
+            let n = self.nodes[cur.0 as usize];
+            cur = if (minterm >> v) & 1 == 1 { n.hi } else { n.lo };
+        }
+        unreachable!()
+    }
+
+    /// Number of distinct non-terminal nodes reachable from `roots` (the
+    /// BDD size reported in the literature).
+    pub fn node_count(&self, roots: &[BddRef]) -> usize {
+        self.reachable(roots).len()
+    }
+
+    /// All distinct non-terminal nodes reachable from `roots`.
+    pub fn reachable(&self, roots: &[BddRef]) -> Vec<BddRef> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        let mut stack: Vec<BddRef> = roots.to_vec();
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || seen[r.0 as usize] {
+                continue;
+            }
+            seen[r.0 as usize] = true;
+            out.push(r);
+            let n = self.nodes[r.0 as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        out
+    }
+
+    /// The number of variables in the support of `roots` (distinct decision
+    /// variables).
+    pub fn support_size(&self, roots: &[BddRef]) -> usize {
+        let mut vars: Vec<usize> = self
+            .reachable(roots)
+            .iter()
+            .map(|&r| self.root_var(r))
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars.len()
+    }
+
+    /// Number of satisfying assignments of `f` over all variables.
+    pub fn sat_count(&self, f: BddRef) -> u64 {
+        let n = self.num_vars() as u32;
+        let mut cache: HashMap<BddRef, u64> = HashMap::new();
+        fn go(
+            m: &BddManager,
+            f: BddRef,
+            cache: &mut HashMap<BddRef, u64>,
+            n: u32,
+        ) -> u64 {
+            // Counts assignments over the variables strictly below f's level.
+            if let Some(v) = f.terminal_value() {
+                return if v { 1 } else { 0 };
+            }
+            if let Some(&c) = cache.get(&f) {
+                return c;
+            }
+            let node = m.nodes[f.0 as usize];
+            let skip = |child: BddRef, m: &BddManager| -> u32 {
+                let cl = if child.is_terminal() {
+                    n
+                } else {
+                    m.level_of(child)
+                };
+                cl - node.level - 1
+            };
+            let lo = go(m, node.lo, cache, n) << skip(node.lo, m);
+            let hi = go(m, node.hi, cache, n) << skip(node.hi, m);
+            let c = lo + hi;
+            cache.insert(f, c);
+            c
+        }
+        let top = if f.is_terminal() { n } else { self.level_of(f) };
+        go(self, f, &mut cache, n) << top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicity() {
+        let mut m = BddManager::new(3);
+        let (a, b) = (m.var(0), m.var(1));
+        let x = m.and(a, b);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let nor = m.or(na, nb);
+        let y = m.not(nor); // a & b by De Morgan
+        assert_eq!(x, y, "same function must be the same node");
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut m = BddManager::new(4);
+        let (a, b, c, d) = (m.var(0), m.var(1), m.var(2), m.var(3));
+        let ab = m.and(a, b);
+        let cd = m.xor(c, d);
+        let f = m.or(ab, cd);
+        for mt in 0..16u64 {
+            let (av, bv, cv, dv) = (mt & 1 == 1, mt & 2 != 0, mt & 4 != 0, mt & 8 != 0);
+            assert_eq!(m.eval(f, mt), (av && bv) || (cv ^ dv), "{mt}");
+        }
+    }
+
+    #[test]
+    fn maj_is_majority() {
+        let mut m = BddManager::new(3);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        for mt in 0..8u64 {
+            assert_eq!(m.eval(f, mt), mt.count_ones() >= 2, "{mt}");
+        }
+    }
+
+    #[test]
+    fn node_count_of_parity_is_linear() {
+        // Parity has 2n-1 nodes regardless of order.
+        let n = 8;
+        let mut m = BddManager::new(n);
+        let mut f = m.var(0);
+        for i in 1..n {
+            let v = m.var(i);
+            f = m.xor(f, v);
+        }
+        assert_eq!(m.node_count(&[f]), 2 * n - 1);
+        assert_eq!(m.support_size(&[f]), n);
+    }
+
+    #[test]
+    fn order_affects_size() {
+        // f = x0&x3 | x1&x4 | x2&x5: interleaved order is exponential vs
+        // paired order linear.
+        let build = |order: Vec<u32>| -> usize {
+            let mut m = BddManager::with_order(order);
+            let mut f = m.constant(false);
+            for i in 0..3usize {
+                let a = m.var(i);
+                let b = m.var(i + 3);
+                let t = m.and(a, b);
+                f = m.or(f, t);
+            }
+            m.node_count(&[f])
+        };
+        let good = build(vec![0, 3, 1, 4, 2, 5]);
+        let bad = build(vec![0, 1, 2, 3, 4, 5]);
+        assert!(good < bad, "good {good} !< bad {bad}");
+    }
+
+    #[test]
+    fn sat_count() {
+        let mut m = BddManager::new(3);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let f = m.maj(a, b, c);
+        assert_eq!(m.sat_count(f), 4);
+        let t = m.constant(true);
+        assert_eq!(m.sat_count(t), 8);
+        let ab = m.and(a, b);
+        assert_eq!(m.sat_count(ab), 2);
+    }
+
+    #[test]
+    fn reduction_removes_redundant_tests() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        // ite(b, a, a) must collapse to a.
+        let r = m.ite(b, a, a);
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_order_rejected() {
+        let _ = BddManager::with_order(vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Building BDDs from netlists, with static variable-ordering heuristics.
+
+use crate::bdd::{BddManager, BddRef};
+use rms_logic::netlist::{GateKind, Netlist, Wire};
+
+/// Static variable-ordering heuristic applied before construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// Inputs in declaration order.
+    #[default]
+    Natural,
+    /// Depth-first appearance order from the outputs — the classic
+    /// fanin-DFS heuristic, which keeps related inputs adjacent.
+    DfsFromOutputs,
+}
+
+/// A netlist converted to BDDs: the manager plus one root per output.
+#[derive(Debug, Clone)]
+pub struct BddCircuit {
+    /// The manager holding all nodes.
+    pub manager: BddManager,
+    /// One root per primary output, in netlist output order.
+    pub roots: Vec<BddRef>,
+    /// Output names (parallel to `roots`).
+    pub output_names: Vec<String>,
+}
+
+impl BddCircuit {
+    /// Total distinct nodes over all outputs.
+    pub fn node_count(&self) -> usize {
+        self.manager.node_count(&self.roots)
+    }
+}
+
+/// Computes the fanin-DFS variable order for a netlist.
+pub fn dfs_order(nl: &Netlist) -> Vec<u32> {
+    let mut order: Vec<u32> = Vec::new();
+    let mut seen_input = vec![false; nl.num_inputs()];
+    let mut seen_node = vec![false; nl.num_nodes()];
+    fn visit(
+        nl: &Netlist,
+        node: usize,
+        seen_node: &mut [bool],
+        seen_input: &mut [bool],
+        order: &mut Vec<u32>,
+    ) {
+        if seen_node[node] {
+            return;
+        }
+        seen_node[node] = true;
+        if node == 0 {
+            return;
+        }
+        if node <= nl.num_inputs() {
+            let i = node - 1;
+            if !seen_input[i] {
+                seen_input[i] = true;
+                order.push(i as u32);
+            }
+            return;
+        }
+        if let Some(g) = nl.gate(node) {
+            for w in &g.fanins {
+                visit(nl, w.node(), seen_node, seen_input, order);
+            }
+        }
+    }
+    for (_, w) in nl.outputs() {
+        visit(nl, w.node(), &mut seen_node, &mut seen_input, &mut order);
+    }
+    // Unreferenced inputs go last.
+    for i in 0..nl.num_inputs() {
+        if !seen_input[i] {
+            order.push(i as u32);
+        }
+    }
+    order
+}
+
+/// Builds BDDs for every output of a netlist.
+pub fn from_netlist(nl: &Netlist, ordering: Ordering) -> BddCircuit {
+    let order = match ordering {
+        Ordering::Natural => (0..nl.num_inputs() as u32).collect(),
+        Ordering::DfsFromOutputs => dfs_order(nl),
+    };
+    let mut m = BddManager::with_order(order);
+    let mut map: Vec<BddRef> = vec![BddRef::ZERO; nl.num_nodes()];
+    for i in 0..nl.num_inputs() {
+        map[1 + i] = m.var(i);
+    }
+    let rd = |m: &mut BddManager, map: &[BddRef], w: Wire| -> BddRef {
+        let base = map[w.node()];
+        if w.is_complemented() {
+            m.not(base)
+        } else {
+            base
+        }
+    };
+    for (idx, gate) in nl.gates() {
+        let r = match gate.kind {
+            GateKind::And => {
+                let (a, b) = (rd(&mut m, &map, gate.fanins[0]), rd(&mut m, &map, gate.fanins[1]));
+                m.and(a, b)
+            }
+            GateKind::Or => {
+                let (a, b) = (rd(&mut m, &map, gate.fanins[0]), rd(&mut m, &map, gate.fanins[1]));
+                m.or(a, b)
+            }
+            GateKind::Xor => {
+                let (a, b) = (rd(&mut m, &map, gate.fanins[0]), rd(&mut m, &map, gate.fanins[1]));
+                m.xor(a, b)
+            }
+            GateKind::Maj => {
+                let (a, b, c) = (
+                    rd(&mut m, &map, gate.fanins[0]),
+                    rd(&mut m, &map, gate.fanins[1]),
+                    rd(&mut m, &map, gate.fanins[2]),
+                );
+                m.maj(a, b, c)
+            }
+            GateKind::Mux => {
+                let (s, t, e) = (
+                    rd(&mut m, &map, gate.fanins[0]),
+                    rd(&mut m, &map, gate.fanins[1]),
+                    rd(&mut m, &map, gate.fanins[2]),
+                );
+                m.ite(s, t, e)
+            }
+        };
+        map[idx] = r;
+    }
+    let mut roots = Vec::new();
+    let mut output_names = Vec::new();
+    for (name, w) in nl.outputs() {
+        roots.push(rd(&mut m, &map, *w));
+        output_names.push(name.clone());
+    }
+    BddCircuit {
+        manager: m,
+        roots,
+        output_names,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_logic::bench_suite;
+
+    #[test]
+    fn bdd_matches_netlist_function() {
+        for name in ["rd53_f2", "exam3_d", "con1_f1", "9sym_d", "sao2_f1"] {
+            let nl = bench_suite::build(name).unwrap();
+            let circ = from_netlist(&nl, Ordering::Natural);
+            let tts = nl.truth_tables();
+            for m in 0..(1u64 << nl.num_inputs()) {
+                for (o, root) in circ.roots.iter().enumerate() {
+                    assert_eq!(
+                        circ.manager.eval(*root, m),
+                        tts[o].bit(m),
+                        "{name} output {o} minterm {m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_order_is_a_permutation() {
+        for name in ["clip", "t481", "misex1"] {
+            let nl = bench_suite::build(name).unwrap();
+            let mut order = dfs_order(&nl);
+            order.sort_unstable();
+            let expect: Vec<u32> = (0..nl.num_inputs() as u32).collect();
+            assert_eq!(order, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn dfs_ordering_still_correct() {
+        let nl = bench_suite::build("t481").unwrap();
+        let circ = from_netlist(&nl, Ordering::DfsFromOutputs);
+        for m in [0u64, 0xFF, 0xFF00, 0xF0F0, 0x1234] {
+            let lo = (m & 0xFF).count_ones();
+            let hi = ((m >> 8) & 0xFF).count_ones();
+            assert_eq!(circ.manager.eval(circ.roots[0], m), lo == hi, "{m:#x}");
+        }
+    }
+
+    #[test]
+    fn shared_nodes_counted_once() {
+        let nl = bench_suite::build("rd84_f1").unwrap(); // parity of 8
+        let circ = from_netlist(&nl, Ordering::Natural);
+        assert_eq!(circ.node_count(), 15, "parity-of-8 BDD has 2n-1 nodes");
+    }
+}

@@ -1,0 +1,34 @@
+//! Binary decision diagrams and the BDD→RRAM synthesis baseline.
+//!
+//! The paper compares its MIG flow against the BDD-based RRAM synthesis of
+//! Chakraborti et al. [11] (Table III, left half). This crate provides the
+//! complete substrate for that comparison:
+//!
+//! - [`bdd`] — a from-scratch hash-consed ROBDD package (ITE with computed
+//!   table, satisfiability counting, reachability),
+//! - [`build`] — netlist→BDD conversion with static variable-ordering
+//!   heuristics, and
+//! - [`rram_synth`] — the mux-per-node IMP realization of [11], emitted as
+//!   an executable [`rms_rram::Program`].
+//!
+//! # Example
+//!
+//! ```
+//! use rms_bdd::{build, rram_synth};
+//! use rms_logic::bench_suite;
+//!
+//! # fn main() {
+//! let nl = bench_suite::build("rd53_f1").expect("known benchmark");
+//! let circuit = build::from_netlist(&nl, build::Ordering::Natural);
+//! let rram = rram_synth::synthesize(&circuit, &Default::default());
+//! assert!(rram.steps() > 0);
+//! # }
+//! ```
+
+pub mod bdd;
+pub mod build;
+pub mod rram_synth;
+
+pub use bdd::{BddManager, BddRef};
+pub use build::{from_netlist, BddCircuit, Ordering};
+pub use rram_synth::{synthesize, BddRramCircuit, BddSynthOptions};

@@ -1,0 +1,68 @@
+//! Criterion bench for the RRAM machine itself: the two majority-gate
+//! realizations of Figs. 3 / Sec. III-A2 and end-to-end compiled circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rms_core::cost::Realization;
+use rms_core::Mig;
+use rms_logic::bench_suite;
+use rms_rram::compile::compile;
+use rms_rram::gates::{imp_majority_gate, maj_majority_gate};
+use rms_rram::machine::Machine;
+
+fn majority_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine/majority_gate");
+    let imp = imp_majority_gate();
+    let maj = maj_majority_gate();
+    let inputs = [0xAAAA_AAAA_AAAA_AAAAu64, 0xCCCC_CCCC_CCCC_CCCC, 0xF0F0_F0F0_F0F0_F0F0];
+    group.bench_function("imp_10_steps", |b| {
+        let mut m = Machine::new();
+        b.iter(|| m.run_words(&imp, &inputs).expect("valid"))
+    });
+    group.bench_function("maj_3_steps", |b| {
+        let mut m = Machine::new();
+        b.iter(|| m.run_words(&maj, &inputs).expect("valid"))
+    });
+    group.finish();
+}
+
+fn compiled_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine/compiled");
+    group.sample_size(20);
+    for name in ["9sym_d", "clip", "t481"] {
+        let mig = Mig::from_netlist(&bench_suite::build(name).expect("known benchmark"));
+        for real in Realization::ALL {
+            let cc = compile(&mig, real);
+            let inputs: Vec<u64> = (0..mig.num_inputs() as u64)
+                .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32))
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{real}"), name),
+                &cc.program,
+                |b, prog| {
+                    let mut m = Machine::new();
+                    b.iter(|| m.run_words(prog, &inputs).expect("valid"))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine/compile");
+    group.sample_size(20);
+    for name in ["apex7", "misex3"] {
+        let mig = Mig::from_netlist(&bench_suite::build(name).expect("known benchmark"));
+        for real in Realization::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{real}"), name),
+                &mig,
+                |b, mig| b.iter(|| compile(mig, real)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, majority_gates, compiled_circuits, compilation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for the Table II pipeline: each optimization algorithm
+//! over representative benchmarks and over the whole suite (the paper's
+//! "< 3 s" run-time claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rms_core::cost::Realization;
+use rms_core::opt::{Algorithm, OptOptions};
+use rms_core::Mig;
+use rms_logic::bench_suite;
+
+fn algorithms_per_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/per_benchmark");
+    group.sample_size(10);
+    let opts = OptOptions::paper();
+    for name in ["x2", "cordic", "apex7", "misex3"] {
+        let mig = Mig::from_netlist(&bench_suite::build(name).expect("known benchmark"));
+        for alg in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{alg}"), name),
+                &mig,
+                |b, mig| b.iter(|| alg.run(mig, Realization::Maj, &opts)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn whole_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/whole_suite");
+    group.sample_size(10);
+    let opts = OptOptions::paper();
+    let migs: Vec<Mig> = bench_suite::LARGE_SUITE
+        .iter()
+        .map(|info| Mig::from_netlist(&bench_suite::build_info(info)))
+        .collect();
+    for alg in Algorithm::ALL {
+        group.bench_function(format!("{alg}"), |b| {
+            b.iter(|| {
+                for mig in &migs {
+                    let _ = alg.run(mig, Realization::Maj, &opts);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, algorithms_per_benchmark, whole_suite);
+criterion_main!(benches);

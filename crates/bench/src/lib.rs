@@ -1,0 +1,13 @@
+//! Reproduction harness: runs the paper's evaluation and regenerates every
+//! table and figure.
+//!
+//! - [`runner`] — executes the synthesis flows over the embedded benchmark
+//!   suites and collects measured (R, S) values,
+//! - [`format`] — plain-text table rendering with paper-vs-measured
+//!   columns.
+//!
+//! The `repro_*` binaries in `src/bin` print the tables; the Criterion
+//! benches in `benches/` measure the run-time claims.
+
+pub mod format;
+pub mod runner;

@@ -1,0 +1,245 @@
+//! Executes the paper's evaluation flows over the embedded suites.
+
+use rms_aig::Aig;
+use rms_bdd::{build as bdd_build, rram_synth as bdd_rram, BddSynthOptions};
+use rms_core::cost::{Realization, RramCost};
+use rms_core::opt::{self, OptOptions};
+use rms_core::Mig;
+use rms_logic::bench_suite::{self, BenchmarkInfo};
+use rms_logic::paper_data;
+
+/// Measured (R, S) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Measured {
+    /// Number of RRAM devices (Table I `R`).
+    pub rrams: u64,
+    /// Number of computational steps (Table I `S`).
+    pub steps: u64,
+}
+
+impl Measured {
+    fn of(mig: &Mig, realization: Realization) -> Self {
+        let c = RramCost::of(mig, realization);
+        Measured {
+            rrams: c.rrams,
+            steps: c.steps,
+        }
+    }
+}
+
+/// One measured row of Table II (six optimizer/realization configurations).
+#[derive(Debug, Clone)]
+pub struct Table2Measured {
+    /// Benchmark descriptor.
+    pub info: &'static BenchmarkInfo,
+    /// Alg. 1 under the IMP realization.
+    pub area_imp: Measured,
+    /// Alg. 2 under the IMP realization.
+    pub depth_imp: Measured,
+    /// Alg. 3 under the IMP realization.
+    pub rram_imp: Measured,
+    /// Alg. 3 under the MAJ realization.
+    pub rram_maj: Measured,
+    /// Alg. 4 under the IMP realization.
+    pub step_imp: Measured,
+    /// Alg. 4 under the MAJ realization.
+    pub step_maj: Measured,
+}
+
+impl Table2Measured {
+    /// The six configurations in column order.
+    pub fn columns(&self) -> [Measured; 6] {
+        [
+            self.area_imp,
+            self.depth_imp,
+            self.rram_imp,
+            self.rram_maj,
+            self.step_imp,
+            self.step_maj,
+        ]
+    }
+}
+
+/// Runs the Table II evaluation for one benchmark.
+pub fn run_table2_row(info: &'static BenchmarkInfo, opts: &OptOptions) -> Table2Measured {
+    let mig = Mig::from_netlist(&bench_suite::build_info(info));
+    let area = opt::optimize_area(&mig, opts);
+    let depth = opt::optimize_depth(&mig, opts);
+    let rram_i = opt::optimize_rram(&mig, Realization::Imp, opts);
+    let rram_m = opt::optimize_rram(&mig, Realization::Maj, opts);
+    let step_i = opt::optimize_steps(&mig, Realization::Imp, opts);
+    let step_m = opt::optimize_steps(&mig, Realization::Maj, opts);
+    Table2Measured {
+        info,
+        area_imp: Measured::of(&area, Realization::Imp),
+        depth_imp: Measured::of(&depth, Realization::Imp),
+        rram_imp: Measured::of(&rram_i, Realization::Imp),
+        rram_maj: Measured::of(&rram_m, Realization::Maj),
+        step_imp: Measured::of(&step_i, Realization::Imp),
+        step_maj: Measured::of(&step_m, Realization::Maj),
+    }
+}
+
+/// Runs the full Table II evaluation (25 benchmarks, six configurations).
+pub fn run_table2(opts: &OptOptions) -> Vec<Table2Measured> {
+    bench_suite::LARGE_SUITE
+        .iter()
+        .map(|info| run_table2_row(info, opts))
+        .collect()
+}
+
+/// One measured row of Table III's left half (BDD comparison).
+#[derive(Debug, Clone)]
+pub struct Table3BddMeasured {
+    /// Benchmark descriptor.
+    pub info: &'static BenchmarkInfo,
+    /// BDD baseline of [11] (level-parallel mux schedule).
+    pub bdd: Measured,
+    /// MIG multi-objective flow, IMP realization.
+    pub mig_imp: Measured,
+    /// MIG multi-objective flow, MAJ realization.
+    pub mig_maj: Measured,
+    /// BDD node count (context for the R column).
+    pub bdd_nodes: u64,
+}
+
+/// Runs the BDD-vs-MIG comparison for one benchmark.
+pub fn run_table3_bdd_row(
+    info: &'static BenchmarkInfo,
+    opts: &OptOptions,
+    synth: &BddSynthOptions,
+) -> Table3BddMeasured {
+    let nl = bench_suite::build_info(info);
+    let circ = bdd_build::from_netlist(&nl, bdd_build::Ordering::DfsFromOutputs);
+    let bdd = bdd_rram::synthesize(&circ, synth);
+    let mig = Mig::from_netlist(&nl);
+    let rram_i = opt::optimize_rram(&mig, Realization::Imp, opts);
+    let rram_m = opt::optimize_rram(&mig, Realization::Maj, opts);
+    Table3BddMeasured {
+        info,
+        bdd: Measured {
+            // [11] reports value-retention devices, not compute scratch;
+            // `bdd.devices` (the full footprint) is available separately.
+            rrams: bdd.value_devices,
+            steps: bdd.steps(),
+        },
+        mig_imp: Measured::of(&rram_i, Realization::Imp),
+        mig_maj: Measured::of(&rram_m, Realization::Maj),
+        bdd_nodes: bdd.nodes,
+    }
+}
+
+/// Runs the full BDD comparison (Table III left).
+pub fn run_table3_bdd(opts: &OptOptions, synth: &BddSynthOptions) -> Vec<Table3BddMeasured> {
+    bench_suite::LARGE_SUITE
+        .iter()
+        .map(|info| run_table3_bdd_row(info, opts, synth))
+        .collect()
+}
+
+/// One measured row of Table III's right half (AIG comparison).
+#[derive(Debug, Clone)]
+pub struct Table3AigMeasured {
+    /// Benchmark descriptor.
+    pub info: &'static BenchmarkInfo,
+    /// Steps of the node-serial AIG baseline of [12].
+    pub aig_steps: u64,
+    /// AIG node count after balancing.
+    pub aig_nodes: u64,
+    /// MIG multi-objective flow, IMP realization.
+    pub mig_imp: Measured,
+    /// MIG multi-objective flow, MAJ realization.
+    pub mig_maj: Measured,
+}
+
+/// Runs the AIG-vs-MIG comparison for one small-suite function.
+pub fn run_table3_aig_row(info: &'static BenchmarkInfo, opts: &OptOptions) -> Table3AigMeasured {
+    let nl = bench_suite::build_info(info);
+    let aig = Aig::from_netlist(&nl).balance();
+    let circuit = rms_aig::rram_synth::synthesize(&aig);
+    let mig = Mig::from_netlist(&nl);
+    let rram_i = opt::optimize_rram(&mig, Realization::Imp, opts);
+    let rram_m = opt::optimize_rram(&mig, Realization::Maj, opts);
+    Table3AigMeasured {
+        info,
+        aig_steps: circuit.steps(),
+        aig_nodes: circuit.nodes,
+        mig_imp: Measured::of(&rram_i, Realization::Imp),
+        mig_maj: Measured::of(&rram_m, Realization::Maj),
+    }
+}
+
+/// Runs the full AIG comparison (Table III right).
+pub fn run_table3_aig(opts: &OptOptions) -> Vec<Table3AigMeasured> {
+    bench_suite::SMALL_SUITE
+        .iter()
+        .map(|info| run_table3_aig_row(info, opts))
+        .collect()
+}
+
+/// Sum of a column over rows.
+pub fn sum_by<T>(rows: &[T], f: impl Fn(&T) -> Measured) -> Measured {
+    rows.iter().fold(Measured::default(), |acc, r| {
+        let m = f(r);
+        Measured {
+            rrams: acc.rrams + m.rrams,
+            steps: acc.steps + m.steps,
+        }
+    })
+}
+
+/// The paper-reported Σ row of Table II as `Measured` columns.
+pub fn paper_table2_sums() -> [Measured; 6] {
+    let s = paper_data::TABLE2_SUM;
+    [s.area_imp, s.depth_imp, s.rram_imp, s.rram_maj, s.step_imp, s.step_maj].map(|r| Measured {
+        rrams: r.rrams,
+        steps: r.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_row_has_expected_orderings() {
+        let info = rms_logic::bench_suite::info("x2").unwrap();
+        let row = run_table2_row(info, &OptOptions::with_effort(10));
+        // MAJ realization always beats IMP on steps for the same algorithm.
+        assert!(row.rram_maj.steps < row.rram_imp.steps);
+        assert!(row.step_maj.steps < row.step_imp.steps);
+    }
+
+    #[test]
+    fn table3_aig_row_runs() {
+        let info = rms_logic::bench_suite::info("exam1_d").unwrap();
+        let row = run_table3_aig_row(info, &OptOptions::with_effort(5));
+        assert!(row.aig_steps >= 3, "{row:?}");
+    }
+
+    #[test]
+    fn table3_bdd_row_runs() {
+        let info = rms_logic::bench_suite::info("parity").unwrap();
+        let row = run_table3_bdd_row(
+            info,
+            &OptOptions::with_effort(5),
+            &BddSynthOptions::default(),
+        );
+        // Parity's BDD is thin: one batch per level, five steps each.
+        // (Parity is also the one function where a BDD is genuinely
+        // competitive — the aggregate comparison lives in the integration
+        // tests at full effort.)
+        assert_eq!(row.bdd.steps, 5 * 16);
+        assert!(row.mig_maj.steps > 0);
+    }
+
+    #[test]
+    fn sums_add_up() {
+        let rows = vec![
+            Measured { rrams: 1, steps: 2 },
+            Measured { rrams: 3, steps: 4 },
+        ];
+        let s = sum_by(&rows, |m| *m);
+        assert_eq!(s, Measured { rrams: 4, steps: 6 });
+    }
+}

@@ -1,0 +1,41 @@
+//! Majority-inverter graphs and RRAM-oriented logic optimization.
+//!
+//! This crate implements the primary contribution of *"Fast Logic Synthesis
+//! for RRAM-based In-Memory Computing using Majority-Inverter Graphs"*
+//! (Shirinzadeh et al., DATE 2016):
+//!
+//! - the [`Mig`] data structure (majority nodes, complemented edges,
+//!   structural hashing, eager majority axiom),
+//! - the Ω/Ψ transformation passes in [`rewrite`],
+//! - the four optimization algorithms in [`opt`] (conventional area and
+//!   depth optimization, the multi-objective RRAM-cost optimization, and
+//!   step optimization), and
+//! - the RRAM cost model of the paper's Table I in [`cost`], for both the
+//!   IMP-based and the MAJ-based majority-gate realizations.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_core::{Mig, cost::{Realization, RramCost}, opt};
+//! use rms_logic::bench_suite;
+//!
+//! # fn main() {
+//! let netlist = bench_suite::build("rd53_f2").expect("known benchmark");
+//! let mig = Mig::from_netlist(&netlist);
+//! let opts = opt::OptOptions::with_effort(10);
+//! let optimized = opt::optimize_steps(&mig, Realization::Maj, &opts);
+//! let cost = RramCost::of(&optimized, Realization::Maj);
+//! assert!(cost.steps <= RramCost::of(&mig, Realization::Maj).steps);
+//! # }
+//! ```
+
+pub mod cost;
+pub mod mig;
+pub mod opt;
+pub mod rewrite;
+pub mod signal;
+
+pub use cost::{LevelProfile, MigStats, Realization, RramCost};
+pub use mig::{Mig, MigNode};
+pub use opt::{Algorithm, OptOptions};
+pub use signal::MigSignal;

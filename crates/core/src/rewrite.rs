@@ -1,0 +1,644 @@
+//! The Ω / Ψ transformation passes.
+//!
+//! Every pass consumes a graph and produces a functionally equivalent one,
+//! rebuilding bottom-up through the strashing constructor (which applies
+//! the majority axiom Ω.M eagerly) and applying one family of the paper's
+//! axioms at each reconstructed node:
+//!
+//! - [`eliminate`] — Ω.M + distributivity right-to-left (Ω.D R→L), the
+//!   node-count reducer of Alg. 1,
+//! - [`reshape`] — associativity Ω.A + complementary associativity Ψ.C,
+//!   the structure perturbation of Alg. 1,
+//! - [`push_up`] — the depth reducer used by Algs. 2–4 (Ω.M; Ω.D L→R;
+//!   Ω.A; Ψ.C, steered at the critical child),
+//! - [`relevance`] — Ψ.R, replacing reconvergent children,
+//! - [`inverter_propagation`] — the Ω.I R→L extension of Sec. III-C3 for
+//!   nodes with multiple complemented fanins.
+//!
+//! Passes end with a reachability compaction, so intermediate garbage
+//! created by speculative rewrites never survives.
+//!
+//! # Inverter-propagation case taxonomy
+//!
+//! The paper's three Ω.I R→L cases are stated with their effect on the
+//! RRAM count: reductions of three, two, and one-with-a-penalty-of-one.
+//! Together with our convention that complement attributes on constant
+//! edges are free, this pins the cases down as:
+//!
+//! 1. all three fanins complemented — `M(x̄,ȳ,z̄) = M(x,y,z)'` removes
+//!    three complemented edges,
+//! 2. two complemented fanins and one **constant** fanin — flipping the
+//!    constant is free, so two edges are removed,
+//! 3. two complemented fanins, third regular — two edges removed, one
+//!    added on the formerly regular fanin (net one), plus the complement
+//!    moved to the fanout level.
+
+use crate::mig::{Mig, MigNode};
+use crate::signal::MigSignal;
+
+/// Which inverter-propagation cases a pass may fire (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InverterCases {
+    /// Case 1: three complemented fanins.
+    pub three: bool,
+    /// Case 2: two complemented fanins and a constant fanin.
+    pub two_with_const: bool,
+    /// Case 3: two complemented fanins, regular third fanin.
+    pub two: bool,
+}
+
+impl InverterCases {
+    /// Only the base rule (case 1), as used first in Alg. 4.
+    pub const BASE: InverterCases = InverterCases {
+        three: true,
+        two_with_const: false,
+        two: false,
+    };
+    /// All three cases (`Ω.I R→L (1-3)` in Algs. 3 and 4).
+    pub const ALL: InverterCases = InverterCases {
+        three: true,
+        two_with_const: true,
+        two: true,
+    };
+}
+
+/// Context handed to a node hook during a rebuilding pass.
+struct NodeCtx {
+    /// Index of the node in the old graph.
+    old_idx: usize,
+    /// Children mapped into the new graph (original order, pre-sorting).
+    kids: [MigSignal; 3],
+    /// Fanout count of the corresponding *old* children in the old graph.
+    old_fanout: [u32; 3],
+}
+
+/// Rebuilds `mig` bottom-up, calling `hook` for every majority node.
+///
+/// The hook receives the new graph (for matching and node creation) and the
+/// node context; it returns the signal that replaces the node. The default
+/// behaviour is `out.maj(kids)`.
+fn transform(
+    mig: &Mig,
+    mut hook: impl FnMut(&mut Mig, &NodeCtx) -> MigSignal,
+) -> Mig {
+    let fanout = mig.fanout_counts();
+    let mut out = Mig::with_inputs(mig.name().to_string(), mig.num_inputs());
+    let mut map: Vec<MigSignal> = Vec::with_capacity(mig.len());
+    for idx in 0..mig.len() {
+        let sig = match mig.node(idx) {
+            MigNode::Const0 => MigSignal::FALSE,
+            MigNode::Input(k) => out.input(k as usize),
+            MigNode::Maj(kids) => {
+                let mk = kids.map(|s| map[s.node()].complement_if(s.is_complemented()));
+                let ctx = NodeCtx {
+                    old_idx: idx,
+                    kids: mk,
+                    old_fanout: kids.map(|s| fanout[s.node()]),
+                };
+                hook(&mut out, &ctx)
+            }
+        };
+        map.push(sig);
+    }
+    for (name, s) in mig.outputs() {
+        let m = map[s.node()].complement_if(s.is_complemented());
+        out.add_output(name.clone(), m);
+    }
+    out.compact()
+}
+
+/// Removes one occurrence of `x` from the multiset `v`.
+fn remove_one(v: &mut Vec<MigSignal>, x: MigSignal) -> bool {
+    if let Some(p) = v.iter().position(|&s| s == x) {
+        v.remove(p);
+        true
+    } else {
+        false
+    }
+}
+
+/// `Ω.M; Ω.D R→L` — the *eliminate* pass of Alg. 1.
+///
+/// Merges sibling majority nodes that share two children:
+/// `M(M(x,y,u), M(x,y,v), z) = M(x,y,M(u,v,z))`, firing only when both
+/// inner nodes are single-fanout (so the rewrite strictly removes a node).
+pub fn eliminate(mig: &Mig) -> Mig {
+    transform(mig, |out, ctx| {
+        for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            let (a, b) = (ctx.kids[i], ctx.kids[j]);
+            if ctx.old_fanout[i] != 1 || ctx.old_fanout[j] != 1 {
+                continue;
+            }
+            let (Some(ca), Some(cb)) =
+                (out.children_through(a), out.children_through(b))
+            else {
+                continue;
+            };
+            // Multiset intersection of the two child sets.
+            let mut rb: Vec<MigSignal> = cb.to_vec();
+            let mut common: Vec<MigSignal> = Vec::new();
+            let mut ra: Vec<MigSignal> = Vec::new();
+            for s in ca {
+                if remove_one(&mut rb, s) {
+                    common.push(s);
+                } else {
+                    ra.push(s);
+                }
+            }
+            if common.len() >= 2 {
+                // Shared pair (x, y); leftovers u (from a), v (from b).
+                let (x, y) = (common[0], common[1]);
+                let u = if common.len() == 3 { common[2] } else { ra[0] };
+                let v = if common.len() == 3 { common[2] } else { rb[0] };
+                let k = 3 - i - j; // remaining child position
+                let z = ctx.kids[k];
+                let inner = out.maj(u, v, z);
+                return out.maj(x, y, inner);
+            }
+        }
+        out.maj(ctx.kids[0], ctx.kids[1], ctx.kids[2])
+    })
+}
+
+/// `Ω.A; Ψ.C` — the *reshape* pass of Alg. 1.
+///
+/// Moves variables between adjacent levels with associativity to expose new
+/// elimination opportunities. `deeper` selects the direction variables are
+/// pushed (Alg. 1 alternates it between cycles).
+pub fn reshape(mig: &Mig, deeper: bool) -> Mig {
+    transform(mig, |out, ctx| {
+        // Ω.A: M(x, u, M(y, u, z)) = M(z, u, M(y, u, x)).
+        for g_pos in 0..3 {
+            let g = ctx.kids[g_pos];
+            let Some(inner) = out.children_through(g) else {
+                continue;
+            };
+            if ctx.old_fanout[g_pos] != 1 {
+                continue;
+            }
+            let others = [ctx.kids[(g_pos + 1) % 3], ctx.kids[(g_pos + 2) % 3]];
+            for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
+                let mut rest = inner.to_vec();
+                if !remove_one(&mut rest, u) {
+                    continue;
+                }
+                let (y, z) = (rest[0], rest[1]);
+                // Swap x with z when that moves a variable in the requested
+                // direction.
+                let (lx, lz) = (out.signal_level(x), out.signal_level(z));
+                let should = if deeper { lx > lz } else { lx < lz };
+                if should {
+                    let new_inner = out.maj(y, u, x);
+                    return out.maj(z, u, new_inner);
+                }
+            }
+        }
+        // Ψ.C: M(x, u, M(y, ū, z)) = M(x, u, M(y, x, z)).
+        for g_pos in 0..3 {
+            let g = ctx.kids[g_pos];
+            let Some(inner) = out.children_through(g) else {
+                continue;
+            };
+            if ctx.old_fanout[g_pos] != 1 {
+                continue;
+            }
+            let others = [ctx.kids[(g_pos + 1) % 3], ctx.kids[(g_pos + 2) % 3]];
+            for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
+                let mut rest = inner.to_vec();
+                if remove_one(&mut rest, !u) {
+                    let new_inner = out.maj(rest[0], rest[1], x);
+                    return out.maj(x, u, new_inner);
+                }
+            }
+        }
+        out.maj(ctx.kids[0], ctx.kids[1], ctx.kids[2])
+    })
+}
+
+/// `Ω.M; Ω.D L→R; Ω.A; Ψ.C` — the *push-up* pass of Algs. 2–4.
+///
+/// For every node whose unique deepest child is a majority node, tries the
+/// axioms in the paper's order and applies the first that strictly reduces
+/// the node's level (pulling the critical variable towards the outputs).
+pub fn push_up(mig: &Mig) -> Mig {
+    transform(mig, |out, ctx| {
+        let lv = |out: &Mig, s: MigSignal| out.signal_level(s);
+        let levels = ctx.kids.map(|s| lv(out, s));
+        let max_lv = *levels.iter().max().expect("three children");
+        let current = 1 + max_lv;
+        let default = out.maj(ctx.kids[0], ctx.kids[1], ctx.kids[2]);
+        if lv(out, default) < current || max_lv == 0 {
+            // Ω.M (or strashing) already did better than any local push.
+            return default;
+        }
+        // Candidates are *built* and kept only when the realized level is
+        // strictly smaller — estimating levels misses the Ω.M collapses and
+        // strash hits that make pushes profitable in shared DAGs; rejected
+        // candidates are garbage-collected by the pass-final compaction.
+        let mut best = default;
+        let mut best_lv = lv(out, default);
+        for g_pos in 0..3 {
+            let g = ctx.kids[g_pos];
+            if lv(out, g) != max_lv {
+                continue; // only pushes at a critical child can reduce depth
+            }
+            let Some(inner) = out.children_through(g) else {
+                continue;
+            };
+            let others = [ctx.kids[(g_pos + 1) % 3], ctx.kids[(g_pos + 2) % 3]];
+
+            // Ω.D L→R: M(x, y, M(u, v, z)) = M(M(x,y,u), M(x,y,v), z),
+            // pushing the critical grandchild z one level up (at the cost
+            // of duplicating the x/y pair, as the paper notes).
+            {
+                let ilv = inner.map(|s| lv(out, s));
+                let imax = *ilv.iter().max().expect("three children");
+                let icrit: Vec<usize> = (0..3).filter(|&i| ilv[i] == imax).collect();
+                if icrit.len() == 1 {
+                    let z = inner[icrit[0]];
+                    let (u, v) = (inner[(icrit[0] + 1) % 3], inner[(icrit[0] + 2) % 3]);
+                    let (x, y) = (others[0], others[1]);
+                    let left = out.maj(x, y, u);
+                    let right = out.maj(x, y, v);
+                    let cand = out.maj(left, right, z);
+                    if lv(out, cand) < best_lv {
+                        best = cand;
+                        best_lv = lv(out, cand);
+                    }
+                }
+            }
+
+            // Ω.A: M(x, u, M(y, u, z)) = M(z, u, M(y, u, x)).
+            for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
+                let mut rest = inner.to_vec();
+                if !remove_one(&mut rest, u) {
+                    continue;
+                }
+                // Swap x with the deeper leftover.
+                let (y, z) = if lv(out, rest[0]) >= lv(out, rest[1]) {
+                    (rest[1], rest[0])
+                } else {
+                    (rest[0], rest[1])
+                };
+                let new_inner = out.maj(y, u, x);
+                let cand = out.maj(z, u, new_inner);
+                if lv(out, cand) < best_lv {
+                    best = cand;
+                    best_lv = lv(out, cand);
+                }
+            }
+
+            // Ψ.C: M(x, u, M(y, ū, z)) = M(x, u, M(y, x, z)); profitable
+            // when the substitution collapses or re-shares the inner node.
+            for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
+                let mut rest = inner.to_vec();
+                if !remove_one(&mut rest, !u) {
+                    continue;
+                }
+                let (y, z) = (rest[0], rest[1]);
+                let new_inner = out.maj(y, x, z);
+                let cand = out.maj(x, u, new_inner);
+                if lv(out, cand) < best_lv {
+                    best = cand;
+                    best_lv = lv(out, cand);
+                }
+            }
+        }
+        best
+    })
+}
+
+/// `Ψ.R` — the *relevance* pass of Alg. 2.
+///
+/// `M(x, y, z) = M(x, y, z_{x/ȳ})`: inside the third child, a reconvergent
+/// occurrence of `x` can be replaced by `ȳ`. We apply the direct form (the
+/// occurrence is an immediate child of `z`) when `y` is no deeper than `x`,
+/// which shortens the reconvergent path or exposes Ω.M simplifications.
+pub fn relevance(mig: &Mig) -> Mig {
+    transform(mig, |out, ctx| {
+        for z_pos in 0..3 {
+            let z = ctx.kids[z_pos];
+            if ctx.old_fanout[z_pos] != 1 {
+                continue;
+            }
+            let Some(inner) = out.children_through(z) else {
+                continue;
+            };
+            let others = [ctx.kids[(z_pos + 1) % 3], ctx.kids[(z_pos + 2) % 3]];
+            for (x, y) in [(others[0], others[1]), (others[1], others[0])] {
+                if out.signal_level(y) > out.signal_level(x) {
+                    continue;
+                }
+                let mut rest = inner.to_vec();
+                if remove_one(&mut rest, x) {
+                    let new_z = out.maj(rest[0], rest[1], !y);
+                    return out.maj(x, y, new_z);
+                }
+            }
+        }
+        out.maj(ctx.kids[0], ctx.kids[1], ctx.kids[2])
+    })
+}
+
+/// The Ω.I R→L extension of Sec. III-C3 (see module docs for the cases).
+///
+/// Nodes with enough complemented fanins are rebuilt with all fanins
+/// flipped and a complemented output, moving the complement attribute one
+/// level towards the outputs.
+///
+/// With `guarded`, a node only fires when the paper's benefit analysis
+/// says the move cannot hurt the step count: either the transformation
+/// (jointly with the other firing nodes of the level) clears the level of
+/// complemented edges, or every level that receives the moved complement
+/// already has complemented edges. Unguarded application "ensures maximum
+/// coverage" (Alg. 4's wording) at the risk of tainting clean levels.
+pub fn inverter_propagation(mig: &Mig, cases: InverterCases, guarded: bool) -> Mig {
+    let fire_allowed = if guarded {
+        Some(guard_vector(mig, cases))
+    } else {
+        None
+    };
+    transform(mig, |out, ctx| {
+        let fire = eligible(&ctx.kids, cases)
+            && fire_allowed
+                .as_ref()
+                .is_none_or(|allowed| allowed[ctx.old_idx]);
+        if fire {
+            let flipped = out.maj(!ctx.kids[0], !ctx.kids[1], !ctx.kids[2]);
+            !flipped
+        } else {
+            out.maj(ctx.kids[0], ctx.kids[1], ctx.kids[2])
+        }
+    })
+}
+
+/// Whether the case mask allows flipping a node with these children.
+fn eligible(kids: &[MigSignal; 3], cases: InverterCases) -> bool {
+    let compl = kids
+        .iter()
+        .filter(|s| s.is_complemented() && !s.is_constant())
+        .count();
+    let has_const = kids.iter().any(|s| s.is_constant());
+    match (compl, has_const) {
+        (3, _) => cases.three,
+        (2, true) => cases.two_with_const,
+        (2, false) => cases.two,
+        _ => false,
+    }
+}
+
+/// Precomputes, per node of the old graph, whether firing is beneficial
+/// according to the level analysis of Sec. III-C3.
+fn guard_vector(mig: &Mig, cases: InverterCases) -> Vec<bool> {
+    let depth = mig.depth() as usize;
+    // Complemented (non-constant) fanin edges per level (1-based levels;
+    // slot `depth` is the virtual output level).
+    let mut compl_at = vec![0u64; depth + 2];
+    let mut eligible_compl_at = vec![0u64; depth + 2];
+    let node_compl = |kids: &[MigSignal; 3]| -> u64 {
+        kids.iter()
+            .filter(|s| s.is_complemented() && !s.is_constant())
+            .count() as u64
+    };
+    for idx in 0..mig.len() {
+        if let MigNode::Maj(kids) = mig.node(idx) {
+            let lvl = (mig.level(idx) as usize).min(depth + 1);
+            let c = node_compl(&kids);
+            compl_at[lvl] += c;
+            if eligible(&kids, cases) {
+                eligible_compl_at[lvl] += c;
+            }
+        }
+    }
+    for (_, o) in mig.outputs() {
+        if o.is_complemented() && !o.is_constant() {
+            compl_at[depth + 1] += 1;
+        }
+    }
+    // Fanout levels per node (where a moved complement would land).
+    let mut allowed = vec![false; mig.len()];
+    let mut fanout_lvls: Vec<Vec<usize>> = vec![Vec::new(); mig.len()];
+    for idx in 0..mig.len() {
+        if let MigNode::Maj(kids) = mig.node(idx) {
+            for k in kids {
+                fanout_lvls[k.node()].push((mig.level(idx) as usize).min(depth + 1));
+            }
+        }
+    }
+    for (_, o) in mig.outputs() {
+        fanout_lvls[o.node()].push(depth + 1);
+    }
+    for idx in 0..mig.len() {
+        if let MigNode::Maj(kids) = mig.node(idx) {
+            if !eligible(&kids, cases) {
+                continue;
+            }
+            let lvl = (mig.level(idx) as usize).min(depth + 1);
+            // Beneficial if the firing nodes jointly clear this level, or
+            // if every level receiving the complement is already tainted.
+            let clears = eligible_compl_at[lvl] == compl_at[lvl];
+            let fanouts_tainted = !fanout_lvls[idx].is_empty()
+                && fanout_lvls[idx].iter().all(|&l| compl_at[l] > 0);
+            allowed[idx] = clears || fanouts_tainted;
+        }
+    }
+    allowed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LevelProfile;
+    use rms_logic::bench_suite;
+    use rms_logic::sim::{check_equivalence, EquivResult};
+
+    fn assert_equiv(a: &Mig, b: &Mig, what: &str) {
+        let res = check_equivalence(&a.to_netlist(), &b.to_netlist());
+        assert!(res.holds(), "{what}: {res:?}");
+    }
+
+    fn bench_mig(name: &str) -> Mig {
+        Mig::from_netlist(&bench_suite::build(name).unwrap())
+    }
+
+    const SAMPLES: &[&str] = &[
+        "rd53_f2",
+        "exam3_d",
+        "newill_d",
+        "con1_f1",
+        "9sym_d",
+        "clip",
+        "sao2_f4",
+    ];
+
+    #[test]
+    fn eliminate_preserves_function() {
+        for name in SAMPLES {
+            let m = bench_mig(name);
+            let e = eliminate(&m);
+            assert_equiv(&m, &e, name);
+            assert!(e.num_gates() <= m.num_gates(), "{name} grew");
+        }
+    }
+
+    #[test]
+    fn eliminate_merges_shared_pair() {
+        // M(M(x,y,u), M(x,y,v), z) -> M(x, y, M(u,v,z)): 3 nodes -> 2.
+        let mut m = Mig::with_inputs("t", 5);
+        let (x, y, u, v, z) =
+            (m.input(0), m.input(1), m.input(2), m.input(3), m.input(4));
+        let a = m.maj(x, y, u);
+        let b = m.maj(x, y, v);
+        let top = m.maj(a, b, z);
+        m.add_output("f", top);
+        assert_eq!(m.num_gates(), 3);
+        let e = eliminate(&m);
+        assert_eq!(e.num_gates(), 2);
+        assert_equiv(&m, &e, "shared pair");
+    }
+
+    #[test]
+    fn reshape_preserves_function() {
+        for name in SAMPLES {
+            let m = bench_mig(name);
+            for deeper in [false, true] {
+                let r = reshape(&m, deeper);
+                assert_equiv(&m, &r, name);
+            }
+        }
+    }
+
+    #[test]
+    fn push_up_preserves_function_and_never_deepens() {
+        for name in SAMPLES {
+            let m = bench_mig(name);
+            let p = push_up(&m);
+            assert_equiv(&m, &p, name);
+            assert!(p.depth() <= m.depth(), "{name}: {} > {}", p.depth(), m.depth());
+        }
+    }
+
+    #[test]
+    fn push_up_reduces_chain_depth() {
+        // M(x, u, M(y, u, M(p, q, r))) has depth 3; Ω.A can reduce it to 2.
+        let mut m = Mig::with_inputs("t", 6);
+        let (x, u, y, p, q, r) = (
+            m.input(0),
+            m.input(1),
+            m.input(2),
+            m.input(3),
+            m.input(4),
+            m.input(5),
+        );
+        let deep = m.maj(p, q, r);
+        let mid = m.maj(y, u, deep);
+        let top = m.maj(x, u, mid);
+        m.add_output("f", top);
+        assert_eq!(m.depth(), 3);
+        let opt = push_up(&m);
+        assert_equiv(&m, &opt, "assoc chain");
+        assert_eq!(opt.depth(), 2, "expected the paper's example to flatten");
+    }
+
+    #[test]
+    fn relevance_preserves_function() {
+        for name in SAMPLES {
+            let m = bench_mig(name);
+            let r = relevance(&m);
+            assert_equiv(&m, &r, name);
+        }
+    }
+
+    #[test]
+    fn relevance_enables_simplification() {
+        // M(x, y, M(x, u, v)): replacing x by ȳ inside gives M(ȳ,u,v).
+        let mut m = Mig::with_inputs("t", 4);
+        let (x, y, u, v) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let z = m.maj(x, u, v);
+        let top = m.maj(x, y, z);
+        m.add_output("f", top);
+        let r = relevance(&m);
+        assert_equiv(&m, &r, "relevance direct");
+        // The inner node now contains ȳ instead of x.
+        let inner_kids = r
+            .maj_children(r.outputs()[0].1.node())
+            .and_then(|kids| {
+                kids.iter()
+                    .find_map(|k| r.children_through(*k))
+            })
+            .expect("inner node");
+        assert!(inner_kids.contains(&!r.input(1)), "{inner_kids:?}");
+    }
+
+    #[test]
+    fn inverter_propagation_case1_clears_level() {
+        let mut m = Mig::with_inputs("t", 3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g = m.maj(!a, !b, !c);
+        m.add_output("f", g);
+        let before = LevelProfile::of(&m);
+        assert_eq!(before.compl_per_level, vec![3, 0]);
+        let opt = inverter_propagation(&m, InverterCases::BASE, false);
+        assert_equiv(&m, &opt, "case 1");
+        let after = LevelProfile::of(&opt);
+        // Three ingoing complements traded for one complemented output.
+        assert_eq!(after.compl_per_level, vec![0, 1]);
+    }
+
+    #[test]
+    fn inverter_propagation_case2_uses_free_constant() {
+        // M(ā, b̄, 0) = M(a, b, 1)': complement lands on the constant (free).
+        let mut m = Mig::with_inputs("t", 2);
+        let (a, b) = (m.input(0), m.input(1));
+        let g = m.maj(!a, !b, MigSignal::FALSE);
+        m.add_output("f", g);
+        assert_eq!(LevelProfile::of(&m).total_complemented(), 2);
+        let base_only = inverter_propagation(&m, InverterCases::BASE, false);
+        assert_eq!(
+            LevelProfile::of(&base_only).total_complemented(),
+            2,
+            "case 2 must not fire under BASE"
+        );
+        let opt = inverter_propagation(&m, InverterCases::ALL, false);
+        assert_equiv(&m, &opt, "case 2");
+        // Two ingoing complements traded for one complemented output.
+        assert_eq!(LevelProfile::of(&opt).compl_per_level, vec![0, 1]);
+    }
+
+    #[test]
+    fn inverter_propagation_case3_nets_one() {
+        let mut m = Mig::with_inputs("t", 3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g = m.maj(!a, !b, c);
+        m.add_output("f", g);
+        let opt = inverter_propagation(&m, InverterCases::ALL, false);
+        assert_equiv(&m, &opt, "case 3");
+        let p = LevelProfile::of(&opt);
+        assert_eq!(p.compl_per_level, vec![1, 1]);
+    }
+
+    #[test]
+    fn inverter_propagation_on_benchmarks() {
+        for name in SAMPLES {
+            let m = bench_mig(name);
+            for cases in [InverterCases::BASE, InverterCases::ALL] {
+                let opt = inverter_propagation(&m, cases, false);
+                assert_equiv(&m, &opt, name);
+            }
+        }
+    }
+
+    #[test]
+    fn passes_compose() {
+        for name in ["rd53_f2", "exam3_d", "sao2_f3"] {
+            let m = bench_mig(name);
+            let o = eliminate(&m);
+            let o = push_up(&o);
+            let o = inverter_propagation(&o, InverterCases::ALL, false);
+            let o = reshape(&o, false);
+            let o = relevance(&o);
+            let o = eliminate(&o);
+            assert_equiv(&m, &o, name);
+        }
+    }
+}

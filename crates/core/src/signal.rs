@@ -1,0 +1,144 @@
+//! Edges of the majority-inverter graph.
+
+use std::fmt;
+
+/// A reference to an MIG node with a complement attribute.
+///
+/// Complemented edges are the "inverter" half of the majority-inverter
+/// graph: negation is never a node, only an attribute of an edge. The low
+/// bit of the packed representation is the complement flag, so a signal and
+/// its complement are adjacent integers (which the structural-hashing
+/// normalization relies on).
+///
+/// # Example
+///
+/// ```
+/// use rms_core::MigSignal;
+///
+/// let s = MigSignal::new(3, false);
+/// assert_eq!(s.node(), 3);
+/// assert!((!s).is_complemented());
+/// assert_eq!(!!s, s);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MigSignal(u32);
+
+impl MigSignal {
+    /// The constant-false signal (node 0, uncomplemented).
+    pub const FALSE: MigSignal = MigSignal(0);
+    /// The constant-true signal (node 0, complemented).
+    pub const TRUE: MigSignal = MigSignal(1);
+
+    /// Creates a signal to `node`, complemented iff `complement`.
+    pub fn new(node: usize, complement: bool) -> Self {
+        MigSignal(((node as u32) << 1) | complement as u32)
+    }
+
+    /// Index of the referenced node.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the edge carries a complement attribute.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the two constant signals.
+    pub fn is_constant(self) -> bool {
+        self.node() == 0
+    }
+
+    /// The same signal without a complement attribute.
+    #[must_use]
+    pub fn regular(self) -> Self {
+        MigSignal(self.0 & !1)
+    }
+
+    /// This signal complemented iff `c` (conditional complement).
+    #[must_use]
+    pub fn complement_if(self, c: bool) -> Self {
+        MigSignal(self.0 ^ c as u32)
+    }
+
+    /// The raw packed value (node index shifted left, complement in bit 0).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::Not for MigSignal {
+    type Output = MigSignal;
+    fn not(self) -> MigSignal {
+        MigSignal(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for MigSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == MigSignal::FALSE {
+            return write!(f, "0");
+        }
+        if *self == MigSignal::TRUE {
+            return write!(f, "1");
+        }
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trip() {
+        for node in [0usize, 1, 2, 1000] {
+            for c in [false, true] {
+                let s = MigSignal::new(node, c);
+                assert_eq!(s.node(), node);
+                assert_eq!(s.is_complemented(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        let s = MigSignal::new(7, false);
+        assert_eq!(!!s, s);
+        assert_ne!(!s, s);
+        assert_eq!((!s).node(), 7);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(!MigSignal::FALSE, MigSignal::TRUE);
+        assert!(MigSignal::FALSE.is_constant());
+        assert!(MigSignal::TRUE.is_constant());
+        assert!(!MigSignal::new(1, false).is_constant());
+    }
+
+    #[test]
+    fn ordering_groups_complement_pairs() {
+        // A signal and its complement are adjacent when sorted, which the
+        // node constructor's simplification checks rely on.
+        let mut v = [
+            MigSignal::new(2, true),
+            MigSignal::new(1, false),
+            MigSignal::new(2, false),
+        ];
+        v.sort();
+        assert_eq!(v[1].node(), v[2].node());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MigSignal::FALSE.to_string(), "0");
+        assert_eq!(MigSignal::TRUE.to_string(), "1");
+        assert_eq!(MigSignal::new(4, true).to_string(), "!n4");
+        assert_eq!(MigSignal::new(4, false).to_string(), "n4");
+    }
+}

@@ -1,0 +1,524 @@
+//! Reader and writer for the Berkeley Logic Interchange Format (BLIF).
+//!
+//! The LGsynth91 and ISCAS89 benchmark suites the paper evaluates on are
+//! distributed as BLIF; this module lets users of the library run the exact
+//! original circuits when they have the files. Only the combinational
+//! subset is supported: `.model`, `.inputs`, `.outputs`, `.names` (SOP
+//! covers), and `.end`. Latches and hierarchy are rejected.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_logic::blif;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "\
+//! .model mux
+//! .inputs s a b
+//! .outputs o
+//! .names s a b o
+//! 11- 1
+//! 0-1 1
+//! .end
+//! ";
+//! let nl = blif::parse(src)?;
+//! assert_eq!(nl.num_inputs(), 3);
+//! assert!(nl.evaluate(0b011)[0]); // s=1,a=1 -> 1
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::ParseCircuitError;
+use crate::netlist::{Netlist, NetlistBuilder, Wire};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// One `.names` statement: a sum-of-products cover.
+#[derive(Debug, Clone)]
+struct Cover {
+    inputs: Vec<String>,
+    output: String,
+    /// Cube rows: (input plane chars, output value)
+    cubes: Vec<(Vec<u8>, bool)>,
+    line: usize,
+}
+
+/// Parses a BLIF document into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseCircuitError`] on syntax errors, unsupported constructs
+/// (latches, subcircuits), undefined signals, or combinational cycles.
+pub fn parse(src: &str) -> Result<Netlist, ParseCircuitError> {
+    let mut model = String::from("top");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut covers: Vec<Cover> = Vec::new();
+
+    // Join continuation lines ending in '\'.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let without_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let trimmed = without_comment.trim_end();
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            if pending.is_empty() {
+                pending_line = line_no;
+            }
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        if pending.is_empty() {
+            logical_lines.push((line_no, trimmed.to_string()));
+        } else {
+            pending.push_str(trimmed);
+            logical_lines.push((pending_line, std::mem::take(&mut pending)));
+        }
+    }
+
+    let mut i = 0usize;
+    while i < logical_lines.len() {
+        let (line_no, line) = &logical_lines[i];
+        let line_no = *line_no;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        i += 1;
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens[0] {
+            ".model" => {
+                if let Some(name) = tokens.get(1) {
+                    model = (*name).to_string();
+                }
+            }
+            ".inputs" => inputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+            ".outputs" => outputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+            ".names" => {
+                if tokens.len() < 2 {
+                    return Err(ParseCircuitError::at_line(line_no, ".names needs a signal"));
+                }
+                let output = tokens[tokens.len() - 1].to_string();
+                let fanins: Vec<String> =
+                    tokens[1..tokens.len() - 1].iter().map(|s| s.to_string()).collect();
+                let mut cubes = Vec::new();
+                while i < logical_lines.len() {
+                    let (cl, cline) = &logical_lines[i];
+                    let ctoks: Vec<&str> = cline.split_whitespace().collect();
+                    if ctoks.is_empty() {
+                        i += 1;
+                        continue;
+                    }
+                    if ctoks[0].starts_with('.') {
+                        break;
+                    }
+                    i += 1;
+                    let (plane, value) = if fanins.is_empty() {
+                        if ctoks.len() != 1 {
+                            return Err(ParseCircuitError::at_line(*cl, "bad constant cover"));
+                        }
+                        (Vec::new(), ctoks[0])
+                    } else {
+                        if ctoks.len() != 2 {
+                            return Err(ParseCircuitError::at_line(
+                                *cl,
+                                format!("expected `<cube> <value>`, found {cline:?}"),
+                            ));
+                        }
+                        if ctoks[0].len() != fanins.len() {
+                            return Err(ParseCircuitError::at_line(
+                                *cl,
+                                format!(
+                                    "cube width {} does not match fanin count {}",
+                                    ctoks[0].len(),
+                                    fanins.len()
+                                ),
+                            ));
+                        }
+                        (ctoks[0].bytes().collect(), ctoks[1])
+                    };
+                    let value = match value {
+                        "1" => true,
+                        "0" => false,
+                        other => {
+                            return Err(ParseCircuitError::at_line(
+                                *cl,
+                                format!("output plane must be 0 or 1, found {other:?}"),
+                            ))
+                        }
+                    };
+                    for &b in &plane {
+                        if b != b'0' && b != b'1' && b != b'-' {
+                            return Err(ParseCircuitError::at_line(
+                                *cl,
+                                format!("invalid cube character {:?}", b as char),
+                            ));
+                        }
+                    }
+                    cubes.push((plane, value));
+                }
+                covers.push(Cover {
+                    inputs: fanins,
+                    output,
+                    cubes,
+                    line: line_no,
+                });
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+                return Err(ParseCircuitError::at_line(
+                    line_no,
+                    format!("unsupported construct {}", tokens[0]),
+                ))
+            }
+            ".exdc" => break, // ignore external don't-care networks
+            other if other.starts_with('.') => {
+                // Unknown dot-directives (e.g. .default_input_arrival) are ignored.
+            }
+            other => {
+                return Err(ParseCircuitError::at_line(
+                    line_no,
+                    format!("stray token {other:?} outside a cover"),
+                ))
+            }
+        }
+    }
+
+    if inputs.is_empty() {
+        return Err(ParseCircuitError::new("no .inputs declared"));
+    }
+    if outputs.is_empty() {
+        return Err(ParseCircuitError::new("no .outputs declared"));
+    }
+
+    // Map signal -> cover index, detect duplicates.
+    let mut producer: BTreeMap<&str, usize> = BTreeMap::new();
+    for (ci, c) in covers.iter().enumerate() {
+        if producer.insert(c.output.as_str(), ci).is_some() {
+            return Err(ParseCircuitError::at_line(
+                c.line,
+                format!("signal {:?} defined twice", c.output),
+            ));
+        }
+    }
+
+    let mut b = NetlistBuilder::new(model);
+    let mut wires: BTreeMap<String, Wire> = BTreeMap::new();
+    for name in &inputs {
+        let w = b.input(name.clone());
+        wires.insert(name.clone(), w);
+    }
+
+    // Topological elaboration with cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; covers.len()];
+
+    fn elaborate(
+        ci: usize,
+        covers: &[Cover],
+        producer: &BTreeMap<&str, usize>,
+        marks: &mut Vec<Mark>,
+        b: &mut NetlistBuilder,
+        wires: &mut BTreeMap<String, Wire>,
+    ) -> Result<Wire, ParseCircuitError> {
+        if let Some(&w) = wires.get(&covers[ci].output) {
+            return Ok(w);
+        }
+        if marks[ci] == Mark::Grey {
+            return Err(ParseCircuitError::at_line(
+                covers[ci].line,
+                format!("combinational cycle through {:?}", covers[ci].output),
+            ));
+        }
+        marks[ci] = Mark::Grey;
+        let mut fanin_wires = Vec::with_capacity(covers[ci].inputs.len());
+        for name in covers[ci].inputs.clone() {
+            let w = if let Some(&w) = wires.get(&name) {
+                w
+            } else if let Some(&pi) = producer.get(name.as_str()) {
+                elaborate(pi, covers, producer, marks, b, wires)?
+            } else {
+                return Err(ParseCircuitError::at_line(
+                    covers[ci].line,
+                    format!("undefined signal {name:?}"),
+                ));
+            };
+            fanin_wires.push(w);
+        }
+        let w = build_cover(&covers[ci], &fanin_wires, b)?;
+        marks[ci] = Mark::Black;
+        wires.insert(covers[ci].output.clone(), w);
+        Ok(w)
+    }
+
+    for name in &outputs {
+        if wires.contains_key(name) {
+            continue;
+        }
+        let &ci = producer.get(name.as_str()).ok_or_else(|| {
+            ParseCircuitError::new(format!("output {name:?} has no driver"))
+        })?;
+        elaborate(ci, &covers, &producer, &mut marks, &mut b, &mut wires)?;
+    }
+
+    // Elaborate remaining (dangling) covers too, so round-trips preserve them?
+    // No: dead logic is dropped, which matches what synthesis tools do.
+
+    for name in &outputs {
+        let w = wires[name];
+        b.output(name.clone(), w);
+    }
+    Ok(b.build())
+}
+
+/// Builds the gate network for one SOP cover.
+fn build_cover(
+    cover: &Cover,
+    fanins: &[Wire],
+    b: &mut NetlistBuilder,
+) -> Result<Wire, ParseCircuitError> {
+    if cover.cubes.is_empty() {
+        // Empty cover is constant 0 by convention.
+        return Ok(b.const0());
+    }
+    let on_value = cover.cubes[0].1;
+    if cover.cubes.iter().any(|(_, v)| *v != on_value) {
+        return Err(ParseCircuitError::at_line(
+            cover.line,
+            "mixed 0/1 output plane in one cover",
+        ));
+    }
+    let mut terms: Vec<Wire> = Vec::new();
+    for (plane, _) in &cover.cubes {
+        let mut lits: Vec<Wire> = Vec::new();
+        for (k, &ch) in plane.iter().enumerate() {
+            match ch {
+                b'1' => lits.push(fanins[k]),
+                b'0' => lits.push(fanins[k].complement()),
+                _ => {}
+            }
+        }
+        let term = match lits.len() {
+            0 => b.const1(),
+            _ => {
+                let mut acc = lits[0];
+                for &l in &lits[1..] {
+                    acc = b.and(acc, l);
+                }
+                acc
+            }
+        };
+        terms.push(term);
+    }
+    let mut acc = terms[0];
+    for &t in &terms[1..] {
+        acc = b.or(acc, t);
+    }
+    // An all-0 output plane describes the OFF-set.
+    Ok(if on_value { acc } else { acc.complement() })
+}
+
+/// Serializes a netlist to BLIF.
+///
+/// Gates are emitted as two/three-input `.names` covers; complement marks
+/// become explicit rows.
+pub fn write(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", nl.name());
+    let _ = writeln!(out, ".inputs {}", nl.input_names().join(" "));
+    let names: Vec<String> = nl.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let _ = writeln!(out, ".outputs {}", names.join(" "));
+
+    let sig = |w: Wire, nl: &Netlist| -> String {
+        let node = w.node();
+        if node == 0 {
+            // Constant node; referenced via helper signals emitted below.
+            if w.is_complemented() {
+                "__const1".into()
+            } else {
+                "__const0".into()
+            }
+        } else if node <= nl.num_inputs() {
+            let name = &nl.input_names()[node - 1];
+            if w.is_complemented() {
+                format!("__not_{name}")
+            } else {
+                name.clone()
+            }
+        } else if w.is_complemented() {
+            format!("__not_n{node}")
+        } else {
+            format!("n{node}")
+        }
+    };
+
+    // Track which complement helpers and constants we must define.
+    let mut need: BTreeSet<String> = BTreeSet::new();
+    let used_wire = |w: Wire, need: &mut BTreeSet<String>, nl: &Netlist| {
+        let s = sig(w, nl);
+        if s.starts_with("__") {
+            need.insert(s.clone());
+        }
+        s
+    };
+
+    let mut body = String::new();
+    for (idx, gate) in nl.gates() {
+        let ins: Vec<String> = gate
+            .fanins
+            .iter()
+            .map(|&w| used_wire(w, &mut need, nl))
+            .collect();
+        let _ = writeln!(body, ".names {} n{idx}", ins.join(" "));
+        use crate::netlist::GateKind::*;
+        match gate.kind {
+            And => {
+                let _ = writeln!(body, "11 1");
+            }
+            Or => {
+                let _ = writeln!(body, "1- 1\n-1 1");
+            }
+            Xor => {
+                let _ = writeln!(body, "10 1\n01 1");
+            }
+            Maj => {
+                let _ = writeln!(body, "11- 1\n1-1 1\n-11 1");
+            }
+            Mux => {
+                let _ = writeln!(body, "11- 1\n0-1 1");
+            }
+        }
+    }
+    // Output aliases.
+    for (name, w) in nl.outputs() {
+        let s = used_wire(*w, &mut need, nl);
+        if s != *name {
+            let _ = writeln!(body, ".names {s} {name}\n1 1");
+        }
+    }
+    // Helper definitions.
+    for h in &need {
+        if h == "__const0" {
+            let _ = writeln!(out, ".names __const0");
+        } else if h == "__const1" {
+            let _ = writeln!(out, ".names __const1\n1");
+        } else if let Some(base) = h.strip_prefix("__not_") {
+            let _ = writeln!(out, ".names {base} {h}\n0 1");
+        }
+    }
+    out.push_str(&body);
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::sim::{check_equivalence, EquivResult};
+
+    #[test]
+    fn parse_simple_and() {
+        let nl = parse(".model t\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n").unwrap();
+        assert_eq!(nl.evaluate(0b11), vec![true]);
+        assert_eq!(nl.evaluate(0b01), vec![false]);
+    }
+
+    #[test]
+    fn parse_offset_cover() {
+        // All-zero plane: o is 0 exactly on cube 11 -> NAND.
+        let nl = parse(".model t\n.inputs a b\n.outputs o\n.names a b o\n11 0\n.end\n").unwrap();
+        assert_eq!(nl.evaluate(0b11), vec![false]);
+        assert_eq!(nl.evaluate(0b00), vec![true]);
+    }
+
+    #[test]
+    fn parse_constants() {
+        let nl = parse(
+            ".model t\n.inputs a\n.outputs z one\n.names z\n.names one\n1\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(nl.evaluate(0), vec![false, true]);
+    }
+
+    #[test]
+    fn parse_out_of_order_definitions() {
+        let src = "\
+.model t
+.inputs a b
+.outputs o
+.names mid o
+0 1
+.names a b mid
+11 1
+.end
+";
+        let nl = parse(src).unwrap();
+        // o = !(a & b)
+        assert_eq!(nl.evaluate(0b11), vec![false]);
+        assert_eq!(nl.evaluate(0b10), vec![true]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let src = "\
+.model t
+.inputs a
+.outputs o
+.names a o x
+11 1
+.names a x o
+11 1
+.end
+";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn rejects_latch() {
+        let err = parse(".model t\n.inputs a\n.outputs o\n.latch a o re clk 0\n.end\n").unwrap_err();
+        assert!(err.to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn undefined_signal() {
+        let err =
+            parse(".model t\n.inputs a\n.outputs o\n.names a ghost o\n11 1\n.end\n").unwrap_err();
+        assert!(err.to_string().contains("undefined"));
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let mut b = NetlistBuilder::new("rt");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let m = b.maj(x, b.not(y), z);
+        let s = b.xor(m, x);
+        let mx = b.mux(z, s, b.not(m));
+        b.output("f", mx);
+        b.output("g", b.not(s));
+        let nl = b.build();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        assert_eq!(check_equivalence(&nl, &back), EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model t\n.inputs a \\\nb\n.outputs o\n.names a b o\n11 1\n.end\n";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types shared across the parsing and I/O modules.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a circuit description (expression, BLIF, or
+/// PLA) fails.
+///
+/// # Example
+///
+/// ```
+/// use rms_logic::expr::Expr;
+///
+/// let err = Expr::parse("a &").unwrap_err();
+/// assert!(err.to_string().contains("unexpected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCircuitError {
+    /// 1-based line of the offending input (0 when not line-oriented).
+    pub line: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseCircuitError {
+    /// Creates an error not tied to a particular line.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseCircuitError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error for the 1-based `line`.
+    pub fn at_line(line: usize, message: impl Into<String>) -> Self {
+        ParseCircuitError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseCircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(ParseCircuitError::new("bad token").to_string(), "bad token");
+        assert_eq!(
+            ParseCircuitError::at_line(7, "bad cover").to_string(),
+            "line 7: bad cover"
+        );
+    }
+}

@@ -1,0 +1,504 @@
+//! A small Boolean expression language.
+//!
+//! Expressions are convenient for tests, examples, and documentation: they
+//! parse from a familiar infix syntax and can be lowered to truth tables or
+//! netlists.
+//!
+//! # Grammar
+//!
+//! ```text
+//! expr    := xor ( '|' xor )*
+//! xor     := and ( '^' and )*
+//! and     := unary ( '&' unary )*
+//! unary   := '!' unary | atom
+//! atom    := '0' | '1' | ident | call | '(' expr ')'
+//! call    := ('maj' | 'mux') '(' expr ',' expr ',' expr ')'
+//! ident   := [A-Za-z_][A-Za-z0-9_]*        (not 'maj'/'mux')
+//! ```
+//!
+//! `maj(a,b,c)` is three-input majority; `mux(s,t,e)` is if-then-else.
+//! Variables are indexed in order of first appearance.
+
+use crate::error::ParseCircuitError;
+use crate::tt::{TruthTable, MAX_VARS};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed Boolean expression.
+///
+/// # Example
+///
+/// ```
+/// use rms_logic::expr::Expr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let e = Expr::parse("mux(s, a, b)")?;
+/// assert_eq!(e.variables(), &["s", "a", "b"]);
+/// let tt = e.to_truth_table()?;
+/// assert!(tt.bit(0b011)); // s=1, a=1, b=0 -> a
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    node: ExprNode,
+    /// Variable names in index order.
+    vars: Vec<String>,
+}
+
+/// Expression tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprNode {
+    /// Constant false / true.
+    Const(bool),
+    /// Variable by index into [`Expr::variables`].
+    Var(usize),
+    /// Negation.
+    Not(Box<ExprNode>),
+    /// Conjunction.
+    And(Box<ExprNode>, Box<ExprNode>),
+    /// Disjunction.
+    Or(Box<ExprNode>, Box<ExprNode>),
+    /// Exclusive or.
+    Xor(Box<ExprNode>, Box<ExprNode>),
+    /// Three-input majority.
+    Maj(Box<ExprNode>, Box<ExprNode>, Box<ExprNode>),
+    /// If-then-else (selector, then, else).
+    Mux(Box<ExprNode>, Box<ExprNode>, Box<ExprNode>),
+}
+
+impl Expr {
+    /// Parses an expression from its textual form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCircuitError`] on malformed input.
+    pub fn parse(input: &str) -> Result<Self, ParseCircuitError> {
+        let tokens = tokenize(input)?;
+        let mut p = Parser {
+            tokens: &tokens,
+            pos: 0,
+            vars: Vec::new(),
+            index: BTreeMap::new(),
+        };
+        let node = p.expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(ParseCircuitError::new(format!(
+                "unexpected trailing token {:?}",
+                p.tokens[p.pos]
+            )));
+        }
+        Ok(Expr { node, vars: p.vars })
+    }
+
+    /// The variable names, in index order (order of first appearance).
+    pub fn variables(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The root of the expression tree.
+    pub fn root(&self) -> &ExprNode {
+        &self.node
+    }
+
+    /// Evaluates the expression under an assignment (`assignment[i]` is the
+    /// value of variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the variable count.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.vars.len());
+        eval_node(&self.node, assignment)
+    }
+
+    /// Lowers the expression to a [`TruthTable`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the expression has more than [`MAX_VARS`] variables.
+    pub fn to_truth_table(&self) -> Result<TruthTable, ParseCircuitError> {
+        let n = self.vars.len();
+        if n > MAX_VARS {
+            return Err(ParseCircuitError::new(format!(
+                "expression has {n} variables, truth tables support at most {MAX_VARS}"
+            )));
+        }
+        Ok(tt_node(&self.node, n))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(node: &ExprNode, vars: &[String], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match node {
+                ExprNode::Const(false) => write!(f, "0"),
+                ExprNode::Const(true) => write!(f, "1"),
+                ExprNode::Var(i) => write!(f, "{}", vars[*i]),
+                ExprNode::Not(a) => {
+                    write!(f, "!")?;
+                    go_paren(a, vars, f)
+                }
+                ExprNode::And(a, b) => {
+                    go_paren(a, vars, f)?;
+                    write!(f, " & ")?;
+                    go_paren(b, vars, f)
+                }
+                ExprNode::Or(a, b) => {
+                    go_paren(a, vars, f)?;
+                    write!(f, " | ")?;
+                    go_paren(b, vars, f)
+                }
+                ExprNode::Xor(a, b) => {
+                    go_paren(a, vars, f)?;
+                    write!(f, " ^ ")?;
+                    go_paren(b, vars, f)
+                }
+                ExprNode::Maj(a, b, c) => {
+                    write!(f, "maj(")?;
+                    go(a, vars, f)?;
+                    write!(f, ", ")?;
+                    go(b, vars, f)?;
+                    write!(f, ", ")?;
+                    go(c, vars, f)?;
+                    write!(f, ")")
+                }
+                ExprNode::Mux(s, t, e) => {
+                    write!(f, "mux(")?;
+                    go(s, vars, f)?;
+                    write!(f, ", ")?;
+                    go(t, vars, f)?;
+                    write!(f, ", ")?;
+                    go(e, vars, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        fn go_paren(node: &ExprNode, vars: &[String], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match node {
+                ExprNode::Const(_) | ExprNode::Var(_) | ExprNode::Maj(..) | ExprNode::Mux(..) => {
+                    go(node, vars, f)
+                }
+                _ => {
+                    write!(f, "(")?;
+                    go(node, vars, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        go(&self.node, &self.vars, f)
+    }
+}
+
+fn eval_node(node: &ExprNode, a: &[bool]) -> bool {
+    match node {
+        ExprNode::Const(v) => *v,
+        ExprNode::Var(i) => a[*i],
+        ExprNode::Not(x) => !eval_node(x, a),
+        ExprNode::And(x, y) => eval_node(x, a) && eval_node(y, a),
+        ExprNode::Or(x, y) => eval_node(x, a) || eval_node(y, a),
+        ExprNode::Xor(x, y) => eval_node(x, a) ^ eval_node(y, a),
+        ExprNode::Maj(x, y, z) => {
+            let (x, y, z) = (eval_node(x, a), eval_node(y, a), eval_node(z, a));
+            (x && y) || (x && z) || (y && z)
+        }
+        ExprNode::Mux(s, t, e) => {
+            if eval_node(s, a) {
+                eval_node(t, a)
+            } else {
+                eval_node(e, a)
+            }
+        }
+    }
+}
+
+fn tt_node(node: &ExprNode, n: usize) -> TruthTable {
+    match node {
+        ExprNode::Const(false) => TruthTable::zero(n),
+        ExprNode::Const(true) => TruthTable::one(n),
+        ExprNode::Var(i) => TruthTable::var(n, *i),
+        ExprNode::Not(x) => !&tt_node(x, n),
+        ExprNode::And(x, y) => &tt_node(x, n) & &tt_node(y, n),
+        ExprNode::Or(x, y) => &tt_node(x, n) | &tt_node(y, n),
+        ExprNode::Xor(x, y) => &tt_node(x, n) ^ &tt_node(y, n),
+        ExprNode::Maj(x, y, z) => TruthTable::maj(&tt_node(x, n), &tt_node(y, n), &tt_node(z, n)),
+        ExprNode::Mux(s, t, e) => TruthTable::ite(&tt_node(s, n), &tt_node(t, n), &tt_node(e, n)),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Const(bool),
+    Not,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseCircuitError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '!' | '~' => {
+                chars.next();
+                out.push(Token::Not);
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                }
+                out.push(Token::And);
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                }
+                out.push(Token::Or);
+            }
+            '^' => {
+                chars.next();
+                out.push(Token::Xor);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '0' => {
+                chars.next();
+                out.push(Token::Const(false));
+            }
+            '1' => {
+                chars.next();
+                out.push(Token::Const(true));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => {
+                return Err(ParseCircuitError::new(format!(
+                    "unexpected character {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    vars: Vec<String>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseCircuitError> {
+        match self.bump() {
+            Some(got) if *got == t => Ok(()),
+            Some(got) => Err(ParseCircuitError::new(format!(
+                "expected {t:?}, found {got:?}"
+            ))),
+            None => Err(ParseCircuitError::new(format!(
+                "expected {t:?}, found end of input (unexpected end)"
+            ))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<ExprNode, ParseCircuitError> {
+        let mut lhs = self.xor()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let rhs = self.xor()?;
+            lhs = ExprNode::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn xor(&mut self) -> Result<ExprNode, ParseCircuitError> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(&Token::Xor) {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = ExprNode::Xor(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<ExprNode, ParseCircuitError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = ExprNode::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<ExprNode, ParseCircuitError> {
+        if self.peek() == Some(&Token::Not) {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(ExprNode::Not(Box::new(inner)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<ExprNode, ParseCircuitError> {
+        match self.bump().cloned() {
+            Some(Token::Const(v)) => Ok(ExprNode::Const(v)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) if name == "maj" || name == "mux" => {
+                self.expect(Token::LParen)?;
+                let a = self.expr()?;
+                self.expect(Token::Comma)?;
+                let b = self.expr()?;
+                self.expect(Token::Comma)?;
+                let c = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(if name == "maj" {
+                    ExprNode::Maj(Box::new(a), Box::new(b), Box::new(c))
+                } else {
+                    ExprNode::Mux(Box::new(a), Box::new(b), Box::new(c))
+                })
+            }
+            Some(Token::Ident(name)) => {
+                let next = self.vars.len();
+                let idx = *self.index.entry(name.clone()).or_insert_with(|| {
+                    self.vars.push(name.clone());
+                    next
+                });
+                Ok(ExprNode::Var(idx))
+            }
+            Some(t) => Err(ParseCircuitError::new(format!("unexpected token {t:?}"))),
+            None => Err(ParseCircuitError::new("unexpected end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let e = Expr::parse("a & b | !c").unwrap();
+        assert_eq!(e.variables(), &["a", "b", "c"]);
+        assert!(e.eval(&[true, true, true]));
+        assert!(e.eval(&[false, false, false]));
+        assert!(!e.eval(&[true, false, true]));
+    }
+
+    #[test]
+    fn precedence_and_over_xor_over_or() {
+        // a | b ^ c & d == a | (b ^ (c & d))
+        let e = Expr::parse("a | b ^ c & d").unwrap();
+        for m in 0..16u32 {
+            let a = m & 1 == 1;
+            let b = m & 2 != 0;
+            let c = m & 4 != 0;
+            let d = m & 8 != 0;
+            assert_eq!(e.eval(&[a, b, c, d]), a | (b ^ (c & d)));
+        }
+    }
+
+    #[test]
+    fn maj_and_mux_calls() {
+        let m = Expr::parse("maj(x, y, z)").unwrap();
+        let tt = m.to_truth_table().unwrap();
+        for i in 0..8u64 {
+            assert_eq!(tt.bit(i), i.count_ones() >= 2);
+        }
+        let x = Expr::parse("mux(s, t, e)").unwrap();
+        assert!(x.eval(&[true, true, false]));
+        assert!(!x.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn constants_and_double_negation() {
+        let e = Expr::parse("!!1 & !0").unwrap();
+        assert!(e.eval(&[]));
+        assert!(e.variables().is_empty());
+    }
+
+    #[test]
+    fn c_style_operators() {
+        let e = Expr::parse("a && b || ~c").unwrap();
+        assert!(e.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in ["a & b | !c", "maj(a, !b, c ^ d)", "mux(s, a, b)"] {
+            let e = Expr::parse(src).unwrap();
+            let printed = e.to_string();
+            let e2 = Expr::parse(&printed).unwrap();
+            assert_eq!(
+                e.to_truth_table().unwrap(),
+                e2.to_truth_table().unwrap(),
+                "source {src:?} printed {printed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Expr::parse("a &").is_err());
+        assert!(Expr::parse("maj(a, b)").is_err());
+        assert!(Expr::parse("a @ b").is_err());
+        assert!(Expr::parse("(a").is_err());
+        assert!(Expr::parse("a b").is_err());
+    }
+
+    #[test]
+    fn truth_table_matches_eval() {
+        let e = Expr::parse("maj(a, b, c) ^ mux(a, c, b)").unwrap();
+        let tt = e.to_truth_table().unwrap();
+        for m in 0..8u64 {
+            let bits = [m & 1 == 1, m & 2 != 0, m & 4 != 0];
+            assert_eq!(tt.bit(m), e.eval(&bits), "minterm {m}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Boolean-function substrate for the RRAM/MIG synthesis reproduction.
+//!
+//! This crate provides everything the synthesis engines need to talk about
+//! Boolean functions independently of any particular graph representation:
+//!
+//! - [`tt::TruthTable`]: bit-parallel truth tables (the ground truth for
+//!   every equivalence check in the workspace),
+//! - [`expr`]: a small Boolean expression language and parser,
+//! - [`netlist`]: a multi-output gate-level intermediate representation,
+//! - [`blif`] and [`pla`]: readers/writers for the interchange formats the
+//!   original benchmark suites (ISCAS89 / LGsynth91) are distributed in,
+//! - [`sim`]: bit-parallel simulation and equivalence checking,
+//! - [`bench_suite`]: the embedded benchmark circuits used by the
+//!   evaluation harness, and
+//! - [`paper_data`]: the numbers reported in the paper's Tables II and III
+//!   so experiments can print paper-vs-measured comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_logic::expr::Expr;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let e = Expr::parse("maj(a, b, c) ^ !a")?;
+//! let tt = e.to_truth_table()?;
+//! assert_eq!(tt.num_vars(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bench_suite;
+pub mod blif;
+pub mod error;
+pub mod expr;
+pub mod netlist;
+pub mod paper_data;
+pub mod pla;
+pub mod rng;
+pub mod sim;
+pub mod synth;
+pub mod tt;
+pub mod verilog;
+
+pub use error::ParseCircuitError;
+pub use netlist::{Gate, GateKind, Netlist, NetlistBuilder, Wire};
+pub use tt::TruthTable;

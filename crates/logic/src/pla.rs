@@ -1,0 +1,306 @@
+//! Reader and writer for the Espresso PLA format.
+//!
+//! Many of the small LGsynth91 functions the paper's Table III uses
+//! (`rd53`, `9sym`, `con1`, ...) are distributed as two-level PLA files.
+//! This module parses the common subset: `.i`, `.o`, `.ilb`, `.ob`, `.p`,
+//! cube rows, and `.e`.
+//!
+//! In the input plane, `0`/`1` are literals and `-` is a don't care. In the
+//! output plane, `1` adds the cube to that output's ON-set; `0`, `-` and
+//! `~` leave the output untouched (type *fd* semantics, the Espresso
+//! default).
+//!
+//! # Example
+//!
+//! ```
+//! use rms_logic::pla;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "\
+//! .i 2
+//! .o 1
+//! .p 2
+//! 10 1
+//! 01 1
+//! .e
+//! ";
+//! let nl = pla::parse(src)?;
+//! assert!(nl.evaluate(0b01)[0]); // XOR
+//! assert!(!nl.evaluate(0b11)[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::ParseCircuitError;
+use crate::netlist::{Netlist, NetlistBuilder, Wire};
+use std::fmt::Write as _;
+
+/// Parses a PLA document into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseCircuitError`] on malformed input or inconsistent plane
+/// widths.
+pub fn parse(src: &str) -> Result<Netlist, ParseCircuitError> {
+    let mut num_inputs: Option<usize> = None;
+    let mut num_outputs: Option<usize> = None;
+    let mut input_names: Option<Vec<String>> = None;
+    let mut output_names: Option<Vec<String>> = None;
+    let mut cubes: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find('#') {
+            Some(p) => raw[..p].trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            ".i" => {
+                num_inputs = Some(tokens.get(1).and_then(|t| t.parse().ok()).ok_or_else(
+                    || ParseCircuitError::at_line(line_no, "bad .i count"),
+                )?)
+            }
+            ".o" => {
+                num_outputs = Some(tokens.get(1).and_then(|t| t.parse().ok()).ok_or_else(
+                    || ParseCircuitError::at_line(line_no, "bad .o count"),
+                )?)
+            }
+            ".ilb" => input_names = Some(tokens[1..].iter().map(|s| s.to_string()).collect()),
+            ".ob" => output_names = Some(tokens[1..].iter().map(|s| s.to_string()).collect()),
+            ".p" | ".type" | ".phase" | ".pair" | ".symbolic" => { /* informational */ }
+            ".e" | ".end" => break,
+            t if t.starts_with('.') => {
+                return Err(ParseCircuitError::at_line(
+                    line_no,
+                    format!("unsupported directive {t}"),
+                ))
+            }
+            _ => {
+                let (ni, no) = match (num_inputs, num_outputs) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => {
+                        return Err(ParseCircuitError::at_line(
+                            line_no,
+                            "cube before .i/.o declarations",
+                        ))
+                    }
+                };
+                let (ip, op) = if tokens.len() == 2 {
+                    (tokens[0], tokens[1])
+                } else if tokens.len() == 1 && tokens[0].len() == ni + no {
+                    (&tokens[0][..ni], &tokens[0][ni..])
+                } else {
+                    return Err(ParseCircuitError::at_line(
+                        line_no,
+                        format!("expected `<inputs> <outputs>` cube, found {line:?}"),
+                    ));
+                };
+                if ip.len() != ni || op.len() != no {
+                    return Err(ParseCircuitError::at_line(
+                        line_no,
+                        format!(
+                            "cube planes {}x{} do not match .i {} .o {}",
+                            ip.len(),
+                            op.len(),
+                            ni,
+                            no
+                        ),
+                    ));
+                }
+                for c in ip.bytes() {
+                    if !matches!(c, b'0' | b'1' | b'-') {
+                        return Err(ParseCircuitError::at_line(
+                            line_no,
+                            format!("bad input plane char {:?}", c as char),
+                        ));
+                    }
+                }
+                for c in op.bytes() {
+                    if !matches!(c, b'0' | b'1' | b'-' | b'~' | b'4') {
+                        return Err(ParseCircuitError::at_line(
+                            line_no,
+                            format!("bad output plane char {:?}", c as char),
+                        ));
+                    }
+                }
+                cubes.push((ip.bytes().collect(), op.bytes().collect()));
+            }
+        }
+    }
+
+    let ni = num_inputs.ok_or_else(|| ParseCircuitError::new("missing .i"))?;
+    let no = num_outputs.ok_or_else(|| ParseCircuitError::new("missing .o"))?;
+    let input_names =
+        input_names.unwrap_or_else(|| (0..ni).map(|i| format!("x{i}")).collect());
+    let output_names =
+        output_names.unwrap_or_else(|| (0..no).map(|i| format!("f{i}")).collect());
+    if input_names.len() != ni {
+        return Err(ParseCircuitError::new(".ilb arity does not match .i"));
+    }
+    if output_names.len() != no {
+        return Err(ParseCircuitError::new(".ob arity does not match .o"));
+    }
+
+    let mut b = NetlistBuilder::new("pla");
+    let ins: Vec<Wire> = input_names.iter().map(|n| b.input(n.clone())).collect();
+
+    // Build each product term once, share across outputs.
+    let mut terms: Vec<Wire> = Vec::with_capacity(cubes.len());
+    for (ip, _) in &cubes {
+        let mut lits: Vec<Wire> = Vec::new();
+        for (k, &c) in ip.iter().enumerate() {
+            match c {
+                b'1' => lits.push(ins[k]),
+                b'0' => lits.push(ins[k].complement()),
+                _ => {}
+            }
+        }
+        let term = if lits.is_empty() {
+            b.const1()
+        } else {
+            let mut acc = lits[0];
+            for &l in &lits[1..] {
+                acc = b.and(acc, l);
+            }
+            acc
+        };
+        terms.push(term);
+    }
+
+    for (o, name) in output_names.iter().enumerate() {
+        let mut acc: Option<Wire> = None;
+        for (ci, (_, op)) in cubes.iter().enumerate() {
+            if op[o] == b'1' {
+                acc = Some(match acc {
+                    None => terms[ci],
+                    Some(a) => b.or(a, terms[ci]),
+                });
+            }
+        }
+        let w = acc.unwrap_or(b.const0());
+        b.output(name.clone(), w);
+    }
+    Ok(b.build())
+}
+
+/// Serializes a netlist's truth tables to a canonical minterm PLA.
+///
+/// Each true minterm becomes one cube; this is exact but not minimized, and
+/// therefore only sensible for small circuits.
+///
+/// # Panics
+///
+/// Panics if the netlist has more than [`crate::tt::MAX_VARS`] inputs.
+pub fn write(nl: &Netlist) -> String {
+    let tts = nl.truth_tables();
+    let ni = nl.num_inputs();
+    let mut out = String::new();
+    let _ = writeln!(out, ".i {ni}");
+    let _ = writeln!(out, ".o {}", nl.num_outputs());
+    let _ = writeln!(out, ".ilb {}", nl.input_names().join(" "));
+    let names: Vec<&str> = nl.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let _ = writeln!(out, ".ob {}", names.join(" "));
+    let mut rows = Vec::new();
+    for m in 0..(1u64 << ni) {
+        let mut op = String::new();
+        let mut any = false;
+        for t in &tts {
+            if t.bit(m) {
+                op.push('1');
+                any = true;
+            } else {
+                op.push('-');
+            }
+        }
+        if any {
+            let mut ip = String::new();
+            for i in 0..ni {
+                ip.push(if (m >> i) & 1 == 1 { '1' } else { '0' });
+            }
+            rows.push(format!("{ip} {op}"));
+        }
+    }
+    let _ = writeln!(out, ".p {}", rows.len());
+    for r in rows {
+        let _ = writeln!(out, "{r}");
+    }
+    out.push_str(".e\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::sim::{check_equivalence, EquivResult};
+
+    #[test]
+    fn parse_multi_output() {
+        let src = "\
+.i 3
+.o 2
+.ilb a b c
+.ob x y
+.p 3
+11- 10
+--1 01
+000 11
+.e
+";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.num_inputs(), 3);
+        assert_eq!(nl.num_outputs(), 2);
+        // x = ab + !a!b!c ; y = c + !a!b!c
+        assert_eq!(nl.evaluate(0b011), vec![true, false]);
+        assert_eq!(nl.evaluate(0b100), vec![false, true]);
+        assert_eq!(nl.evaluate(0b000), vec![true, true]);
+    }
+
+    #[test]
+    fn dont_cares_in_input_plane() {
+        let nl = parse(".i 2\n.o 1\n.p 1\n-1 1\n.e\n").unwrap();
+        assert!(nl.evaluate(0b10)[0]);
+        assert!(nl.evaluate(0b11)[0]);
+        assert!(!nl.evaluate(0b01)[0]);
+    }
+
+    #[test]
+    fn merged_cube_form() {
+        // Single-token cubes (no space between planes) also occur in the wild.
+        let nl = parse(".i 2\n.o 1\n111\n.e\n").unwrap();
+        assert!(nl.evaluate(0b11)[0]);
+    }
+
+    #[test]
+    fn empty_output_is_constant_zero() {
+        let nl = parse(".i 2\n.o 2\n.p 1\n11 1-\n.e\n").unwrap();
+        assert_eq!(nl.evaluate(0b11), vec![true, false]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(".o 1\n.p 1\n1 1\n.e\n").is_err());
+        assert!(parse(".i 2\n.o 1\n.p 1\n1 1\n.e\n").is_err()); // width mismatch
+        assert!(parse(".i 1\n.o 1\n.p 1\n2 1\n.e\n").is_err()); // bad char
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut b = NetlistBuilder::new("rt");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let f = b.maj(x, y, z);
+        let g = b.xor(x, z);
+        b.output("f", f);
+        b.output("g", g);
+        let nl = b.build();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        assert_eq!(check_equivalence(&nl, &back), EquivResult::Equivalent);
+    }
+}

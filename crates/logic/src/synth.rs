@@ -1,0 +1,194 @@
+//! Netlist synthesis from truth tables.
+//!
+//! Two classic constructions are provided, both used as front ends for the
+//! graph-based flows:
+//!
+//! - [`sop_netlist`] — canonical sum-of-products over the true minterms
+//!   (the shape a two-level PLA front end produces), and
+//! - [`shannon_netlist`] — a multiplexer tree by recursive Shannon
+//!   expansion with sub-function sharing (the shape a BDD front end
+//!   produces).
+
+use crate::netlist::{Netlist, NetlistBuilder, Wire};
+use crate::tt::TruthTable;
+use std::collections::HashMap;
+
+/// Builds a canonical sum-of-products netlist for multi-output function
+/// `tts` (all tables over the same variable count).
+///
+/// Product terms are shared between outputs. The result is deliberately
+/// unoptimized two-level logic — the raw material the paper's algorithms
+/// restructure.
+///
+/// # Panics
+///
+/// Panics if `tts` is empty or the tables disagree on the variable count.
+pub fn sop_netlist(name: &str, tts: &[TruthTable]) -> Netlist {
+    assert!(!tts.is_empty(), "need at least one output");
+    let n = tts[0].num_vars();
+    assert!(
+        tts.iter().all(|t| t.num_vars() == n),
+        "variable counts differ"
+    );
+    let mut b = NetlistBuilder::new(name);
+    let ins: Vec<Wire> = (0..n).map(|i| b.input(format!("x{i}"))).collect();
+    let mut minterm_wire: HashMap<u64, Wire> = HashMap::new();
+    let mut outputs = Vec::new();
+    for (o, tt) in tts.iter().enumerate() {
+        let mut acc: Option<Wire> = None;
+        for m in 0..tt.num_bits() {
+            if !tt.bit(m) {
+                continue;
+            }
+            let term = *minterm_wire.entry(m).or_insert_with(|| {
+                let mut t = if m & 1 == 1 { ins[0] } else { ins[0].complement() };
+                for (i, &w) in ins.iter().enumerate().skip(1) {
+                    let lit = if (m >> i) & 1 == 1 { w } else { w.complement() };
+                    t = b.and(t, lit);
+                }
+                t
+            });
+            acc = Some(match acc {
+                None => term,
+                Some(a) => b.or(a, term),
+            });
+        }
+        outputs.push((format!("f{o}"), acc.unwrap_or(b.const0())));
+    }
+    for (name, w) in outputs {
+        b.output(name, w);
+    }
+    b.build()
+}
+
+/// Builds a shared multiplexer tree by Shannon expansion.
+///
+/// Identical sub-functions are built once (hash-consing on the cofactor
+/// tables), so the result is essentially a BDD rendered as MUX gates.
+///
+/// # Panics
+///
+/// Panics if `tts` is empty or the tables disagree on the variable count.
+pub fn shannon_netlist(name: &str, tts: &[TruthTable]) -> Netlist {
+    assert!(!tts.is_empty(), "need at least one output");
+    let n = tts[0].num_vars();
+    assert!(
+        tts.iter().all(|t| t.num_vars() == n),
+        "variable counts differ"
+    );
+    let mut b = NetlistBuilder::new(name);
+    let ins: Vec<Wire> = (0..n).map(|i| b.input(format!("x{i}"))).collect();
+    let mut cache: HashMap<TruthTable, Wire> = HashMap::new();
+
+    fn expand(
+        tt: &TruthTable,
+        var: usize,
+        b: &mut NetlistBuilder,
+        ins: &[Wire],
+        cache: &mut HashMap<TruthTable, Wire>,
+    ) -> Wire {
+        if tt.is_zero() {
+            return b.const0();
+        }
+        if tt.is_one() {
+            return b.const1();
+        }
+        if let Some(&w) = cache.get(tt) {
+            return w;
+        }
+        // Find the next variable the function depends on.
+        let mut v = var;
+        while !tt.depends_on(v) {
+            v += 1;
+        }
+        let hi = tt.cofactor1(v);
+        let lo = tt.cofactor0(v);
+        let hw = expand(&hi, v + 1, b, ins, cache);
+        let lw = expand(&lo, v + 1, b, ins, cache);
+        let w = if hw == lw {
+            hw
+        } else {
+            b.mux(ins[v], hw, lw)
+        };
+        cache.insert(tt.clone(), w);
+        w
+    }
+
+    let wires: Vec<Wire> = tts
+        .iter()
+        .map(|t| expand(t, 0, &mut b, &ins, &mut cache))
+        .collect();
+    for (o, w) in wires.into_iter().enumerate() {
+        b.output(format!("f{o}"), w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tt::TruthTable;
+
+    fn check(tts: &[TruthTable], nl: &Netlist) {
+        assert_eq!(nl.truth_tables(), tts);
+    }
+
+    #[test]
+    fn sop_reproduces_functions() {
+        let n = 4;
+        let f = TruthTable::from_fn(n, |m| m.count_ones() == 2);
+        let g = TruthTable::from_fn(n, |m| m % 3 == 0);
+        let nl = sop_netlist("t", &[f.clone(), g.clone()]);
+        check(&[f, g], &nl);
+    }
+
+    #[test]
+    fn sop_shares_minterms_between_outputs() {
+        let n = 3;
+        let f = TruthTable::from_fn(n, |m| m == 5 || m == 3);
+        let g = TruthTable::from_fn(n, |m| m == 5);
+        let shared = sop_netlist("t", &[f.clone(), g.clone()]);
+        let solo_f = sop_netlist("t", &[f]);
+        let solo_g = sop_netlist("t", &[g]);
+        assert!(shared.num_gates() < solo_f.num_gates() + solo_g.num_gates());
+    }
+
+    #[test]
+    fn sop_constant_outputs() {
+        let z = TruthTable::zero(3);
+        let o = TruthTable::one(3);
+        let nl = sop_netlist("t", &[z.clone(), o.clone()]);
+        check(&[z, o], &nl);
+    }
+
+    #[test]
+    fn shannon_reproduces_functions() {
+        let n = 5;
+        let f = TruthTable::from_fn(n, |m| (m * m) % 7 < 3);
+        let g = TruthTable::from_fn(n, |m| m.count_ones() % 2 == 1);
+        let nl = shannon_netlist("t", &[f.clone(), g.clone()]);
+        check(&[f, g], &nl);
+    }
+
+    #[test]
+    fn shannon_shares_cofactors() {
+        // Parity has maximal sharing: 2 muxes per variable after the first.
+        let n = 6;
+        let f = TruthTable::from_fn(n, |m| m.count_ones() % 2 == 1);
+        let nl = shannon_netlist("t", &[f]);
+        assert!(
+            nl.num_gates() <= 2 * n,
+            "parity mux tree should be linear, got {}",
+            nl.num_gates()
+        );
+    }
+
+    #[test]
+    fn shannon_skips_irrelevant_variables() {
+        let n = 5;
+        let f = TruthTable::var(n, 3); // only depends on x3
+        let nl = shannon_netlist("t", &[f.clone()]);
+        assert_eq!(nl.num_gates(), 1); // a single mux(x3, 1, 0)
+        check(&[f], &nl);
+    }
+}

@@ -1,0 +1,142 @@
+//! Structural Verilog writer for netlists.
+//!
+//! Emits a synthesizable module using `assign` statements — the export
+//! path for taking a synthesized circuit into a conventional EDA flow for
+//! comparison against the in-memory implementation.
+
+use crate::netlist::{GateKind, Netlist, Wire};
+use std::fmt::Write as _;
+
+/// Renders a netlist as a structural Verilog module.
+pub fn write(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let ident = |name: &str| -> String {
+        // Escape anything that is not a plain Verilog identifier.
+        if name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && name.chars().next().is_some_and(|c| !c.is_ascii_digit())
+        {
+            name.to_string()
+        } else {
+            format!("\\{name} ")
+        }
+    };
+    let inputs: Vec<String> = nl.input_names().iter().map(|n| ident(n)).collect();
+    let outputs: Vec<String> = nl.outputs().iter().map(|(n, _)| ident(n)).collect();
+    let _ = writeln!(
+        out,
+        "module {}({});",
+        ident(nl.name()),
+        inputs
+            .iter()
+            .chain(outputs.iter())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for i in &inputs {
+        let _ = writeln!(out, "  input {i};");
+    }
+    for o in &outputs {
+        let _ = writeln!(out, "  output {o};");
+    }
+    let sig = |w: Wire| -> String {
+        let node = w.node();
+        let base = if node == 0 {
+            "1'b0".to_string()
+        } else if node <= nl.num_inputs() {
+            ident(&nl.input_names()[node - 1])
+        } else {
+            format!("n{node}")
+        };
+        if w.is_complemented() {
+            format!("~{base}")
+        } else {
+            base
+        }
+    };
+    for (idx, _) in nl.gates() {
+        let _ = writeln!(out, "  wire n{idx};");
+    }
+    for (idx, gate) in nl.gates() {
+        let f: Vec<String> = gate.fanins.iter().map(|&w| sig(w)).collect();
+        let rhs = match gate.kind {
+            GateKind::And => format!("{} & {}", f[0], f[1]),
+            GateKind::Or => format!("{} | {}", f[0], f[1]),
+            GateKind::Xor => format!("{} ^ {}", f[0], f[1]),
+            GateKind::Maj => format!(
+                "({0} & {1}) | ({0} & {2}) | ({1} & {2})",
+                f[0], f[1], f[2]
+            ),
+            GateKind::Mux => format!("{0} ? {1} : {2}", f[0], f[1], f[2]),
+        };
+        let _ = writeln!(out, "  assign n{idx} = {rhs};");
+    }
+    for (name, w) in nl.outputs() {
+        let _ = writeln!(out, "  assign {} = {};", ident(name), sig(*w));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn emits_all_gate_kinds() {
+        let mut b = NetlistBuilder::new("all_kinds");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let a = b.and(x, y);
+        let o = b.or(a, z);
+        let e = b.xor(o, b.not(x));
+        let m = b.maj(a, o, e);
+        let mx = b.mux(z, m, a);
+        b.output("f", mx);
+        let v = write(&b.build());
+        assert!(v.starts_with("module all_kinds("));
+        assert!(v.contains("assign"));
+        assert!(v.contains(" ? "), "mux: {v}");
+        assert!(v.contains(" ^ "), "xor: {v}");
+        assert!(v.contains(") | ("), "maj: {v}");
+        assert!(v.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn complemented_edges_become_bitwise_not() {
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and(b.not(x), y);
+        b.output("f", b.not(g));
+        let v = write(&b.build());
+        assert!(v.contains("~x"), "{v}");
+        assert!(v.contains("assign f = ~n"), "{v}");
+    }
+
+    #[test]
+    fn awkward_names_are_escaped() {
+        let mut b = NetlistBuilder::new("5xp1");
+        let x = b.input("a[0]");
+        b.output("f.out", x);
+        let v = write(&b.build());
+        assert!(v.contains("\\5xp1 "), "{v}");
+        assert!(v.contains("\\a[0] "), "{v}");
+        assert!(v.contains("\\f.out "), "{v}");
+    }
+
+    #[test]
+    fn constants_render() {
+        let mut b = NetlistBuilder::new("c");
+        b.input("x");
+        b.output("zero", b.const0());
+        b.output("one", b.const1());
+        let v = write(&b.build());
+        assert!(v.contains("assign zero = 1'b0"), "{v}");
+        assert!(v.contains("assign one = ~1'b0"), "{v}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Behavioural model of a single RRAM device.
+//!
+//! An RRAM is a two-terminal resistive switch whose internal state `R`
+//! (low/high resistance, read as logic 0/1) changes under the voltage
+//! applied across its terminals `P` (top) and `Q` (bottom). The paper's
+//! Fig. 2 gives the next-state tables, which close to the *intrinsic
+//! majority* form used throughout the paper:
+//!
+//! ```text
+//! R' = MAJ(P, Q, R) with Q acting inverted:  R' = M(P, ¬Q, R)
+//! ```
+//!
+//! The three named voltage configurations are special cases:
+//! `V_SET` = (P=1, Q=0) forces `R' = 1`, `V_CLEAR` = (P=0, Q=1) forces
+//! `R' = 0`, and `V_COND` = (P=Q) retains the state.
+
+/// The three drive conditions the paper names (Sec. II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drive {
+    /// `V_SET`: (P, Q) = (1, 0); switches the device to 1.
+    Set,
+    /// `V_CLEAR`: (P, Q) = (0, 1); switches the device to 0.
+    Clear,
+    /// `V_COND` with both terminals at the same level; retains the state.
+    Cond,
+}
+
+impl Drive {
+    /// The terminal levels this drive applies.
+    pub fn terminals(self) -> (bool, bool) {
+        match self {
+            Drive::Set => (true, false),
+            Drive::Clear => (false, true),
+            Drive::Cond => (false, false),
+        }
+    }
+}
+
+/// One RRAM device.
+///
+/// # Example
+///
+/// ```
+/// use rms_rram::device::Rram;
+///
+/// let mut r = Rram::new(false);
+/// r.apply(true, false); // V_SET
+/// assert!(r.state());
+/// r.apply(false, true); // V_CLEAR
+/// assert!(!r.state());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rram {
+    state: bool,
+}
+
+impl Rram {
+    /// A device initialized to `state`.
+    pub fn new(state: bool) -> Self {
+        Rram { state }
+    }
+
+    /// Current logic state (1 = low resistance).
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Applies terminal levels `(p, q)` for one step: `R' = M(p, ¬q, R)`
+    /// (the intrinsic majority of Fig. 2).
+    pub fn apply(&mut self, p: bool, q: bool) {
+        let nq = !q;
+        self.state = (p && nq) || (p && self.state) || (nq && self.state);
+    }
+
+    /// Applies one of the named drive conditions.
+    pub fn drive(&mut self, d: Drive) {
+        let (p, q) = d.terminals();
+        self.apply(p, q);
+    }
+}
+
+/// The material-implication gate of Fig. 1: two devices `P` and `Q` share a
+/// load resistor; applying `V_COND` to `P` and `V_SET` to `Q` executes
+/// `q' = p̄ + q` (`p IMP q`) in one step.
+///
+/// # Example
+///
+/// ```
+/// use rms_rram::device::ImpGate;
+///
+/// let mut g = ImpGate::new(true, false);
+/// g.imply();
+/// assert!(!g.q()); // 1 IMP 0 = 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImpGate {
+    p: Rram,
+    q: Rram,
+}
+
+impl ImpGate {
+    /// A gate with the devices preloaded to `p` and `q`.
+    pub fn new(p: bool, q: bool) -> Self {
+        ImpGate {
+            p: Rram::new(p),
+            q: Rram::new(q),
+        }
+    }
+
+    /// State of the `P` device.
+    pub fn p(&self) -> bool {
+        self.p.state()
+    }
+
+    /// State of the `Q` device (the gate output).
+    pub fn q(&self) -> bool {
+        self.q.state()
+    }
+
+    /// Executes one IMP step: `q ← p IMP q = p̄ + q`; `p` is unchanged.
+    ///
+    /// Electrically, `V_COND` on `P` and `V_SET` on `Q` interact through
+    /// the shared load resistor: when `p = 1` the voltage across `Q` stays
+    /// below threshold and `q` retains its state; when `p = 0` the full
+    /// `V_SET` switches `q` to 1.
+    pub fn imply(&mut self) {
+        let q_next = !self.p.state() || self.q.state();
+        self.q = Rram::new(q_next);
+    }
+
+    /// Executes FALSE on `Q` (`V_CLEAR`).
+    pub fn clear_q(&mut self) {
+        self.q.drive(Drive::Clear);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_truth_tables() {
+        // R = 0 plane: R' = P AND (NOT Q)
+        for (p, q, expect) in [
+            (false, false, false),
+            (false, true, false),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            let mut r = Rram::new(false);
+            r.apply(p, q);
+            assert_eq!(r.state(), expect, "R=0 P={p} Q={q}");
+        }
+        // R = 1 plane: R' = P OR (NOT Q)
+        for (p, q, expect) in [
+            (false, false, true),
+            (false, true, false),
+            (true, false, true),
+            (true, true, true),
+        ] {
+            let mut r = Rram::new(true);
+            r.apply(p, q);
+            assert_eq!(r.state(), expect, "R=1 P={p} Q={q}");
+        }
+    }
+
+    #[test]
+    fn next_state_is_majority() {
+        for m in 0..8u32 {
+            let (p, q, r0) = (m & 1 == 1, m & 2 != 0, m & 4 != 0);
+            let mut r = Rram::new(r0);
+            r.apply(p, q);
+            let maj = [p, !q, r0].iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(r.state(), maj, "P={p} Q={q} R={r0}");
+        }
+    }
+
+    #[test]
+    fn named_drives() {
+        for init in [false, true] {
+            let mut r = Rram::new(init);
+            r.drive(Drive::Cond);
+            assert_eq!(r.state(), init, "COND retains");
+            r.drive(Drive::Set);
+            assert!(r.state(), "SET forces 1");
+            r.drive(Drive::Clear);
+            assert!(!r.state(), "CLEAR forces 0");
+        }
+    }
+
+    #[test]
+    fn fig1_imp_truth_table() {
+        for (p, q, expect) in [
+            (false, false, true),
+            (false, true, true),
+            (true, false, false),
+            (true, true, true),
+        ] {
+            let mut g = ImpGate::new(p, q);
+            g.imply();
+            assert_eq!(g.q(), expect, "p={p} q={q}");
+            assert_eq!(g.p(), p, "p must be preserved");
+        }
+    }
+
+    #[test]
+    fn false_operation() {
+        let mut g = ImpGate::new(true, true);
+        g.clear_q();
+        assert!(!g.q());
+        assert!(g.p());
+    }
+}

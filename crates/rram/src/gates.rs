@@ -1,0 +1,170 @@
+//! The paper's two RRAM realizations of a majority gate (Sec. III-A).
+//!
+//! [`imp_majority_gate`] is the ten-step, six-device IMP-based sequence of
+//! Fig. 3; [`maj_majority_gate`] is the three-step, four-device realization
+//! exploiting the intrinsic resistive majority. Both are emitted as
+//! [`Program`]s so the interpreter can verify them exhaustively — the unit
+//! tests here replay the derivation in the paper step by step.
+
+use crate::isa::{MicroOp, Operand, Program, RegId};
+
+/// Device roles of the IMP-based gate in Fig. 3.
+const X: RegId = RegId(0);
+const Y: RegId = RegId(1);
+const Z: RegId = RegId(2);
+const A: RegId = RegId(3);
+const B: RegId = RegId(4);
+const C: RegId = RegId(5);
+
+/// Builds the IMP-based majority gate of Fig. 3: six devices
+/// (`X, Y, Z, A, B, C`), ten sequential steps, output in `A`.
+///
+/// The step sequence (with the intermediate values each step establishes):
+///
+/// ```text
+/// 01: X=x, Y=y, Z=z, A=0, B=0, C=0
+/// 02: A ← X IMP A          A = x̄
+/// 03: B ← Y IMP B          B = ȳ
+/// 04: Y ← A IMP Y          Y = x + y
+/// 05: B ← X IMP B          B = x̄ + ȳ
+/// 06: C ← Y IMP C          C = (x + y)‾
+/// 07: C ← Z IMP C          C = (xz + yz)‾
+/// 08: A = 0
+/// 09: A ← B IMP A          A = x·y
+/// 10: A ← C IMP A          A = xy + xz + yz
+/// ```
+pub fn imp_majority_gate() -> Program {
+    let reg = |r: RegId| Operand::Reg(r);
+    Program {
+        num_inputs: 3,
+        num_regs: 6,
+        steps: vec![
+            vec![
+                MicroOp::Load { dst: X, src: Operand::Input(0) },
+                MicroOp::Load { dst: Y, src: Operand::Input(1) },
+                MicroOp::Load { dst: Z, src: Operand::Input(2) },
+                MicroOp::False { dst: A },
+                MicroOp::False { dst: B },
+                MicroOp::False { dst: C },
+            ],
+            vec![MicroOp::Imp { p: reg(X), q: A }],
+            vec![MicroOp::Imp { p: reg(Y), q: B }],
+            vec![MicroOp::Imp { p: reg(A), q: Y }],
+            vec![MicroOp::Imp { p: reg(X), q: B }],
+            vec![MicroOp::Imp { p: reg(Y), q: C }],
+            vec![MicroOp::Imp { p: reg(Z), q: C }],
+            vec![MicroOp::False { dst: A }],
+            vec![MicroOp::Imp { p: reg(B), q: A }],
+            vec![MicroOp::Imp { p: reg(C), q: A }],
+        ],
+        outputs: vec![("maj".into(), A)],
+        model_rrams: 6,
+    }
+}
+
+/// Builds the MAJ-based majority gate of Sec. III-A2: four devices
+/// (`X, Y, Z, A`), three sequential steps, output in `Z`.
+///
+/// ```text
+/// 01: X=x, Y=y, Z=z, A=0
+/// 02: A ← M(1, ¬y, 0) = ȳ          (V_SET / V_COND on A)
+/// 03: Z ← M(x, ¬ȳ, z) = M(x, y, z) (P_Z = x, Q_Z = ȳ)
+/// ```
+pub fn maj_majority_gate() -> Program {
+    Program {
+        num_inputs: 3,
+        num_regs: 4,
+        steps: vec![
+            vec![
+                MicroOp::Load { dst: X, src: Operand::Input(0) },
+                MicroOp::Load { dst: Y, src: Operand::Input(1) },
+                MicroOp::Load { dst: Z, src: Operand::Input(2) },
+                MicroOp::False { dst: A },
+            ],
+            vec![MicroOp::Maj {
+                p: Operand::Const(true),
+                q: Operand::Reg(Y),
+                r: A,
+            }],
+            vec![MicroOp::Maj {
+                p: Operand::Reg(X),
+                q: Operand::Reg(A),
+                r: Z,
+            }],
+        ],
+        outputs: vec![("maj".into(), Z)],
+        model_rrams: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn is_maj(m: u64) -> bool {
+        m.count_ones() >= 2
+    }
+
+    #[test]
+    fn imp_gate_computes_majority_exhaustively() {
+        let prog = imp_majority_gate();
+        assert_eq!(prog.num_steps(), 10, "Fig. 3 requires ten steps");
+        assert_eq!(prog.num_regs, 6, "Fig. 3 requires six RRAMs");
+        let tts = Machine::truth_tables(&prog).unwrap();
+        for m in 0..8u64 {
+            assert_eq!(tts[0].bit(m), is_maj(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn maj_gate_computes_majority_exhaustively() {
+        let prog = maj_majority_gate();
+        assert_eq!(prog.num_steps(), 3, "MAJ realization requires three steps");
+        assert_eq!(prog.num_regs, 4, "MAJ realization requires four RRAMs");
+        let tts = Machine::truth_tables(&prog).unwrap();
+        for m in 0..8u64 {
+            assert_eq!(tts[0].bit(m), is_maj(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn imp_gate_intermediate_values_follow_the_paper() {
+        // Replay the derivation for x=1, y=0, z=1 by truncating the program.
+        let check = |steps: usize, reg: RegId, expect: bool, what: &str| {
+            let mut prog = imp_majority_gate();
+            prog.steps.truncate(steps);
+            prog.outputs = vec![("probe".into(), reg)];
+            let outs = Machine::run_bools(&prog, &[true, false, true]).unwrap();
+            assert_eq!(outs[0], expect, "{what}");
+        };
+        check(2, RegId(3), false, "02: A = x̄ = 0");
+        check(3, RegId(4), true, "03: B = ȳ = 1");
+        check(4, RegId(1), true, "04: Y = x + y = 1");
+        check(5, RegId(4), true, "05: B = x̄ + ȳ = 1");
+        check(6, RegId(5), false, "06: C = !(x + y) = 0");
+        check(7, RegId(5), false, "07: C = !(xz + yz) = 0");
+        check(9, RegId(3), false, "09: A = x·y = 0");
+        check(10, RegId(3), true, "10: A = maj = 1");
+    }
+
+    #[test]
+    fn both_realizations_agree() {
+        let imp = Machine::truth_tables(&imp_majority_gate()).unwrap();
+        let maj = Machine::truth_tables(&maj_majority_gate()).unwrap();
+        assert_eq!(imp, maj);
+    }
+
+    #[test]
+    fn inputs_x_and_z_survive_imp_gate() {
+        // The paper notes two of the six devices keep their initial values.
+        for m in 0..8u64 {
+            let bits = [m & 1 == 1, m & 2 != 0, m & 4 != 0];
+            let mut prog = imp_majority_gate();
+            prog.outputs = vec![("x".into(), RegId(0)), ("z".into(), RegId(2))];
+            let outs = Machine::run_bools(&prog, &bits).unwrap();
+            assert_eq!(outs[0], bits[0], "X preserved at {m}");
+            assert_eq!(outs[1], bits[2], "Z preserved at {m}");
+        }
+    }
+}

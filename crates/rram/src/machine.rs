@@ -1,0 +1,309 @@
+//! Cycle-accurate, bit-parallel interpreter for RRAM programs.
+//!
+//! The machine evaluates a [`Program`] 64 input assignments at a time
+//! (one bit lane per assignment). Within a step all operand reads observe
+//! the pre-step device states, matching the simultaneous execution
+//! semantics of the ISA.
+
+use crate::isa::{MicroOp, Operand, Program, ProgramError, RegId};
+
+/// Execution statistics of one program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Sequential steps executed (the paper's `S`).
+    pub steps: u64,
+    /// Distinct devices actually touched by the program.
+    pub devices_touched: u64,
+}
+
+/// The in-memory computing machine.
+///
+/// # Example
+///
+/// ```
+/// use rms_rram::gates::maj_majority_gate;
+/// use rms_rram::machine::Machine;
+///
+/// let program = maj_majority_gate();
+/// let outs = Machine::run_bools(&program, &[true, false, true]).expect("valid program");
+/// assert!(outs[0]); // M(1,0,1) = 1
+/// ```
+#[derive(Debug, Default)]
+pub struct Machine {
+    regs: Vec<u64>,
+    touched: Vec<bool>,
+}
+
+impl Machine {
+    /// Creates a machine with no devices; [`Machine::run_words`] sizes it.
+    pub fn new() -> Self {
+        Machine::default()
+    }
+
+    fn value(&self, op: Operand, inputs: &[u64]) -> u64 {
+        match op {
+            Operand::Const(false) => 0,
+            Operand::Const(true) => u64::MAX,
+            Operand::Input(i) => inputs[i],
+            Operand::Reg(RegId(r)) => self.regs[r as usize],
+        }
+    }
+
+    /// Runs `program` on 64 parallel assignments (`inputs[i]` holds one bit
+    /// per lane for input `i`); returns one word per output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != program.num_inputs`.
+    pub fn run_words(
+        &mut self,
+        program: &Program,
+        inputs: &[u64],
+    ) -> Result<Vec<u64>, ProgramError> {
+        assert_eq!(inputs.len(), program.num_inputs, "input count mismatch");
+        program.validate()?;
+        self.regs.clear();
+        self.regs.resize(program.num_regs, 0);
+        self.touched.clear();
+        self.touched.resize(program.num_regs, false);
+        let mut writes: Vec<(usize, u64)> = Vec::new();
+        for step in &program.steps {
+            writes.clear();
+            for op in step {
+                let (dst, val) = match *op {
+                    MicroOp::False { dst } => (dst, 0),
+                    MicroOp::Load { dst, src } => (dst, self.value(src, inputs)),
+                    MicroOp::Imp { p, q } => {
+                        let pv = self.value(p, inputs);
+                        let qv = self.regs[q.0 as usize];
+                        (q, !pv | qv)
+                    }
+                    MicroOp::Maj { p, q, r } => {
+                        let pv = self.value(p, inputs);
+                        let qv = !self.value(q, inputs);
+                        let rv = self.regs[r.0 as usize];
+                        (r, (pv & qv) | (pv & rv) | (qv & rv))
+                    }
+                };
+                writes.push((dst.0 as usize, val));
+            }
+            for &(dst, val) in &writes {
+                self.regs[dst] = val;
+                self.touched[dst] = true;
+            }
+        }
+        Ok(program
+            .outputs
+            .iter()
+            .map(|(_, r)| self.regs[r.0 as usize])
+            .collect())
+    }
+
+    /// Runs `program` on a single boolean assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program fails validation.
+    pub fn run_bools(program: &Program, inputs: &[bool]) -> Result<Vec<bool>, ProgramError> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let mut m = Machine::new();
+        let outs = m.run_words(program, &words)?;
+        Ok(outs.into_iter().map(|w| w & 1 == 1).collect())
+    }
+
+    /// Statistics of the most recent run.
+    pub fn stats(&self, program: &Program) -> RunStats {
+        RunStats {
+            steps: program.num_steps(),
+            devices_touched: self.touched.iter().filter(|&&t| t).count() as u64,
+        }
+    }
+
+    /// Exhaustive truth tables of a program's outputs (one
+    /// [`rms_logic::TruthTable`] per output).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has more than [`rms_logic::tt::MAX_VARS`]
+    /// inputs.
+    pub fn truth_tables(program: &Program) -> Result<Vec<rms_logic::TruthTable>, ProgramError> {
+        use rms_logic::tt::{TruthTable, MAX_VARS};
+        let n = program.num_inputs;
+        assert!(n <= MAX_VARS, "too many inputs for exhaustive tables");
+        let mut tts: Vec<TruthTable> = program
+            .outputs
+            .iter()
+            .map(|_| TruthTable::zero(n))
+            .collect();
+        let total = 1u64 << n;
+        let mut machine = Machine::new();
+        let mut base = 0u64;
+        while base < total {
+            let chunk = 64.min(total - base);
+            let inputs: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut w = 0u64;
+                    for b in 0..chunk {
+                        if ((base + b) >> i) & 1 == 1 {
+                            w |= 1 << b;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let outs = machine.run_words(program, &inputs)?;
+            for (t, &w) in tts.iter_mut().zip(&outs) {
+                for b in 0..chunk {
+                    if (w >> b) & 1 == 1 {
+                        t.set_bit(base + b);
+                    }
+                }
+            }
+            base += chunk;
+        }
+        Ok(tts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Step;
+
+    fn imp_program() -> Program {
+        Program {
+            num_inputs: 2,
+            num_regs: 2,
+            steps: vec![
+                vec![
+                    MicroOp::Load {
+                        dst: RegId(0),
+                        src: Operand::Input(0),
+                    },
+                    MicroOp::Load {
+                        dst: RegId(1),
+                        src: Operand::Input(1),
+                    },
+                ],
+                vec![MicroOp::Imp {
+                    p: Operand::Reg(RegId(0)),
+                    q: RegId(1),
+                }],
+            ],
+            outputs: vec![("f".into(), RegId(1))],
+            model_rrams: 2,
+        }
+    }
+
+    #[test]
+    fn imp_semantics() {
+        for (p, q, expect) in [
+            (false, false, true),
+            (false, true, true),
+            (true, false, false),
+            (true, true, true),
+        ] {
+            let outs = Machine::run_bools(&imp_program(), &[p, q]).unwrap();
+            assert_eq!(outs[0], expect, "p={p} q={q}");
+        }
+    }
+
+    #[test]
+    fn maj_op_semantics() {
+        let prog = Program {
+            num_inputs: 3,
+            num_regs: 1,
+            steps: vec![
+                vec![MicroOp::Load {
+                    dst: RegId(0),
+                    src: Operand::Input(2),
+                }],
+                vec![MicroOp::Maj {
+                    p: Operand::Input(0),
+                    q: Operand::Input(1),
+                    r: RegId(0),
+                }],
+            ],
+            outputs: vec![("f".into(), RegId(0))],
+            model_rrams: 1,
+        };
+        for m in 0..8u32 {
+            let (p, q, r) = (m & 1 == 1, m & 2 != 0, m & 4 != 0);
+            let outs = Machine::run_bools(&prog, &[p, q, r]).unwrap();
+            let expect = [p, !q, r].iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(outs[0], expect, "{m}");
+        }
+    }
+
+    #[test]
+    fn reads_observe_pre_step_state() {
+        // Swap-like step: both ops read old values.
+        let prog = Program {
+            num_inputs: 2,
+            num_regs: 2,
+            steps: vec![
+                vec![
+                    MicroOp::Load {
+                        dst: RegId(0),
+                        src: Operand::Input(0),
+                    },
+                    MicroOp::Load {
+                        dst: RegId(1),
+                        src: Operand::Input(1),
+                    },
+                ],
+                vec![
+                    MicroOp::Load {
+                        dst: RegId(0),
+                        src: Operand::Reg(RegId(1)),
+                    },
+                    MicroOp::Load {
+                        dst: RegId(1),
+                        src: Operand::Reg(RegId(0)),
+                    },
+                ],
+            ],
+            outputs: vec![("a".into(), RegId(0)), ("b".into(), RegId(1))],
+            model_rrams: 2,
+        };
+        let outs = Machine::run_bools(&prog, &[true, false]).unwrap();
+        assert_eq!(outs, vec![false, true], "values must swap");
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        let mut p = imp_program();
+        p.steps.push(vec![MicroOp::False { dst: RegId(5) }] as Step);
+        assert!(Machine::run_bools(&p, &[false, false]).is_err());
+    }
+
+    #[test]
+    fn truth_tables_of_imp() {
+        let tts = Machine::truth_tables(&imp_program()).unwrap();
+        // f = !p | q with p = input 0 (minterm bit 0), q = input 1:
+        // minterms 00,10,01,11 -> 1,0,1,1 -> 0b1101.
+        assert_eq!(tts[0].words()[0] & 0xF, 0b1101);
+    }
+
+    #[test]
+    fn stats_count_touched_devices() {
+        let mut m = Machine::new();
+        let prog = imp_program();
+        m.run_words(&prog, &[0, 0]).unwrap();
+        assert_eq!(
+            m.stats(&prog),
+            RunStats {
+                steps: 2,
+                devices_touched: 2
+            }
+        );
+    }
+}

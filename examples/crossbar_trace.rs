@@ -1,0 +1,46 @@
+//! Step-by-step trace of the paper's two majority-gate realizations
+//! (Fig. 3 and Sec. III-A2) on the RRAM machine, reproducing the
+//! intermediate values the paper derives.
+//!
+//! Run with `cargo run --release --example crossbar_trace`.
+
+use rram_mig::rram::gates::{imp_majority_gate, maj_majority_gate};
+use rram_mig::rram::isa::{Program, RegId};
+use rram_mig::rram::machine::Machine;
+
+/// Runs `program` truncated after each step and prints every device state.
+fn trace(program: &Program, names: &[&str], inputs: &[bool]) {
+    println!(
+        "inputs: {}",
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| format!("x{}={}", i, b as u8))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("step | op(s){:32}| {}", "", names.join(" "));
+    for cut in 1..=program.steps.len() {
+        let mut probe = program.clone();
+        probe.steps.truncate(cut);
+        probe.outputs = (0..probe.num_regs)
+            .map(|r| (format!("r{r}"), RegId(r as u32)))
+            .collect();
+        let states = Machine::run_bools(&probe, inputs).expect("valid program");
+        let ops: Vec<String> = program.steps[cut - 1].iter().map(|o| o.to_string()).collect();
+        let vals: Vec<String> = states.iter().map(|&v| format!("{}", v as u8)).collect();
+        println!("{cut:4} | {:<37}| {}", ops.join("; "), vals.join(" "));
+    }
+}
+
+fn main() {
+    let inputs = [true, false, true]; // x=1, y=0, z=1 -> majority 1
+
+    println!("== Fig. 3: IMP-based majority gate, 6 RRAMs, 10 steps ==");
+    trace(&imp_majority_gate(), &["X", "Y", "Z", "A", "B", "C"], &inputs);
+    println!("output device A holds maj(1,0,1) = 1\n");
+
+    println!("== Sec. III-A2: MAJ-based majority gate, 4 RRAMs, 3 steps ==");
+    trace(&maj_majority_gate(), &["X", "Y", "Z", "A"], &inputs);
+    println!("output device Z holds maj(1,0,1) = 1");
+}

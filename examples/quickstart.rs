@@ -1,0 +1,78 @@
+//! Quickstart: expression → MIG → optimization → RRAM program → execution.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rram_mig::logic::expr::Expr;
+use rram_mig::logic::netlist::NetlistBuilder;
+use rram_mig::mig::cost::{Realization, RramCost};
+use rram_mig::mig::opt::{self, OptOptions};
+use rram_mig::mig::Mig;
+use rram_mig::rram::compile::compile;
+use rram_mig::rram::machine::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a Boolean function.
+    let expr = Expr::parse("maj(a, b, c) ^ (d & !a) | mux(c, a, d)")?;
+    println!("function: {expr}");
+
+    // 2. Lower it to a netlist (expressions, BLIF and PLA all work).
+    let mut builder = NetlistBuilder::new("quickstart");
+    let inputs: Vec<_> = expr
+        .variables()
+        .iter()
+        .map(|name| builder.input(name.clone()))
+        .collect();
+    // Evaluate the expression per minterm into a truth-table netlist via
+    // the expression's own lowering (small function, so this is exact).
+    let tt = expr.to_truth_table()?;
+    // A simple sum-of-minterms netlist; the optimizer will restructure it.
+    let mut acc = builder.const0();
+    for m in 0..tt.num_bits() {
+        if !tt.bit(m) {
+            continue;
+        }
+        let mut term = builder.const1();
+        for (i, &w) in inputs.iter().enumerate() {
+            let lit = if (m >> i) & 1 == 1 { w } else { w.complement() };
+            term = builder.and(term, lit);
+        }
+        acc = builder.or(acc, term);
+    }
+    builder.output("f", acc);
+    let netlist = builder.build();
+
+    // 3. Convert to a majority-inverter graph and optimize for steps.
+    let mig = Mig::from_netlist(&netlist);
+    let opts = OptOptions::paper();
+    let optimized = opt::optimize_steps(&mig, Realization::Maj, &opts);
+    println!(
+        "MIG: {} -> {} majority nodes, depth {} -> {}",
+        mig.num_gates(),
+        optimized.num_gates(),
+        mig.depth(),
+        optimized.depth()
+    );
+    println!(
+        "cost before: {}   after: {}",
+        RramCost::of(&mig, Realization::Maj),
+        RramCost::of(&optimized, Realization::Maj)
+    );
+
+    // 4. Compile to an RRAM program and execute it on the machine.
+    let circuit = compile(&optimized, Realization::Maj);
+    println!(
+        "compiled: {} steps on {} devices (Table I model: R = {})",
+        circuit.program.num_steps(),
+        circuit.program.num_regs,
+        circuit.model_rrams
+    );
+    for minterm in [0b0000u64, 0b0111, 0b1010, 0b1111] {
+        let bits: Vec<bool> = (0..4).map(|i| (minterm >> i) & 1 == 1).collect();
+        let outs = Machine::run_bools(&circuit.program, &bits)?;
+        let expect = tt.bit(minterm);
+        assert_eq!(outs[0], expect, "machine must agree with the function");
+        println!("f({minterm:04b}) = {}", outs[0] as u8);
+    }
+    println!("machine agrees with the specification on all probed inputs");
+    Ok(())
+}

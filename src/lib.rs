@@ -1,0 +1,1 @@
+pub use rms_aig as aig; pub use rms_bdd as bdd; pub use rms_core as mig; pub use rms_logic as logic; pub use rms_rram as rram;

@@ -1,0 +1,131 @@
+//! End-to-end functional equivalence across the whole workspace: for each
+//! benchmark, the netlist, the MIG (before and after every optimization
+//! algorithm), the compiled RRAM programs, the BDD, and the AIG must all
+//! compute the same function.
+
+use rram_mig::aig::Aig;
+use rram_mig::bdd::build as bdd_build;
+use rram_mig::logic::bench_suite;
+use rram_mig::logic::sim::{check_equivalence, random_patterns};
+use rram_mig::mig::cost::Realization;
+use rram_mig::mig::opt::{Algorithm, OptOptions};
+use rram_mig::mig::Mig;
+use rram_mig::rram::compile::compile;
+use rram_mig::rram::machine::Machine;
+
+/// Small-suite benchmarks are checked exhaustively via truth tables.
+const EXHAUSTIVE: &[&str] = &[
+    "exam1_d", "exam3_d", "rd53_f1", "rd53_f2", "rd53_f3", "con1_f1", "con2_f2", "newill_d",
+    "newtag_d", "9sym_d", "sao2_f1", "sao2_f3", "max46_d", "xor5_d",
+];
+
+/// Large benchmarks are checked with bit-parallel random patterns.
+const SAMPLED: &[&str] = &["apex7", "b9", "cm162a", "x2", "cordic", "misex1"];
+
+#[test]
+fn optimizers_preserve_functions_exhaustively() {
+    let opts = OptOptions::with_effort(8);
+    for name in EXHAUSTIVE {
+        let nl = bench_suite::build(name).expect("known benchmark");
+        let reference = nl.truth_tables();
+        let mig = Mig::from_netlist(&nl);
+        assert_eq!(mig.truth_tables(), reference, "{name}: initial MIG");
+        for alg in Algorithm::ALL {
+            for real in Realization::ALL {
+                let opt = alg.run(&mig, real, &opts);
+                assert_eq!(
+                    opt.truth_tables(),
+                    reference,
+                    "{name}: {alg} under {real}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_programs_match_optimized_migs() {
+    let opts = OptOptions::with_effort(6);
+    for name in EXHAUSTIVE {
+        let nl = bench_suite::build(name).expect("known benchmark");
+        let reference = nl.truth_tables();
+        let mig = Mig::from_netlist(&nl);
+        for alg in [Algorithm::RramCosts, Algorithm::Steps] {
+            for real in Realization::ALL {
+                let opt = alg.run(&mig, real, &opts);
+                let circuit = compile(&opt, real);
+                let got = Machine::truth_tables(&circuit.program).expect("valid program");
+                assert_eq!(got, reference, "{name}: machine after {alg}/{real}");
+            }
+        }
+    }
+}
+
+#[test]
+fn large_benchmarks_survive_the_flow_sampled() {
+    let opts = OptOptions::with_effort(6);
+    for name in SAMPLED {
+        let nl = bench_suite::build(name).expect("known benchmark");
+        let mig = Mig::from_netlist(&nl);
+        let opt = Algorithm::Steps.run(&mig, Realization::Maj, &opts);
+        let res = check_equivalence(&nl, &opt.to_netlist());
+        assert!(res.holds(), "{name}: optimized MIG vs netlist: {res:?}");
+
+        // Machine vs netlist on random patterns.
+        let circuit = compile(&opt, Realization::Maj);
+        let mut machine = Machine::new();
+        for pattern in random_patterns(nl.num_inputs(), 32, 0xC0FFEE) {
+            let net_out = nl.simulate_words(&pattern);
+            let mach_out = machine
+                .run_words(&circuit.program, &pattern)
+                .expect("valid program");
+            assert_eq!(mach_out, net_out, "{name}: machine vs netlist");
+        }
+    }
+}
+
+#[test]
+fn bdd_and_aig_agree_with_netlists() {
+    for name in EXHAUSTIVE {
+        let nl = bench_suite::build(name).expect("known benchmark");
+        let reference = nl.truth_tables();
+
+        let circ = bdd_build::from_netlist(&nl, bdd_build::Ordering::DfsFromOutputs);
+        for m in 0..(1u64 << nl.num_inputs()) {
+            for (o, root) in circ.roots.iter().enumerate() {
+                assert_eq!(
+                    circ.manager.eval(*root, m),
+                    reference[o].bit(m),
+                    "{name}: BDD output {o} at {m}"
+                );
+            }
+        }
+
+        let aig = Aig::from_netlist(&nl).balance();
+        assert_eq!(aig.truth_tables(), reference, "{name}: balanced AIG");
+    }
+}
+
+#[test]
+fn baseline_rram_programs_compute_the_right_functions() {
+    for name in &EXHAUSTIVE[..8] {
+        let nl = bench_suite::build(name).expect("known benchmark");
+        let reference = nl.truth_tables();
+
+        let circ = bdd_build::from_netlist(&nl, bdd_build::Ordering::Natural);
+        let bdd = rram_mig::bdd::rram_synth::synthesize(&circ, &Default::default());
+        assert_eq!(
+            Machine::truth_tables(&bdd.program).expect("valid"),
+            reference,
+            "{name}: BDD baseline program"
+        );
+
+        let aig = Aig::from_netlist(&nl).compact();
+        let aig_circ = rram_mig::aig::rram_synth::synthesize(&aig);
+        assert_eq!(
+            Machine::truth_tables(&aig_circ.program).expect("valid"),
+            reference,
+            "{name}: AIG baseline program"
+        );
+    }
+}
