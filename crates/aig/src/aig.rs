@@ -1,6 +1,6 @@
 //! A from-scratch and-inverter graph (AIG) package.
 //!
-//! The paper's second baseline (Bürger et al. [12]) synthesizes RRAM
+//! The paper's second baseline (Bürger et al. \[12\]) synthesizes RRAM
 //! circuits from AIGs: two-input AND nodes with complemented edges. This
 //! module provides the data structure with structural hashing, constant
 //! propagation, conversion from netlists, simulation, and a depth-reducing
@@ -371,8 +371,7 @@ impl Aig {
     pub fn truth_tables(&self) -> Vec<TruthTable> {
         let n = self.num_inputs;
         assert!(n <= MAX_VARS);
-        let mut tts: Vec<TruthTable> =
-            self.outputs.iter().map(|_| TruthTable::zero(n)).collect();
+        let mut tts: Vec<TruthTable> = self.outputs.iter().map(|_| TruthTable::zero(n)).collect();
         let total = 1u64 << n;
         let mut base = 0u64;
         while base < total {

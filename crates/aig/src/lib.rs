@@ -1,11 +1,11 @@
 //! And-inverter graphs and the AIG→RRAM synthesis baseline.
 //!
 //! The paper compares its MIG flow against the AIG-based RRAM synthesis of
-//! Bürger et al. [12] (Table III, right half). This crate provides:
+//! Bürger et al. \[12\] (Table III, right half). This crate provides:
 //!
 //! - [`aig`] — a from-scratch AIG package (structural hashing, constant
 //!   propagation, depth-reducing balancing), and
-//! - [`rram_synth`] — the node-serial implication realization of [12],
+//! - [`rram_synth`] — the node-serial implication realization of \[12\],
 //!   emitted as an executable [`rms_rram::Program`].
 //!
 //! # Example
@@ -21,6 +21,11 @@
 //! assert!(circuit.steps() >= 3 * aig.num_gates() as u64);
 //! # }
 //! ```
+
+//!
+//! Within the workspace this crate is both a Table III baseline and an
+//! optional pipeline frontend (`rms_flow::Frontend::Aig`); see
+//! `ARCHITECTURE.md` at the repository root.
 
 pub mod aig;
 pub mod rram_synth;

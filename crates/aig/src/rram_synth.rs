@@ -1,6 +1,6 @@
-//! AIG-based RRAM synthesis — the baseline of Bürger et al. [12].
+//! AIG-based RRAM synthesis — the baseline of Bürger et al. \[12\].
 //!
-//! [12] maps each AIG node to a short implication sequence and executes the
+//! \[12\] maps each AIG node to a short implication sequence and executes the
 //! graph node by node — there is no level parallelism, which is why its
 //! step counts grow with the node count and blow up on larger functions
 //! (1172 steps for `sym10_d`, 1564 for `t481_d` in the paper's Table III).
@@ -119,17 +119,18 @@ pub fn synthesize(aig: &Aig) -> AigRramCircuit {
     let mut value_reg: HashMap<usize, RegId> = HashMap::new();
     let mut inversions = 0u64;
 
-    let take = |alloc: &mut Allocator, steps: &mut Vec<Vec<MicroOp>>, clears: &mut Vec<RegId>| -> RegId {
-        let (r, stale) = alloc.alloc();
-        if stale {
-            if let Some(prev) = steps.last_mut() {
-                prev.push(MicroOp::False { dst: r });
-            } else {
-                clears.push(r);
+    let take =
+        |alloc: &mut Allocator, steps: &mut Vec<Vec<MicroOp>>, clears: &mut Vec<RegId>| -> RegId {
+            let (r, stale) = alloc.alloc();
+            if stale {
+                if let Some(prev) = steps.last_mut() {
+                    prev.push(MicroOp::False { dst: r });
+                } else {
+                    clears.push(r);
+                }
             }
-        }
-        r
-    };
+            r
+        };
 
     for idx in 0..aig.len() {
         if !alive[idx] {
@@ -163,13 +164,28 @@ pub fn synthesize(aig: &Aig) -> AigRramCircuit {
             scratch.push(r);
             Operand::Reg(r)
         };
-        let a = resolve(kids[0], &mut alloc, &mut steps, &mut scratch, &mut inversions);
-        let b = resolve(kids[1], &mut alloc, &mut steps, &mut scratch, &mut inversions);
+        let a = resolve(
+            kids[0],
+            &mut alloc,
+            &mut steps,
+            &mut scratch,
+            &mut inversions,
+        );
+        let b = resolve(
+            kids[1],
+            &mut alloc,
+            &mut steps,
+            &mut scratch,
+            &mut inversions,
+        );
         let x = take(&mut alloc, &mut steps, &mut pending_clears);
         let v = take(&mut alloc, &mut steps, &mut pending_clears);
         steps.push(vec![MicroOp::Imp { p: b, q: x }]);
         steps.push(vec![MicroOp::Imp { p: a, q: x }]);
-        steps.push(vec![MicroOp::Imp { p: Operand::Reg(x), q: v }]);
+        steps.push(vec![MicroOp::Imp {
+            p: Operand::Reg(x),
+            q: v,
+        }]);
         scratch.push(x);
         for r in scratch {
             alloc.release(r);

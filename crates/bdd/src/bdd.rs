@@ -1,7 +1,7 @@
 //! A from-scratch reduced ordered binary decision diagram (ROBDD) package.
 //!
 //! This is the data structure behind the paper's first baseline
-//! (Chakraborti et al. [11]): plain ROBDDs — hash-consed, ITE-based, no
+//! (Chakraborti et al. \[11\]): plain ROBDDs — hash-consed, ITE-based, no
 //! complement edges (matching the cited work, where each node is realized
 //! as a 2:1 multiplexer on RRAMs).
 //!
@@ -91,8 +91,16 @@ impl BddManager {
         BddManager {
             nodes: vec![
                 // Terminal placeholders (level = sentinel beyond all vars).
-                Node { level: u32::MAX, lo: BddRef::ZERO, hi: BddRef::ZERO },
-                Node { level: u32::MAX, lo: BddRef::ONE, hi: BddRef::ONE },
+                Node {
+                    level: u32::MAX,
+                    lo: BddRef::ZERO,
+                    hi: BddRef::ZERO,
+                },
+                Node {
+                    level: u32::MAX,
+                    lo: BddRef::ONE,
+                    hi: BddRef::ONE,
+                },
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
@@ -187,10 +195,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let level = self
-            .level_of(f)
-            .min(self.level_of(g))
-            .min(self.level_of(h));
+        let level = self.level_of(f).min(self.level_of(g)).min(self.level_of(h));
         let cof = |m: &Self, x: BddRef, hi: bool| -> BddRef {
             if m.level_of(x) == level {
                 let n = m.nodes[x.0 as usize];
@@ -296,12 +301,7 @@ impl BddManager {
     pub fn sat_count(&self, f: BddRef) -> u64 {
         let n = self.num_vars() as u32;
         let mut cache: HashMap<BddRef, u64> = HashMap::new();
-        fn go(
-            m: &BddManager,
-            f: BddRef,
-            cache: &mut HashMap<BddRef, u64>,
-            n: u32,
-        ) -> u64 {
+        fn go(m: &BddManager, f: BddRef, cache: &mut HashMap<BddRef, u64>, n: u32) -> u64 {
             // Counts assignments over the variables strictly below f's level.
             if let Some(v) = f.terminal_value() {
                 return if v { 1 } else { 0 };

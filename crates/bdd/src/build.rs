@@ -99,15 +99,24 @@ pub fn from_netlist(nl: &Netlist, ordering: Ordering) -> BddCircuit {
     for (idx, gate) in nl.gates() {
         let r = match gate.kind {
             GateKind::And => {
-                let (a, b) = (rd(&mut m, &map, gate.fanins[0]), rd(&mut m, &map, gate.fanins[1]));
+                let (a, b) = (
+                    rd(&mut m, &map, gate.fanins[0]),
+                    rd(&mut m, &map, gate.fanins[1]),
+                );
                 m.and(a, b)
             }
             GateKind::Or => {
-                let (a, b) = (rd(&mut m, &map, gate.fanins[0]), rd(&mut m, &map, gate.fanins[1]));
+                let (a, b) = (
+                    rd(&mut m, &map, gate.fanins[0]),
+                    rd(&mut m, &map, gate.fanins[1]),
+                );
                 m.or(a, b)
             }
             GateKind::Xor => {
-                let (a, b) = (rd(&mut m, &map, gate.fanins[0]), rd(&mut m, &map, gate.fanins[1]));
+                let (a, b) = (
+                    rd(&mut m, &map, gate.fanins[0]),
+                    rd(&mut m, &map, gate.fanins[1]),
+                );
                 m.xor(a, b)
             }
             GateKind::Maj => {

@@ -1,14 +1,14 @@
 //! Binary decision diagrams and the BDD→RRAM synthesis baseline.
 //!
 //! The paper compares its MIG flow against the BDD-based RRAM synthesis of
-//! Chakraborti et al. [11] (Table III, left half). This crate provides the
+//! Chakraborti et al. \[11\] (Table III, left half). This crate provides the
 //! complete substrate for that comparison:
 //!
 //! - [`bdd`] — a from-scratch hash-consed ROBDD package (ITE with computed
 //!   table, satisfiability counting, reachability),
 //! - [`build`] — netlist→BDD conversion with static variable-ordering
 //!   heuristics, and
-//! - [`rram_synth`] — the mux-per-node IMP realization of [11], emitted as
+//! - [`rram_synth`] — the mux-per-node IMP realization of \[11\], emitted as
 //!   an executable [`rms_rram::Program`].
 //!
 //! # Example
@@ -24,6 +24,11 @@
 //! assert!(rram.steps() > 0);
 //! # }
 //! ```
+
+//!
+//! Within the workspace this crate is the other Table III baseline
+//! (next to `rms-aig`); see `ARCHITECTURE.md` at the repository root
+//! for how the baselines share the RRAM machine with the MIG flow.
 
 pub mod bdd;
 pub mod build;

@@ -1,4 +1,4 @@
-//! BDD-based RRAM synthesis — the baseline of Chakraborti et al. [11].
+//! BDD-based RRAM synthesis — the baseline of Chakraborti et al. \[11\].
 //!
 //! Every BDD node is a 2:1 multiplexer `v = s ? hi : lo` realized with
 //! material implication. Nodes are evaluated bottom-up (terminal-adjacent
@@ -18,9 +18,9 @@
 //! The resulting step count is `5 · Σ_level ⌈width/row_capacity⌉` — linear
 //! in the number of decision levels for thin BDDs (e.g. `parity`) and
 //! super-linear for wide ones (e.g. `apex4`-class functions), matching the
-//! scaling [11] reports. The `row_capacity` default of 24 was calibrated so
-//! the emitted step counts land in the range of [11]'s Table (see
-//! EXPERIMENTS.md); the ablation bench sweeps it.
+//! scaling \[11\] reports. The `row_capacity` default of 24 was calibrated so
+//! the emitted step counts land in the range of \[11\]'s table; the
+//! ablation bench sweeps it.
 
 use crate::bdd::BddRef;
 use crate::build::BddCircuit;
@@ -50,7 +50,7 @@ pub struct BddRramCircuit {
     pub devices: u64,
     /// Peak number of devices holding *values* (node results awaiting
     /// their consumers) — the array-retention footprint, which is the
-    /// closest analogue of the `R` numbers [11] reports.
+    /// closest analogue of the `R` numbers \[11\] reports.
     pub value_devices: u64,
     /// Distinct BDD nodes implemented.
     pub nodes: u64,
@@ -201,14 +201,29 @@ pub fn synthesize(circ: &BddCircuit, opts: &BddSynthOptions) -> BddRramCircuit {
                 ]);
                 phases[1].extend([
                     MicroOp::Imp { p: s, q: nt },
-                    MicroOp::Imp { p: Operand::Reg(ns), q: te },
+                    MicroOp::Imp {
+                        p: Operand::Reg(ns),
+                        q: te,
+                    },
                 ]);
                 phases[2].extend([
-                    MicroOp::Imp { p: Operand::Reg(nt), q: a },
-                    MicroOp::Imp { p: Operand::Reg(te), q: b },
+                    MicroOp::Imp {
+                        p: Operand::Reg(nt),
+                        q: a,
+                    },
+                    MicroOp::Imp {
+                        p: Operand::Reg(te),
+                        q: b,
+                    },
                 ]);
-                phases[3].push(MicroOp::Imp { p: Operand::Reg(a), q: na });
-                phases[4].push(MicroOp::Imp { p: Operand::Reg(na), q: b });
+                phases[3].push(MicroOp::Imp {
+                    p: Operand::Reg(a),
+                    q: na,
+                });
+                phases[4].push(MicroOp::Imp {
+                    p: Operand::Reg(na),
+                    q: b,
+                });
                 outs.push((node, b));
             }
             // Clears of reused devices ride with the previous step.

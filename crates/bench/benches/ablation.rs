@@ -1,60 +1,47 @@
-//! Ablation benches for the design choices called out in DESIGN.md:
+//! Ablation benches for the design choices called out in ARCHITECTURE.md:
 //!
 //! - `effort` sweep: how many cycles the algorithms actually need,
 //! - guarded vs. unguarded inverter propagation,
-//! - BDD crossbar row capacity (the calibrated constant of the [11]
+//! - BDD crossbar row capacity (the calibrated constant of the \[11\]
 //!   baseline model).
+//!
+//! Run with `cargo bench -p rms-bench --bench ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rms_bdd::{build as bdd_build, rram_synth as bdd_rram, BddSynthOptions};
+use rms_bench::timing::{bench, group};
 use rms_core::cost::Realization;
 use rms_core::opt::{optimize_steps, OptOptions};
 use rms_core::rewrite::{inverter_propagation, InverterCases};
 use rms_core::Mig;
 use rms_logic::bench_suite;
 
-fn effort_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/effort");
-    group.sample_size(10);
+fn main() {
+    group("ablation/effort");
     let mig = Mig::from_netlist(&bench_suite::build("misex3").expect("known benchmark"));
     for effort in [1usize, 5, 10, 40] {
         let opts = OptOptions::with_effort(effort);
-        group.bench_with_input(BenchmarkId::from_parameter(effort), &mig, |b, mig| {
-            b.iter(|| optimize_steps(mig, Realization::Maj, &opts))
+        bench(&format!("effort={effort}"), 10, || {
+            optimize_steps(&mig, Realization::Maj, &opts)
         });
     }
-    group.finish();
-}
 
-fn inverter_guard(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/inverter_guard");
-    group.sample_size(20);
+    group("ablation/inverter_guard");
     let mig = Mig::from_netlist(&bench_suite::build("apex7").expect("known benchmark"));
     for guarded in [false, true] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(guarded),
-            &mig,
-            |b, mig| b.iter(|| inverter_propagation(mig, InverterCases::ALL, guarded)),
-        );
+        bench(&format!("guarded={guarded}"), 20, || {
+            inverter_propagation(&mig, InverterCases::ALL, guarded)
+        });
     }
-    group.finish();
-}
 
-fn bdd_row_capacity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/bdd_row_capacity");
-    group.sample_size(10);
+    group("ablation/bdd_row_capacity");
     let nl = bench_suite::build("t481").expect("known benchmark");
     let circ = bdd_build::from_netlist(&nl, bdd_build::Ordering::DfsFromOutputs);
     for capacity in [1usize, 8, 24, 256] {
         let opts = BddSynthOptions {
             row_capacity: capacity,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(capacity), &circ, |b, circ| {
-            b.iter(|| bdd_rram::synthesize(circ, &opts))
+        bench(&format!("capacity={capacity}"), 10, || {
+            bdd_rram::synthesize(&circ, &opts)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, effort_sweep, inverter_guard, bdd_row_capacity);
-criterion_main!(benches);

@@ -1,7 +1,10 @@
-//! Criterion bench for the RRAM machine itself: the two majority-gate
-//! realizations of Figs. 3 / Sec. III-A2 and end-to-end compiled circuits.
+//! Bench for the RRAM machine itself: the two majority-gate realizations
+//! of Figs. 3 / Sec. III-A2, end-to-end compiled circuits, and the
+//! compilers.
+//!
+//! Run with `cargo bench -p rms-bench --bench rram_machine`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rms_bench::timing::{bench, group};
 use rms_core::cost::Realization;
 use rms_core::Mig;
 use rms_logic::bench_suite;
@@ -9,25 +12,24 @@ use rms_rram::compile::compile;
 use rms_rram::gates::{imp_majority_gate, maj_majority_gate};
 use rms_rram::machine::Machine;
 
-fn majority_gates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine/majority_gate");
+fn main() {
+    group("machine/majority_gate");
     let imp = imp_majority_gate();
     let maj = maj_majority_gate();
-    let inputs = [0xAAAA_AAAA_AAAA_AAAAu64, 0xCCCC_CCCC_CCCC_CCCC, 0xF0F0_F0F0_F0F0_F0F0];
-    group.bench_function("imp_10_steps", |b| {
-        let mut m = Machine::new();
-        b.iter(|| m.run_words(&imp, &inputs).expect("valid"))
+    let inputs = [
+        0xAAAA_AAAA_AAAA_AAAAu64,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+    ];
+    let mut m = Machine::new();
+    bench("imp_10_steps", 1000, || {
+        m.run_words(&imp, &inputs).expect("valid")
     });
-    group.bench_function("maj_3_steps", |b| {
-        let mut m = Machine::new();
-        b.iter(|| m.run_words(&maj, &inputs).expect("valid"))
+    bench("maj_3_steps", 1000, || {
+        m.run_words(&maj, &inputs).expect("valid")
     });
-    group.finish();
-}
 
-fn compiled_circuits(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine/compiled");
-    group.sample_size(20);
+    group("machine/compiled");
     for name in ["9sym_d", "clip", "t481"] {
         let mig = Mig::from_netlist(&bench_suite::build(name).expect("known benchmark"));
         for real in Realization::ALL {
@@ -35,34 +37,18 @@ fn compiled_circuits(c: &mut Criterion) {
             let inputs: Vec<u64> = (0..mig.num_inputs() as u64)
                 .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32))
                 .collect();
-            group.bench_with_input(
-                BenchmarkId::new(format!("{real}"), name),
-                &cc.program,
-                |b, prog| {
-                    let mut m = Machine::new();
-                    b.iter(|| m.run_words(prog, &inputs).expect("valid"))
-                },
-            );
+            let mut machine = Machine::new();
+            bench(&format!("{real}/{name}"), 100, || {
+                machine.run_words(&cc.program, &inputs).expect("valid")
+            });
         }
     }
-    group.finish();
-}
 
-fn compilation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine/compile");
-    group.sample_size(20);
+    group("machine/compile");
     for name in ["apex7", "misex3"] {
         let mig = Mig::from_netlist(&bench_suite::build(name).expect("known benchmark"));
         for real in Realization::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{real}"), name),
-                &mig,
-                |b, mig| b.iter(|| compile(mig, real)),
-            );
+            bench(&format!("{real}/{name}"), 20, || compile(&mig, real));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, majority_gates, compiled_circuits, compilation);
-criterion_main!(benches);

@@ -1,57 +1,42 @@
-//! Criterion bench for the Table III baselines: BDD construction +
-//! synthesis [11] and AIG synthesis [12], against the MIG flow.
+//! Bench for the Table III baselines: BDD construction + synthesis \[11\]
+//! and AIG synthesis \[12\], against the MIG flow.
+//!
+//! Run with `cargo bench -p rms-bench --bench table3`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rms_aig::Aig;
 use rms_bdd::{build as bdd_build, rram_synth as bdd_rram, BddSynthOptions};
+use rms_bench::timing::{bench, group};
 use rms_core::cost::Realization;
 use rms_core::opt::{self, OptOptions};
 use rms_core::Mig;
 use rms_logic::bench_suite;
 
-fn bdd_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3/bdd");
-    group.sample_size(10);
+fn main() {
+    group("table3/bdd");
     let synth = BddSynthOptions::default();
     for name in ["parity", "t481", "cordic"] {
         let nl = bench_suite::build(name).expect("known benchmark");
-        group.bench_with_input(BenchmarkId::new("synthesize", name), &nl, |b, nl| {
-            b.iter(|| {
-                let circ = bdd_build::from_netlist(nl, bdd_build::Ordering::DfsFromOutputs);
-                bdd_rram::synthesize(&circ, &synth)
-            })
+        bench(&format!("synthesize/{name}"), 10, || {
+            let circ = bdd_build::from_netlist(&nl, bdd_build::Ordering::DfsFromOutputs);
+            bdd_rram::synthesize(&circ, &synth)
         });
     }
-    group.finish();
-}
 
-fn aig_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3/aig");
-    group.sample_size(10);
+    group("table3/aig");
     for name in ["9sym_d", "sym10_d", "t481_d"] {
         let nl = bench_suite::build(name).expect("known benchmark");
-        group.bench_with_input(BenchmarkId::new("synthesize", name), &nl, |b, nl| {
-            b.iter(|| {
-                let aig = Aig::from_netlist(nl).balance();
-                rms_aig::rram_synth::synthesize(&aig)
-            })
+        bench(&format!("synthesize/{name}"), 10, || {
+            let aig = Aig::from_netlist(&nl).balance();
+            rms_aig::rram_synth::synthesize(&aig)
         });
     }
-    group.finish();
-}
 
-fn mig_flow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3/mig");
-    group.sample_size(10);
+    group("table3/mig");
     let opts = OptOptions::paper();
     for name in ["9sym_d", "sym10_d", "t481_d"] {
         let mig = Mig::from_netlist(&bench_suite::build(name).expect("known benchmark"));
-        group.bench_with_input(BenchmarkId::new("multi_objective", name), &mig, |b, mig| {
-            b.iter(|| opt::optimize_rram(mig, Realization::Maj, &opts))
+        bench(&format!("multi_objective/{name}"), 10, || {
+            opt::optimize_rram(&mig, Realization::Maj, &opts)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bdd_baseline, aig_baseline, mig_flow);
-criterion_main!(benches);

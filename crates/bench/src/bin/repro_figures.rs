@@ -6,76 +6,16 @@
 //! - Sec. III-A2: the three-step MAJ-based majority gate,
 //! - Fig. 4: the Ω.I R→L inverter-propagation example.
 //!
-//! Run with `cargo run --release -p rms-bench --bin repro_figures`.
+//! Thin wrapper over [`rms_bench::reports::figures_report`]. Expected
+//! output: each table printed with its self-check — both majority-gate
+//! programs must compute truth table `e8`, and the Fig. 4 rewrite must
+//! report `functions equivalent: true`.
+//!
+//! Run with `cargo run --release -p rms-bench --bin repro_figures`,
+//! or equivalently `rms bench --figures`.
 
-use rms_core::cost::LevelProfile;
-use rms_core::rewrite::{inverter_propagation, InverterCases};
-use rms_core::Mig;
-use rms_rram::device::{ImpGate, Rram};
-use rms_rram::gates::{imp_majority_gate, maj_majority_gate};
-use rms_rram::machine::Machine;
+use rms_bench::reports;
 
 fn main() {
-    println!("== Fig. 1(b): IMP truth table (q' = p IMP q) ==");
-    println!("p q | q'");
-    for p in [false, true] {
-        for q in [false, true] {
-            let mut g = ImpGate::new(p, q);
-            g.imply();
-            println!("{} {} | {}", p as u8, q as u8, g.q() as u8);
-        }
-    }
-
-    println!("\n== Fig. 2: intrinsic majority R' = M(P, !Q, R) ==");
-    println!("P Q R | R'");
-    for m in 0..8u32 {
-        let (p, q, r0) = (m & 4 != 0, m & 2 != 0, m & 1 != 0);
-        let mut r = Rram::new(r0);
-        r.apply(p, q);
-        println!("{} {} {} | {}", p as u8, q as u8, r0 as u8, r.state() as u8);
-    }
-
-    println!("\n== Fig. 3: IMP-based majority gate (6 RRAMs, 10 steps) ==");
-    let prog = imp_majority_gate();
-    print!("{}", prog.listing());
-    let tts = Machine::truth_tables(&prog).expect("valid program");
-    println!("computed function: {} (majority of 3 = e8)", tts[0]);
-
-    println!("\n== Sec. III-A2: MAJ-based majority gate (4 RRAMs, 3 steps) ==");
-    let prog = maj_majority_gate();
-    print!("{}", prog.listing());
-    let tts = Machine::truth_tables(&prog).expect("valid program");
-    println!("computed function: {} (majority of 3 = e8)", tts[0]);
-
-    println!("\n== Fig. 4: inverter propagation moving a complemented level ==");
-    let mut mig = Mig::with_inputs("fig4", 6);
-    let (x, u, y, z, v, w) = (
-        mig.input(0),
-        mig.input(1),
-        mig.input(2),
-        mig.input(3),
-        mig.input(4),
-        mig.input(5),
-    );
-    let a = mig.maj(u, y, z);
-    let b = mig.maj(z, v, w);
-    let top = mig.maj(x, !a, !b);
-    // The output edge is complemented, so the level above is already
-    // tainted: moving the pair of complements up releases the output level
-    // and removes one complemented edge from the critical level — exactly
-    // the effect Fig. 4 illustrates.
-    mig.add_output("f", !top);
-    let before = LevelProfile::of(&mig);
-    let opt = inverter_propagation(&mig, InverterCases::ALL, true);
-    let after = LevelProfile::of(&opt);
-    println!(
-        "before: complemented edges per level {:?} (L = {})",
-        before.compl_per_level, before.levels_with_compl
-    );
-    println!(
-        "after:  complemented edges per level {:?} (L = {})",
-        after.compl_per_level, after.levels_with_compl
-    );
-    let same = mig.truth_tables() == opt.truth_tables();
-    println!("functions equivalent: {same}");
+    print!("{}", reports::figures_report());
 }

@@ -2,47 +2,18 @@
 //! algorithm for the whole benchmark set is less than 3 seconds"
 //! (effort = 40).
 //!
-//! Run with `cargo run --release -p rms-bench --bin repro_runtime`.
+//! Thin wrapper over [`rms_bench::reports::runtime_report`]. Runs
+//! single-threaded on purpose — the claim is about per-algorithm speed,
+//! not sweep throughput. Expected output: one row per algorithm (plus
+//! Alg. 3 under IMP scoring), each with a whole-suite run-time under the
+//! paper's 3 s bound on any recent machine.
+//!
+//! Run with `cargo run --release -p rms-bench --bin repro_runtime`,
+//! or equivalently `rms bench --runtime`.
 
-use rms_bench::format::TextTable;
-use rms_core::cost::Realization;
-use rms_core::opt::{self, Algorithm, OptOptions};
-use rms_core::Mig;
-use rms_logic::bench_suite;
-use std::time::Instant;
+use rms_bench::reports;
+use rms_core::opt::OptOptions;
 
 fn main() {
-    let opts = OptOptions::paper();
-    let migs: Vec<Mig> = bench_suite::LARGE_SUITE
-        .iter()
-        .map(|info| Mig::from_netlist(&bench_suite::build_info(info)))
-        .collect();
-
-    let mut table = TextTable::new(&["algorithm", "whole-suite run-time", "paper bound"]);
-    for alg in Algorithm::ALL {
-        let t0 = Instant::now();
-        for mig in &migs {
-            let _ = alg.run(mig, Realization::Maj, &opts);
-        }
-        table.row(vec![
-            alg.to_string(),
-            format!("{:.2?}", t0.elapsed()),
-            "< 3 s".into(),
-        ]);
-    }
-    // The proposed algorithms also run per-realization; measure Alg. 3/4
-    // under IMP scoring as well.
-    for (name, real) in [("RRAM costs (IMP)", Realization::Imp)] {
-        let t0 = Instant::now();
-        for mig in &migs {
-            let _ = opt::optimize_rram(mig, real, &opts);
-        }
-        table.row(vec![
-            name.into(),
-            format!("{:.2?}", t0.elapsed()),
-            "< 3 s".into(),
-        ]);
-    }
-    println!("Run-time of each algorithm over the whole 25-benchmark suite (effort = 40)\n");
-    print!("{}", table.render());
+    print!("{}", reports::runtime_report(&OptOptions::paper()));
 }

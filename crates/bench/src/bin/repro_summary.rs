@@ -6,112 +6,16 @@
 //! - the 7.1x / 2.57x step advantages over the AIG baseline,
 //! - the "< 3 s for the whole benchmark set" run-time claim.
 //!
-//! Run with `cargo run --release -p rms-bench --bin repro_summary`.
+//! Thin wrapper over [`rms_bench::reports::summary_report`] at the
+//! paper's effort of 40. Expected output: one claim/paper/measured table
+//! whose measured column matches the paper's signs and magnitudes.
+//!
+//! Run with `cargo run --release -p rms-bench --bin repro_summary`,
+//! or equivalently `rms bench --summary` (the default `rms bench` section).
 
-use rms_bdd::BddSynthOptions;
-use rms_bench::format::{percent_change, ratio, TextTable};
-use rms_bench::runner;
+use rms_bench::reports;
 use rms_core::opt::OptOptions;
-use rms_logic::paper_data;
-use std::time::Instant;
 
 fn main() {
-    let opts = OptOptions::paper();
-    let t0 = Instant::now();
-    let t2 = runner::run_table2(&opts);
-    let runtime = t0.elapsed();
-    let bdd = runner::run_table3_bdd(&opts, &BddSynthOptions::default());
-    let aig = runner::run_table3_aig(&opts);
-
-    let sums: Vec<runner::Measured> = (0..6)
-        .map(|i| runner::sum_by(&t2, |r| r.columns()[i]))
-        .collect();
-    let p = runner::paper_table2_sums();
-
-    let mut table = TextTable::new(&["claim", "paper", "measured"]);
-
-    // Step reduction of the multi-objective algorithm vs. Alg. 1 (Sec. IV-B).
-    table.row(vec![
-        "RRAM-IMP steps vs Area-IMP".into(),
-        "-35.4%".into(),
-        percent_change(sums[2].steps, sums[0].steps),
-    ]);
-    // Step optimization vs. conventional depth optimization.
-    table.row(vec![
-        "Step-IMP steps vs Depth-IMP".into(),
-        "-30.4%".into(),
-        percent_change(sums[4].steps, sums[1].steps),
-    ]);
-    // Multi-objective trade-off against step optimization (MAJ).
-    table.row(vec![
-        "RRAM-MAJ devices vs Step-MAJ".into(),
-        "-19.8%".into(),
-        percent_change(sums[3].rrams, sums[5].rrams),
-    ]);
-    table.row(vec![
-        "RRAM-MAJ steps vs Step-MAJ".into(),
-        "+21.1%".into(),
-        percent_change(sums[3].steps, sums[5].steps),
-    ]);
-    // MAJ vs IMP realization on the same algorithm.
-    table.row(vec![
-        "Step-IMP / Step-MAJ step ratio".into(),
-        ratio(p[4].steps, p[5].steps),
-        ratio(sums[4].steps, sums[5].steps),
-    ]);
-
-    // BDD comparison.
-    let bdd_sum = runner::sum_by(&bdd, |r| r.bdd);
-    let maj_sum = runner::sum_by(&bdd, |r| r.mig_maj);
-    let imp_sum = runner::sum_by(&bdd, |r| r.mig_imp);
-    let pb = paper_data::TABLE3_BDD_SUM;
-    table.row(vec![
-        "BDD / MIG-MAJ step ratio".into(),
-        ratio(pb.bdd.steps, pb.mig_maj.steps),
-        ratio(bdd_sum.steps, maj_sum.steps),
-    ]);
-    table.row(vec![
-        "BDD / MIG-IMP step ratio".into(),
-        ratio(pb.bdd.steps, pb.mig_imp.steps),
-        ratio(bdd_sum.steps, imp_sum.steps),
-    ]);
-    table.row(vec![
-        "MIG-MAJ devices vs BDD".into(),
-        "+57.4%".into(),
-        percent_change(maj_sum.rrams, bdd_sum.rrams),
-    ]);
-    for name in ["apex6", "x3"] {
-        let m = bdd.iter().find(|r| r.info.name == name).expect("row");
-        let pr = paper_data::table3_bdd_row(name).expect("row");
-        table.row(vec![
-            format!("{name}: BDD / MIG-MAJ step ratio"),
-            ratio(pr.bdd.steps, pr.mig_maj.steps),
-            ratio(m.bdd.steps, m.mig_maj.steps),
-        ]);
-    }
-
-    // AIG comparison.
-    let aig_steps: u64 = aig.iter().map(|r| r.aig_steps).sum();
-    let maj_sum = runner::sum_by(&aig, |r| r.mig_maj);
-    let imp_sum = runner::sum_by(&aig, |r| r.mig_imp);
-    let pa = paper_data::TABLE3_AIG_SUM;
-    table.row(vec![
-        "AIG / MIG-MAJ step ratio".into(),
-        ratio(pa.aig_steps, pa.mig_maj.steps),
-        ratio(aig_steps, maj_sum.steps),
-    ]);
-    table.row(vec![
-        "AIG / MIG-IMP step ratio".into(),
-        ratio(pa.aig_steps, pa.mig_imp.steps),
-        ratio(aig_steps, imp_sum.steps),
-    ]);
-
-    table.row(vec![
-        "whole-suite optimization run-time".into(),
-        "< 3 s".into(),
-        format!("{runtime:.2?}"),
-    ]);
-
-    println!("Headline claims, paper vs. measured (substitute suite; compare signs/magnitudes)\n");
-    print!("{}", table.render());
+    print!("{}", reports::summary_report(&OptOptions::paper(), 0));
 }

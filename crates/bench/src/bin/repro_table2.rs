@@ -1,69 +1,18 @@
 //! Regenerates Table II: R and S for the 25 large benchmarks under all six
 //! optimizer/realization configurations, with the paper's values inline.
 //!
-//! Run with `cargo run --release -p rms-bench --bin repro_table2`.
+//! Thin wrapper over [`rms_bench::reports::table2_report`] at the paper's
+//! effort of 40, sweeping benchmarks in parallel on all cores. Expected
+//! output: 25 `R/S` rows plus measured and paper Σ rows of a similar
+//! shape (the substrate circuits are substitutes, so absolute values
+//! differ), and a whole-suite run-time well under the paper's 3 s bound.
+//!
+//! Run with `cargo run --release -p rms-bench --bin repro_table2`,
+//! or equivalently `rms bench --table2`.
 
-use rms_bench::format::{rs, TextTable};
-use rms_bench::runner::{self, Measured};
+use rms_bench::reports;
 use rms_core::opt::OptOptions;
-use rms_logic::paper_data;
-use std::time::Instant;
 
 fn main() {
-    let opts = OptOptions::paper(); // effort = 40, as Sec. IV-A
-    let t0 = Instant::now();
-    let rows = runner::run_table2(&opts);
-    let elapsed = t0.elapsed();
-
-    let mut table = TextTable::new(&[
-        "benchmark",
-        "in",
-        "Area-IMP",
-        "Depth-IMP",
-        "RRAM-IMP",
-        "RRAM-MAJ",
-        "Step-IMP",
-        "Step-MAJ",
-    ]);
-    for r in &rows {
-        table.row(vec![
-            r.info.name.to_string(),
-            r.info.inputs.to_string(),
-            rs(r.area_imp),
-            rs(r.depth_imp),
-            rs(r.rram_imp),
-            rs(r.rram_maj),
-            rs(r.step_imp),
-            rs(r.step_maj),
-        ]);
-    }
-    let sums: Vec<Measured> = (0..6)
-        .map(|i| runner::sum_by(&rows, |r| r.columns()[i]))
-        .collect();
-    table.row(vec![
-        "SUM (measured)".into(),
-        rows.iter().map(|r| r.info.inputs).sum::<usize>().to_string(),
-        rs(sums[0]),
-        rs(sums[1]),
-        rs(sums[2]),
-        rs(sums[3]),
-        rs(sums[4]),
-        rs(sums[5]),
-    ]);
-    let paper = runner::paper_table2_sums();
-    table.row(vec![
-        "SUM (paper)".into(),
-        paper_data::TABLE2_SUM.inputs.to_string(),
-        rs(paper[0]),
-        rs(paper[1]),
-        rs(paper[2]),
-        rs(paper[3]),
-        rs(paper[4]),
-        rs(paper[5]),
-    ]);
-
-    println!("Table II reproduction (R/S per configuration, effort = 40)");
-    println!("Substrate circuits are the embedded suite (see DESIGN.md); compare shapes, not absolutes.\n");
-    print!("{}", table.render());
-    println!("\noptimization run-time for the whole suite: {elapsed:.2?} (paper: < 3 s)");
+    print!("{}", reports::table2_report(&OptOptions::paper(), 0));
 }

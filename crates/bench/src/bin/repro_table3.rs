@@ -1,139 +1,23 @@
-//! Regenerates Table III: the proposed MIG flow vs. the BDD-based [11] and
-//! AIG-based [12] RRAM synthesis baselines, with the paper's values inline.
+//! Regenerates Table III: the proposed MIG flow vs. the BDD-based \[11\] and
+//! AIG-based \[12\] RRAM synthesis baselines, with the paper's values inline.
 //!
-//! Run with `cargo run --release -p rms-bench --bin repro_table3`.
+//! Thin wrapper over [`rms_bench::reports::table3_report`] at the paper's
+//! effort of 40, sweeping benchmarks in parallel on all cores. Expected
+//! output: the BDD comparison (left half) with aggregate BDD/MIG step
+//! ratios around the paper's ~8x, the callouts for the two 135-input
+//! benchmarks (~26x in the paper), and the AIG comparison (right half)
+//! with ratios in the 2.6–7x range.
+//!
+//! Run with `cargo run --release -p rms-bench --bin repro_table3`,
+//! or equivalently `rms bench --table3`.
 
 use rms_bdd::BddSynthOptions;
-use rms_bench::format::{ratio, rs, TextTable};
-use rms_bench::runner::{self, Measured};
+use rms_bench::reports;
 use rms_core::opt::OptOptions;
-use rms_logic::paper_data;
 
 fn main() {
-    let opts = OptOptions::paper();
-    let synth = BddSynthOptions::default();
-
-    // ---- Left half: BDD [11] ---------------------------------------------
-    let rows = runner::run_table3_bdd(&opts, &synth);
-    let mut table = TextTable::new(&[
-        "benchmark",
-        "in",
-        "BDD R/S",
-        "MIG-IMP R/S",
-        "MIG-MAJ R/S",
-        "paper BDD R/S",
-    ]);
-    for r in &rows {
-        let paper = paper_data::table3_bdd_row(r.info.name)
-            .map(|p| format!("{}/{}", p.bdd.rrams, p.bdd.steps))
-            .unwrap_or_else(|| "-".into());
-        table.row(vec![
-            r.info.name.to_string(),
-            r.info.inputs.to_string(),
-            rs(r.bdd),
-            rs(r.mig_imp),
-            rs(r.mig_maj),
-            paper,
-        ]);
-    }
-    let bdd_sum = runner::sum_by(&rows, |r| r.bdd);
-    let imp_sum = runner::sum_by(&rows, |r| r.mig_imp);
-    let maj_sum = runner::sum_by(&rows, |r| r.mig_maj);
-    table.row(vec![
-        "SUM (measured)".into(),
-        "".into(),
-        rs(bdd_sum),
-        rs(imp_sum),
-        rs(maj_sum),
-        "".into(),
-    ]);
-    let p = paper_data::TABLE3_BDD_SUM;
-    table.row(vec![
-        "SUM (paper)".into(),
-        "".into(),
-        format!("{}/{}", p.bdd.rrams, p.bdd.steps),
-        format!("{}/{}", p.mig_imp.rrams, p.mig_imp.steps),
-        format!("{}/{}", p.mig_maj.rrams, p.mig_maj.steps),
-        "".into(),
-    ]);
-    println!("Table III (left): MIG multi-objective flow vs. BDD-based synthesis [11]");
-    println!(
-        "BDD schedule: level-parallel muxes, row capacity {} (see rms-bdd docs)\n",
-        synth.row_capacity
+    print!(
+        "{}",
+        reports::table3_report(&OptOptions::paper(), &BddSynthOptions::default(), 0)
     );
-    print!("{}", table.render());
-    println!(
-        "\nstep ratio BDD / MIG-MAJ: measured {} (paper {}), BDD / MIG-IMP: measured {} (paper {})",
-        ratio(bdd_sum.steps, maj_sum.steps),
-        ratio(p.bdd.steps, p.mig_maj.steps),
-        ratio(bdd_sum.steps, imp_sum.steps),
-        ratio(p.bdd.steps, p.mig_imp.steps),
-    );
-    for name in ["apex6", "x3"] {
-        if let (Some(m), Some(pr)) = (
-            rows.iter().find(|r| r.info.name == name),
-            paper_data::table3_bdd_row(name),
-        ) {
-            println!(
-                "largest benchmark {name}: BDD/MIG-MAJ step ratio measured {} (paper {})",
-                ratio(m.bdd.steps, m.mig_maj.steps),
-                ratio(pr.bdd.steps, pr.mig_maj.steps)
-            );
-        }
-    }
-
-    // ---- Right half: AIG [12] --------------------------------------------
-    let rows = runner::run_table3_aig(&opts);
-    let mut table = TextTable::new(&[
-        "benchmark",
-        "in",
-        "AIG S",
-        "MIG-IMP R/S",
-        "MIG-MAJ R/S",
-        "paper AIG S",
-    ]);
-    for r in &rows {
-        let paper = paper_data::table3_aig_row(r.info.name)
-            .map(|p| p.aig_steps.to_string())
-            .unwrap_or_else(|| "-".into());
-        table.row(vec![
-            r.info.name.to_string(),
-            r.info.inputs.to_string(),
-            r.aig_steps.to_string(),
-            rs(r.mig_imp),
-            rs(r.mig_maj),
-            paper,
-        ]);
-    }
-    let aig_steps: u64 = rows.iter().map(|r| r.aig_steps).sum();
-    let imp_sum = runner::sum_by(&rows, |r| r.mig_imp);
-    let maj_sum = runner::sum_by(&rows, |r| r.mig_maj);
-    table.row(vec![
-        "SUM (measured)".into(),
-        "".into(),
-        aig_steps.to_string(),
-        rs(imp_sum),
-        rs(maj_sum),
-        "".into(),
-    ]);
-    let p = paper_data::TABLE3_AIG_SUM;
-    table.row(vec![
-        "SUM (paper)".into(),
-        "".into(),
-        p.aig_steps.to_string(),
-        format!("{}/{}", p.mig_imp.rrams, p.mig_imp.steps),
-        format!("{}/{}", p.mig_maj.rrams, p.mig_maj.steps),
-        "".into(),
-    ]);
-    println!("\nTable III (right): MIG multi-objective flow vs. AIG-based synthesis [12]");
-    println!("AIG schedule: node-serial implication sequences (see rms-aig docs)\n");
-    print!("{}", table.render());
-    println!(
-        "\nstep ratio AIG / MIG-MAJ: measured {} (paper {}), AIG / MIG-IMP: measured {} (paper {})",
-        ratio(aig_steps, maj_sum.steps),
-        ratio(p.aig_steps, p.mig_maj.steps),
-        ratio(aig_steps, imp_sum.steps),
-        ratio(p.aig_steps, p.mig_imp.steps),
-    );
-    let _ = Measured::default();
 }

@@ -1,10 +1,18 @@
 //! Executes the paper's evaluation flows over the embedded suites.
+//!
+//! Per-configuration work (optimize, then evaluate Table I) is delegated
+//! to [`rms_flow::optimize_cost`]; each `run_*` sweep exists in a
+//! sequential form and a parallel form (`*_par` / `*_jobs`) built on
+//! [`rms_flow::par`]. The parallel sweeps partition by benchmark and
+//! preserve row order, so they return bit-identical results to the
+//! sequential ones — a property the integration tests assert.
 
 use rms_aig::Aig;
 use rms_bdd::{build as bdd_build, rram_synth as bdd_rram, BddSynthOptions};
 use rms_core::cost::{Realization, RramCost};
-use rms_core::opt::{self, OptOptions};
+use rms_core::opt::{Algorithm, OptOptions};
 use rms_core::Mig;
+use rms_flow::{optimize_cost, par};
 use rms_logic::bench_suite::{self, BenchmarkInfo};
 use rms_logic::paper_data;
 
@@ -17,13 +25,21 @@ pub struct Measured {
     pub steps: u64,
 }
 
-impl Measured {
-    fn of(mig: &Mig, realization: Realization) -> Self {
-        let c = RramCost::of(mig, realization);
+impl From<RramCost> for Measured {
+    fn from(c: RramCost) -> Self {
         Measured {
             rrams: c.rrams,
             steps: c.steps,
         }
+    }
+}
+
+/// Resolves a worker count: `0` means the default pool size.
+fn workers(jobs: usize) -> usize {
+    if jobs == 0 {
+        par::num_threads()
+    } else {
+        jobs
     }
 }
 
@@ -60,27 +76,37 @@ impl Table2Measured {
     }
 }
 
+/// The six Table II configurations as (algorithm, realization) pairs, in
+/// column order.
+pub const TABLE2_CONFIGS: [(Algorithm, Realization); 6] = [
+    (Algorithm::Area, Realization::Imp),
+    (Algorithm::Depth, Realization::Imp),
+    (Algorithm::RramCosts, Realization::Imp),
+    (Algorithm::RramCosts, Realization::Maj),
+    (Algorithm::Steps, Realization::Imp),
+    (Algorithm::Steps, Realization::Maj),
+];
+
 /// Runs the Table II evaluation for one benchmark.
 pub fn run_table2_row(info: &'static BenchmarkInfo, opts: &OptOptions) -> Table2Measured {
     let mig = Mig::from_netlist(&bench_suite::build_info(info));
-    let area = opt::optimize_area(&mig, opts);
-    let depth = opt::optimize_depth(&mig, opts);
-    let rram_i = opt::optimize_rram(&mig, Realization::Imp, opts);
-    let rram_m = opt::optimize_rram(&mig, Realization::Maj, opts);
-    let step_i = opt::optimize_steps(&mig, Realization::Imp, opts);
-    let step_m = opt::optimize_steps(&mig, Realization::Maj, opts);
+    let cols: Vec<Measured> = TABLE2_CONFIGS
+        .iter()
+        .map(|&(alg, real)| optimize_cost(&mig, alg, real, opts).1.into())
+        .collect();
     Table2Measured {
         info,
-        area_imp: Measured::of(&area, Realization::Imp),
-        depth_imp: Measured::of(&depth, Realization::Imp),
-        rram_imp: Measured::of(&rram_i, Realization::Imp),
-        rram_maj: Measured::of(&rram_m, Realization::Maj),
-        step_imp: Measured::of(&step_i, Realization::Imp),
-        step_maj: Measured::of(&step_m, Realization::Maj),
+        area_imp: cols[0],
+        depth_imp: cols[1],
+        rram_imp: cols[2],
+        rram_maj: cols[3],
+        step_imp: cols[4],
+        step_maj: cols[5],
     }
 }
 
-/// Runs the full Table II evaluation (25 benchmarks, six configurations).
+/// Runs the full Table II evaluation (25 benchmarks, six configurations)
+/// sequentially.
 pub fn run_table2(opts: &OptOptions) -> Vec<Table2Measured> {
     bench_suite::LARGE_SUITE
         .iter()
@@ -88,12 +114,24 @@ pub fn run_table2(opts: &OptOptions) -> Vec<Table2Measured> {
         .collect()
 }
 
+/// Runs the full Table II evaluation on `jobs` worker threads (`0` =
+/// all cores). Rows come back in suite order, identical to [`run_table2`].
+pub fn run_table2_jobs(opts: &OptOptions, jobs: usize) -> Vec<Table2Measured> {
+    let infos: Vec<&'static BenchmarkInfo> = bench_suite::LARGE_SUITE.iter().collect();
+    par::par_map_threads(&infos, workers(jobs), |info| run_table2_row(info, opts))
+}
+
+/// Runs the full Table II evaluation on the default thread pool.
+pub fn run_table2_par(opts: &OptOptions) -> Vec<Table2Measured> {
+    run_table2_jobs(opts, 0)
+}
+
 /// One measured row of Table III's left half (BDD comparison).
 #[derive(Debug, Clone)]
 pub struct Table3BddMeasured {
     /// Benchmark descriptor.
     pub info: &'static BenchmarkInfo,
-    /// BDD baseline of [11] (level-parallel mux schedule).
+    /// BDD baseline of \[11\] (level-parallel mux schedule).
     pub bdd: Measured,
     /// MIG multi-objective flow, IMP realization.
     pub mig_imp: Measured,
@@ -113,8 +151,8 @@ pub fn run_table3_bdd_row(
     let circ = bdd_build::from_netlist(&nl, bdd_build::Ordering::DfsFromOutputs);
     let bdd = bdd_rram::synthesize(&circ, synth);
     let mig = Mig::from_netlist(&nl);
-    let rram_i = opt::optimize_rram(&mig, Realization::Imp, opts);
-    let rram_m = opt::optimize_rram(&mig, Realization::Maj, opts);
+    let rram_i = optimize_cost(&mig, Algorithm::RramCosts, Realization::Imp, opts).1;
+    let rram_m = optimize_cost(&mig, Algorithm::RramCosts, Realization::Maj, opts).1;
     Table3BddMeasured {
         info,
         bdd: Measured {
@@ -123,13 +161,13 @@ pub fn run_table3_bdd_row(
             rrams: bdd.value_devices,
             steps: bdd.steps(),
         },
-        mig_imp: Measured::of(&rram_i, Realization::Imp),
-        mig_maj: Measured::of(&rram_m, Realization::Maj),
+        mig_imp: rram_i.into(),
+        mig_maj: rram_m.into(),
         bdd_nodes: bdd.nodes,
     }
 }
 
-/// Runs the full BDD comparison (Table III left).
+/// Runs the full BDD comparison (Table III left) sequentially.
 pub fn run_table3_bdd(opts: &OptOptions, synth: &BddSynthOptions) -> Vec<Table3BddMeasured> {
     bench_suite::LARGE_SUITE
         .iter()
@@ -137,12 +175,25 @@ pub fn run_table3_bdd(opts: &OptOptions, synth: &BddSynthOptions) -> Vec<Table3B
         .collect()
 }
 
+/// Runs the full BDD comparison on `jobs` worker threads (`0` = all
+/// cores), identical to [`run_table3_bdd`].
+pub fn run_table3_bdd_jobs(
+    opts: &OptOptions,
+    synth: &BddSynthOptions,
+    jobs: usize,
+) -> Vec<Table3BddMeasured> {
+    let infos: Vec<&'static BenchmarkInfo> = bench_suite::LARGE_SUITE.iter().collect();
+    par::par_map_threads(&infos, workers(jobs), |info| {
+        run_table3_bdd_row(info, opts, synth)
+    })
+}
+
 /// One measured row of Table III's right half (AIG comparison).
 #[derive(Debug, Clone)]
 pub struct Table3AigMeasured {
     /// Benchmark descriptor.
     pub info: &'static BenchmarkInfo,
-    /// Steps of the node-serial AIG baseline of [12].
+    /// Steps of the node-serial AIG baseline of \[12\].
     pub aig_steps: u64,
     /// AIG node count after balancing.
     pub aig_nodes: u64,
@@ -158,23 +209,30 @@ pub fn run_table3_aig_row(info: &'static BenchmarkInfo, opts: &OptOptions) -> Ta
     let aig = Aig::from_netlist(&nl).balance();
     let circuit = rms_aig::rram_synth::synthesize(&aig);
     let mig = Mig::from_netlist(&nl);
-    let rram_i = opt::optimize_rram(&mig, Realization::Imp, opts);
-    let rram_m = opt::optimize_rram(&mig, Realization::Maj, opts);
+    let rram_i = optimize_cost(&mig, Algorithm::RramCosts, Realization::Imp, opts).1;
+    let rram_m = optimize_cost(&mig, Algorithm::RramCosts, Realization::Maj, opts).1;
     Table3AigMeasured {
         info,
         aig_steps: circuit.steps(),
         aig_nodes: circuit.nodes,
-        mig_imp: Measured::of(&rram_i, Realization::Imp),
-        mig_maj: Measured::of(&rram_m, Realization::Maj),
+        mig_imp: rram_i.into(),
+        mig_maj: rram_m.into(),
     }
 }
 
-/// Runs the full AIG comparison (Table III right).
+/// Runs the full AIG comparison (Table III right) sequentially.
 pub fn run_table3_aig(opts: &OptOptions) -> Vec<Table3AigMeasured> {
     bench_suite::SMALL_SUITE
         .iter()
         .map(|info| run_table3_aig_row(info, opts))
         .collect()
+}
+
+/// Runs the full AIG comparison on `jobs` worker threads (`0` = all
+/// cores), identical to [`run_table3_aig`].
+pub fn run_table3_aig_jobs(opts: &OptOptions, jobs: usize) -> Vec<Table3AigMeasured> {
+    let infos: Vec<&'static BenchmarkInfo> = bench_suite::SMALL_SUITE.iter().collect();
+    par::par_map_threads(&infos, workers(jobs), |info| run_table3_aig_row(info, opts))
 }
 
 /// Sum of a column over rows.
@@ -191,7 +249,15 @@ pub fn sum_by<T>(rows: &[T], f: impl Fn(&T) -> Measured) -> Measured {
 /// The paper-reported Σ row of Table II as `Measured` columns.
 pub fn paper_table2_sums() -> [Measured; 6] {
     let s = paper_data::TABLE2_SUM;
-    [s.area_imp, s.depth_imp, s.rram_imp, s.rram_maj, s.step_imp, s.step_maj].map(|r| Measured {
+    [
+        s.area_imp,
+        s.depth_imp,
+        s.rram_imp,
+        s.rram_maj,
+        s.step_imp,
+        s.step_maj,
+    ]
+    .map(|r| Measured {
         rrams: r.rrams,
         steps: r.steps,
     })
@@ -241,5 +307,22 @@ mod tests {
         ];
         let s = sum_by(&rows, |m| *m);
         assert_eq!(s, Measured { rrams: 4, steps: 6 });
+    }
+
+    #[test]
+    fn parallel_aig_sweep_matches_sequential() {
+        // The (cheap) small-suite sweep: the parallel runner must return
+        // row-identical results. Table II parallel equality is covered at
+        // the integration level.
+        let opts = OptOptions::with_effort(4);
+        let seq = run_table3_aig(&opts);
+        let par2 = run_table3_aig_jobs(&opts, 2);
+        assert_eq!(seq.len(), par2.len());
+        for (a, b) in seq.iter().zip(&par2) {
+            assert_eq!(a.info.name, b.info.name);
+            assert_eq!(a.aig_steps, b.aig_steps);
+            assert_eq!(a.mig_imp, b.mig_imp);
+            assert_eq!(a.mig_maj, b.mig_maj);
+        }
     }
 }

@@ -1,0 +1,47 @@
+//! A minimal stopwatch harness for the `benches/` targets.
+//!
+//! The build environment is offline, so the workspace cannot depend on
+//! Criterion; the bench targets instead use this module with
+//! `harness = false`. Results print as `name  min/avg over N iters`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times `f` for `iters` iterations (after one warm-up call) and prints
+/// the minimum and mean wall-clock time per iteration.
+pub fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
+    assert!(iters > 0);
+    black_box(f());
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        min = min.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<48} min {min:>10.2?}  avg {:>10.2?}  ({iters} iters)",
+        total / iters as u32
+    );
+}
+
+/// Prints a section header so grouped benches read like Criterion groups.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_runs_and_prints() {
+        super::group("test");
+        let mut n = 0u64;
+        super::bench("increment", 3, || {
+            n += 1;
+            n
+        });
+        assert!(n >= 4); // warm-up + 3 iterations
+    }
+}

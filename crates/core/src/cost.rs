@@ -243,7 +243,10 @@ mod tests {
         // IMP: R = max(6*2+1, 6*1+1, 0) = 13 ; S = 10*2 + 2 = 22
         assert_eq!(
             RramCost::of(&m, Realization::Imp),
-            RramCost { rrams: 13, steps: 22 }
+            RramCost {
+                rrams: 13,
+                steps: 22
+            }
         );
         // MAJ: R = max(4*2+1, 4*1+1, 0) = 9 ; S = 3*2 + 2 = 8
         assert_eq!(

@@ -29,6 +29,12 @@
 //! # }
 //! ```
 
+//!
+//! This crate is the optimization layer of the workspace; see
+//! `ARCHITECTURE.md` at the repository root for the rewrite-pass and
+//! cost-model documentation, and `rms-flow` for the end-to-end pipeline
+//! that drives it.
+
 pub mod cost;
 pub mod mig;
 pub mod opt;

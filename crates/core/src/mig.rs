@@ -373,8 +373,7 @@ impl Mig {
     pub fn truth_tables(&self) -> Vec<TruthTable> {
         let n = self.num_inputs;
         assert!(n <= MAX_VARS, "too many inputs for exhaustive tables");
-        let mut tts: Vec<TruthTable> =
-            self.outputs.iter().map(|_| TruthTable::zero(n)).collect();
+        let mut tts: Vec<TruthTable> = self.outputs.iter().map(|_| TruthTable::zero(n)).collect();
         let total = 1u64 << n;
         let mut base = 0u64;
         while base < total {

@@ -15,9 +15,7 @@
 
 use crate::cost::{Realization, RramCost};
 use crate::mig::Mig;
-use crate::rewrite::{
-    eliminate, inverter_propagation, push_up, relevance, reshape, InverterCases,
-};
+use crate::rewrite::{eliminate, inverter_propagation, push_up, relevance, reshape, InverterCases};
 
 /// Options shared by the optimization algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +53,12 @@ impl OptOptions {
 /// Fingerprint used for the early-exit fixpoint check.
 fn fingerprint(mig: &Mig) -> (usize, u32, u64, u64) {
     let s = crate::cost::MigStats::of(mig);
-    (mig.num_gates(), mig.depth(), s.complemented_edges, s.levels_with_compl)
+    (
+        mig.num_gates(),
+        mig.depth(),
+        s.complemented_edges,
+        s.levels_with_compl,
+    )
 }
 
 /// Generic driver: runs `cycle` up to `effort` times, tracking the iterate

@@ -77,10 +77,7 @@ struct NodeCtx {
 /// The hook receives the new graph (for matching and node creation) and the
 /// node context; it returns the signal that replaces the node. The default
 /// behaviour is `out.maj(kids)`.
-fn transform(
-    mig: &Mig,
-    mut hook: impl FnMut(&mut Mig, &NodeCtx) -> MigSignal,
-) -> Mig {
+fn transform(mig: &Mig, mut hook: impl FnMut(&mut Mig, &NodeCtx) -> MigSignal) -> Mig {
     let fanout = mig.fanout_counts();
     let mut out = Mig::with_inputs(mig.name().to_string(), mig.num_inputs());
     let mut map: Vec<MigSignal> = Vec::with_capacity(mig.len());
@@ -129,9 +126,7 @@ pub fn eliminate(mig: &Mig) -> Mig {
             if ctx.old_fanout[i] != 1 || ctx.old_fanout[j] != 1 {
                 continue;
             }
-            let (Some(ca), Some(cb)) =
-                (out.children_through(a), out.children_through(b))
-            else {
+            let (Some(ca), Some(cb)) = (out.children_through(a), out.children_through(b)) else {
                 continue;
             };
             // Multiset intersection of the two child sets.
@@ -437,8 +432,8 @@ fn guard_vector(mig: &Mig, cases: InverterCases) -> Vec<bool> {
             // Beneficial if the firing nodes jointly clear this level, or
             // if every level receiving the complement is already tainted.
             let clears = eligible_compl_at[lvl] == compl_at[lvl];
-            let fanouts_tainted = !fanout_lvls[idx].is_empty()
-                && fanout_lvls[idx].iter().all(|&l| compl_at[l] > 0);
+            let fanouts_tainted =
+                !fanout_lvls[idx].is_empty() && fanout_lvls[idx].iter().all(|&l| compl_at[l] > 0);
             allowed[idx] = clears || fanouts_tainted;
         }
     }
@@ -462,13 +457,7 @@ mod tests {
     }
 
     const SAMPLES: &[&str] = &[
-        "rd53_f2",
-        "exam3_d",
-        "newill_d",
-        "con1_f1",
-        "9sym_d",
-        "clip",
-        "sao2_f4",
+        "rd53_f2", "exam3_d", "newill_d", "con1_f1", "9sym_d", "clip", "sao2_f4",
     ];
 
     #[test]
@@ -485,8 +474,7 @@ mod tests {
     fn eliminate_merges_shared_pair() {
         // M(M(x,y,u), M(x,y,v), z) -> M(x, y, M(u,v,z)): 3 nodes -> 2.
         let mut m = Mig::with_inputs("t", 5);
-        let (x, y, u, v, z) =
-            (m.input(0), m.input(1), m.input(2), m.input(3), m.input(4));
+        let (x, y, u, v, z) = (m.input(0), m.input(1), m.input(2), m.input(3), m.input(4));
         let a = m.maj(x, y, u);
         let b = m.maj(x, y, v);
         let top = m.maj(a, b, z);
@@ -514,7 +502,12 @@ mod tests {
             let m = bench_mig(name);
             let p = push_up(&m);
             assert_equiv(&m, &p, name);
-            assert!(p.depth() <= m.depth(), "{name}: {} > {}", p.depth(), m.depth());
+            assert!(
+                p.depth() <= m.depth(),
+                "{name}: {} > {}",
+                p.depth(),
+                m.depth()
+            );
         }
     }
 
@@ -562,10 +555,7 @@ mod tests {
         // The inner node now contains ȳ instead of x.
         let inner_kids = r
             .maj_children(r.outputs()[0].1.node())
-            .and_then(|kids| {
-                kids.iter()
-                    .find_map(|k| r.children_through(*k))
-            })
+            .and_then(|kids| kids.iter().find_map(|k| r.children_through(*k)))
             .expect("inner node");
         assert!(inner_kids.contains(&!r.input(1)), "{inner_kids:?}");
     }

@@ -1,0 +1,69 @@
+//! Error type shared by the pipeline stages.
+
+use rms_logic::ParseCircuitError;
+use std::fmt;
+
+/// Anything that can go wrong between reading a circuit and producing a
+/// verified RRAM program.
+#[derive(Debug)]
+pub enum FlowError {
+    /// A file could not be read.
+    Io {
+        /// Path as given by the user.
+        path: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The circuit description was malformed.
+    Parse(ParseCircuitError),
+    /// An embedded benchmark name was not found.
+    UnknownBenchmark(String),
+    /// A requested configuration is outside what a stage supports (for
+    /// example a BDD frontend on a circuit too wide for truth tables).
+    Unsupported(String),
+    /// The compiled program disagreed with the reference netlist.
+    Verification(String),
+}
+
+impl FlowError {
+    /// Wraps an I/O error with the offending path.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        FlowError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Io { path, source } => write!(f, "{path}: {source}"),
+            FlowError::Parse(e) => write!(f, "parse error: {e}"),
+            FlowError::UnknownBenchmark(name) => {
+                write!(
+                    f,
+                    "unknown embedded benchmark {name:?} (see `rms bench --list`)"
+                )
+            }
+            FlowError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            FlowError::Verification(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Io { source, .. } => Some(source),
+            FlowError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseCircuitError> for FlowError {
+    fn from(e: ParseCircuitError) -> Self {
+        FlowError::Parse(e)
+    }
+}

@@ -1,0 +1,423 @@
+//! Circuit input loading for the pipeline: BLIF, PLA, Boolean
+//! expressions, raw truth tables, and the embedded benchmark suites.
+//!
+//! Formats are chosen by file extension and fall back to content
+//! sniffing, so `rms run --input adder.blif` and `rms run --input spec.tt`
+//! both do the right thing without a `--format` flag.
+//!
+//! | Format | Extensions | Shape |
+//! |---|---|---|
+//! | [`InputFormat::Blif`] | `.blif` | `.model/.inputs/.outputs/.names` sections |
+//! | [`InputFormat::Pla`]  | `.pla`  | Espresso `.i/.o/.p` two-level covers |
+//! | [`InputFormat::Expr`] | `.expr`, `.eqn` | one `name = expression` per line |
+//! | [`InputFormat::TruthTable`] | `.tt` | one `name = bits` per line, hex (`0xe8`) or binary |
+//!
+//! Truth-table bit strings follow the ABC convention also used by
+//! [`rms_logic::tt::TruthTable`]'s `Display`: the **rightmost** character
+//! is minterm 0, so `0xe8` is the majority of three inputs.
+
+use crate::error::FlowError;
+use rms_logic::expr::{Expr, ExprNode};
+use rms_logic::netlist::{Netlist, NetlistBuilder, Wire};
+use rms_logic::tt::{TruthTable, MAX_VARS};
+use rms_logic::{bench_suite, blif, pla, synth};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A circuit description format the pipeline can ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputFormat {
+    /// Berkeley Logic Interchange Format (combinational subset).
+    Blif,
+    /// Espresso PLA two-level covers.
+    Pla,
+    /// Boolean expression lines (`f = maj(a, b, c) ^ !d`).
+    Expr,
+    /// Raw truth tables (`f = 0xe8`).
+    TruthTable,
+}
+
+impl InputFormat {
+    /// All formats, for help messages.
+    pub const ALL: [InputFormat; 4] = [
+        InputFormat::Blif,
+        InputFormat::Pla,
+        InputFormat::Expr,
+        InputFormat::TruthTable,
+    ];
+
+    /// Guesses the format from a file extension.
+    pub fn from_extension(path: &Path) -> Option<InputFormat> {
+        let ext = path.extension()?.to_str()?.to_ascii_lowercase();
+        match ext.as_str() {
+            "blif" => Some(InputFormat::Blif),
+            "pla" => Some(InputFormat::Pla),
+            "expr" | "eqn" | "bool" => Some(InputFormat::Expr),
+            "tt" | "truth" => Some(InputFormat::TruthTable),
+            _ => None,
+        }
+    }
+
+    /// Parses a format name as given on the command line.
+    pub fn from_name(name: &str) -> Option<InputFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "blif" => Some(InputFormat::Blif),
+            "pla" => Some(InputFormat::Pla),
+            "expr" | "expression" | "eqn" => Some(InputFormat::Expr),
+            "tt" | "truth-table" | "truthtable" => Some(InputFormat::TruthTable),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for InputFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputFormat::Blif => write!(f, "blif"),
+            InputFormat::Pla => write!(f, "pla"),
+            InputFormat::Expr => write!(f, "expr"),
+            InputFormat::TruthTable => write!(f, "tt"),
+        }
+    }
+}
+
+/// Guesses the format of `text` from its first meaningful tokens.
+///
+/// BLIF starts with dot-directives like `.model`; PLA with `.i`/`.o`;
+/// truth-table files contain only bit strings on the value side; anything
+/// else is treated as an expression file.
+pub fn sniff_format(text: &str) -> InputFormat {
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(word) = line.split_whitespace().next() {
+            match word {
+                ".model" | ".inputs" | ".outputs" | ".names" | ".exdc" => return InputFormat::Blif,
+                ".i" | ".o" | ".p" | ".ilb" | ".ob" | ".type" => return InputFormat::Pla,
+                _ => {}
+            }
+        }
+        // A value line: `bits` or `name = bits`.
+        let value = line.rsplit('=').next().unwrap_or(line).trim();
+        let is_bits = value.strip_prefix("0x").map_or_else(
+            || !value.is_empty() && value.chars().all(|c| c == '0' || c == '1'),
+            |hex| !hex.is_empty() && hex.chars().all(|c| c.is_ascii_hexdigit()),
+        );
+        return if is_bits && (value.len() > 1 || line.contains('=')) {
+            InputFormat::TruthTable
+        } else {
+            InputFormat::Expr
+        };
+    }
+    InputFormat::Expr
+}
+
+/// Loads a circuit from a file, choosing the format by extension (with a
+/// content sniff as fallback).
+///
+/// # Errors
+///
+/// Returns [`FlowError::Io`] when the file cannot be read and
+/// [`FlowError::Parse`] when its contents are malformed.
+pub fn load_path(path: &Path) -> Result<Netlist, FlowError> {
+    if let Some(ext) = path.extension().and_then(|s| s.to_str()) {
+        if matches!(ext.to_ascii_lowercase().as_str(), "v" | "sv" | "verilog") {
+            return Err(FlowError::Unsupported(format!(
+                "{}: Verilog is an output format only (`--emit verilog`); \
+                 supply BLIF, PLA, expression, or truth-table input",
+                path.display()
+            )));
+        }
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| FlowError::io(path.display().to_string(), e))?;
+    let format = InputFormat::from_extension(path).unwrap_or_else(|| sniff_format(&text));
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    parse_str(format, &text, name)
+}
+
+/// Parses circuit text in an explicit format.
+///
+/// `name` is used for formats whose syntax carries no model name
+/// (expressions and truth tables).
+///
+/// # Errors
+///
+/// Returns [`FlowError::Parse`] when the text is malformed.
+pub fn parse_str(format: InputFormat, text: &str, name: &str) -> Result<Netlist, FlowError> {
+    match format {
+        InputFormat::Blif => blif::parse(text).map_err(FlowError::Parse),
+        InputFormat::Pla => pla::parse(text).map_err(FlowError::Parse),
+        InputFormat::Expr => parse_expr_file(text, name),
+        InputFormat::TruthTable => parse_tt_file(text, name),
+    }
+}
+
+/// Loads an embedded benchmark by name (see [`rms_logic::bench_suite`]).
+///
+/// # Errors
+///
+/// Returns [`FlowError::UnknownBenchmark`] listing valid names when the
+/// benchmark does not exist.
+pub fn load_bench(name: &str) -> Result<Netlist, FlowError> {
+    bench_suite::build(name).ok_or_else(|| FlowError::UnknownBenchmark(name.to_string()))
+}
+
+/// Parses an expression file: one `output = expression` per line.
+///
+/// Plain expression lines without `=` get synthesized output names `f0`,
+/// `f1`, … Variables are shared between lines by name, in order of first
+/// appearance across the whole file.
+fn parse_expr_file(text: &str, name: &str) -> Result<Netlist, FlowError> {
+    // Pass 1: parse every line, collecting the union of variables in
+    // first-appearance order (the builder requires all inputs to be
+    // declared before the first gate).
+    let mut parsed: Vec<(String, Expr)> = Vec::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (out_name, body) = match line.split_once('=') {
+            Some((lhs, rhs)) if !lhs.trim().is_empty() && !lhs.contains(['(', '!', '&']) => {
+                (lhs.trim().to_string(), rhs)
+            }
+            _ => (format!("f{}", parsed.len()), line),
+        };
+        let expr = Expr::parse(body).map_err(|e| {
+            FlowError::Parse(rms_logic::ParseCircuitError::at_line(
+                lineno + 1,
+                e.to_string(),
+            ))
+        })?;
+        for v in expr.variables() {
+            if !seen.contains_key(v) {
+                seen.insert(v.clone(), order.len());
+                order.push(v.clone());
+            }
+        }
+        parsed.push((out_name, expr));
+    }
+    if parsed.is_empty() {
+        return Err(FlowError::Parse(rms_logic::ParseCircuitError::new(
+            "expression file defines no outputs",
+        )));
+    }
+    // Pass 2: declare the inputs, then lower each expression.
+    let mut b = NetlistBuilder::new(name);
+    let input_wires: Vec<Wire> = order.iter().map(|v| b.input(v.clone())).collect();
+    let mut outputs: Vec<(String, Wire)> = Vec::new();
+    for (out_name, expr) in parsed {
+        // Map this expression's local variable indices to shared inputs.
+        let wires: Vec<Wire> = expr
+            .variables()
+            .iter()
+            .map(|v| input_wires[seen[v]])
+            .collect();
+        let w = lower_expr(expr.root(), &mut b, &wires);
+        outputs.push((out_name, w));
+    }
+    for (n, w) in outputs {
+        b.output(n, w);
+    }
+    Ok(b.build())
+}
+
+/// Recursively lowers an expression tree into netlist gates.
+fn lower_expr(node: &ExprNode, b: &mut NetlistBuilder, vars: &[Wire]) -> Wire {
+    match node {
+        ExprNode::Const(v) => {
+            if *v {
+                b.const1()
+            } else {
+                b.const0()
+            }
+        }
+        ExprNode::Var(i) => vars[*i],
+        ExprNode::Not(a) => {
+            let w = lower_expr(a, b, vars);
+            b.not(w)
+        }
+        ExprNode::And(x, y) => {
+            let (x, y) = (lower_expr(x, b, vars), lower_expr(y, b, vars));
+            b.and(x, y)
+        }
+        ExprNode::Or(x, y) => {
+            let (x, y) = (lower_expr(x, b, vars), lower_expr(y, b, vars));
+            b.or(x, y)
+        }
+        ExprNode::Xor(x, y) => {
+            let (x, y) = (lower_expr(x, b, vars), lower_expr(y, b, vars));
+            b.xor(x, y)
+        }
+        ExprNode::Maj(x, y, z) => {
+            let (x, y, z) = (
+                lower_expr(x, b, vars),
+                lower_expr(y, b, vars),
+                lower_expr(z, b, vars),
+            );
+            b.maj(x, y, z)
+        }
+        ExprNode::Mux(s, t, e) => {
+            let (s, t, e) = (
+                lower_expr(s, b, vars),
+                lower_expr(t, b, vars),
+                lower_expr(e, b, vars),
+            );
+            b.mux(s, t, e)
+        }
+    }
+}
+
+/// Parses a truth-table file: one `name = bits` (or bare `bits`) line per
+/// output, all over the same variable count.
+fn parse_tt_file(text: &str, name: &str) -> Result<Netlist, FlowError> {
+    let mut tts: Vec<TruthTable> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = line.rsplit('=').next().unwrap_or(line).trim();
+        let tt = parse_tt_bits(value)
+            .map_err(|m| FlowError::Parse(rms_logic::ParseCircuitError::at_line(lineno + 1, m)))?;
+        if let Some(first) = tts.first() {
+            if first.num_vars() != tt.num_vars() {
+                return Err(FlowError::Parse(rms_logic::ParseCircuitError::at_line(
+                    lineno + 1,
+                    format!(
+                        "table has {} variables but earlier lines have {}",
+                        tt.num_vars(),
+                        first.num_vars()
+                    ),
+                )));
+            }
+        }
+        tts.push(tt);
+    }
+    if tts.is_empty() {
+        return Err(FlowError::Parse(rms_logic::ParseCircuitError::new(
+            "truth-table file defines no outputs",
+        )));
+    }
+    Ok(synth::sop_netlist(name, &tts))
+}
+
+/// Parses one truth-table bit string (hex `0x…` or binary), rightmost
+/// character = minterm 0.
+fn parse_tt_bits(value: &str) -> Result<TruthTable, String> {
+    let (bits_per_char, digits) = match value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        Some(hex) => (4u64, hex),
+        None => (1, value),
+    };
+    if digits.is_empty() {
+        return Err("empty bit string".into());
+    }
+    let minterms = digits.len() as u64 * bits_per_char;
+    if !minterms.is_power_of_two() || minterms < 2 {
+        return Err(format!(
+            "bit string covers {minterms} minterms; need a power of two >= 2"
+        ));
+    }
+    let num_vars = minterms.trailing_zeros() as usize;
+    if num_vars > MAX_VARS {
+        return Err(format!(
+            "{num_vars} variables exceed the {MAX_VARS}-variable truth-table limit"
+        ));
+    }
+    let mut values = Vec::with_capacity(minterms as usize);
+    for c in digits.chars().rev() {
+        let nibble = c
+            .to_digit(if bits_per_char == 4 { 16 } else { 2 })
+            .ok_or_else(|| format!("invalid digit {c:?}"))?;
+        for bit in 0..bits_per_char {
+            values.push(nibble >> bit & 1 == 1);
+        }
+    }
+    Ok(TruthTable::from_fn(num_vars, |m| values[m as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_detection() {
+        assert_eq!(
+            InputFormat::from_extension(Path::new("a/b/c.BLIF")),
+            Some(InputFormat::Blif)
+        );
+        assert_eq!(
+            InputFormat::from_extension(Path::new("f.tt")),
+            Some(InputFormat::TruthTable)
+        );
+        assert_eq!(InputFormat::from_extension(Path::new("f.xyz")), None);
+        assert_eq!(InputFormat::from_name("PLA"), Some(InputFormat::Pla));
+    }
+
+    #[test]
+    fn sniffing() {
+        assert_eq!(sniff_format(".model top\n.inputs a\n"), InputFormat::Blif);
+        assert_eq!(sniff_format("# c\n.i 3\n.o 1\n"), InputFormat::Pla);
+        assert_eq!(sniff_format("f = 0xe8\n"), InputFormat::TruthTable);
+        assert_eq!(sniff_format("maj(a, b, c)\n"), InputFormat::Expr);
+    }
+
+    #[test]
+    fn expr_file_shares_variables() {
+        let nl = parse_str(InputFormat::Expr, "f = a & b\ng = a ^ c\n", "two").unwrap();
+        assert_eq!(nl.num_inputs(), 3);
+        assert_eq!(nl.num_outputs(), 2);
+        // minterm bit order: a = bit 0, b = bit 1, c = bit 2.
+        assert_eq!(nl.evaluate(0b011), vec![true, true]);
+        assert_eq!(nl.evaluate(0b101), vec![false, false]);
+    }
+
+    #[test]
+    fn truth_table_majority() {
+        let nl = parse_str(InputFormat::TruthTable, "f = 0xe8\n", "m").unwrap();
+        assert_eq!(nl.num_inputs(), 3);
+        let tts = nl.truth_tables();
+        assert_eq!(tts[0], TruthTable::from_fn(3, |m| m.count_ones() >= 2));
+    }
+
+    #[test]
+    fn truth_table_binary_and_errors() {
+        let nl = parse_str(InputFormat::TruthTable, "10\n", "buf").unwrap();
+        assert_eq!(nl.num_inputs(), 1);
+        assert!(parse_str(InputFormat::TruthTable, "101\n", "bad").is_err());
+        assert!(parse_str(InputFormat::TruthTable, "f = 0xe8\ng = 10\n", "mix").is_err());
+        assert!(parse_str(InputFormat::TruthTable, "", "empty").is_err());
+    }
+
+    #[test]
+    fn blif_and_pla_delegate() {
+        let blif_src = ".model t\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n";
+        let nl = parse_str(InputFormat::Blif, blif_src, "ignored").unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+        assert!(parse_str(InputFormat::Pla, "garbage", "x").is_err());
+    }
+
+    #[test]
+    fn verilog_input_is_rejected_with_guidance() {
+        let err = load_path(Path::new("/nonexistent/out.v")).unwrap_err();
+        assert!(err.to_string().contains("output format only"), "{err}");
+    }
+
+    #[test]
+    fn embedded_benchmarks() {
+        assert!(load_bench("rd53_f2").is_ok());
+        let err = load_bench("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

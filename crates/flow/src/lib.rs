@@ -1,0 +1,66 @@
+//! The unified synthesis pipeline: one composable API from circuit text
+//! to a verified RRAM program.
+//!
+//! The other crates in this workspace each own one layer of the paper's
+//! flow — Boolean functions ([`rms_logic`]), majority-inverter graphs and
+//! the four optimization algorithms ([`rms_core`]), the RRAM machine and
+//! compilers ([`rms_rram`]), and the AIG/BDD baselines ([`rms_aig`],
+//! [`rms_bdd`]). This crate chains them:
+//!
+//! ```text
+//! BLIF / PLA / expr / truth table          (input::load_path, parse_str)
+//!        │
+//!        ▼
+//! Netlist ──frontend──► Mig                (Pipeline::frontend: direct / aig / bdd)
+//!        │
+//!        ▼
+//! optimizer: Algs. 1–4                     (Pipeline::algorithm, effort)
+//!        │
+//!        ▼
+//! (R, S) costing — Table I                 (rms_core::cost)
+//!        │
+//!        ├──► level-parallel array program (rms_rram::compile)
+//!        └──► serial PLiM stream           (rms_rram::plim)
+//!        │
+//!        ▼
+//! machine-level verification + report      (text / JSON)
+//! ```
+//!
+//! The `rms` command-line binary (in the workspace root package) and the
+//! `rms-bench` reproduction harness are both thin wrappers over
+//! [`Pipeline`] and the [`par`] thread pool.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_flow::{Pipeline, input::InputFormat};
+//! use rms_core::{Algorithm, Realization};
+//!
+//! # fn main() -> Result<(), rms_flow::FlowError> {
+//! let out = Pipeline::from_str(InputFormat::Expr, "f = maj(a, b, c) ^ d", "demo")?
+//!     .algorithm(Algorithm::Steps)
+//!     .realization(Realization::Maj)
+//!     .effort(10)
+//!     .run()?;
+//! println!("{}", rms_flow::report::render_text(&out.report));
+//! assert!(out.report.cost.steps > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+//!
+//! `ARCHITECTURE.md` at the repository root documents the stages in
+//! prose; `README.md` has the CLI quickstart.
+
+pub mod error;
+pub mod input;
+pub mod par;
+pub mod pipeline;
+pub mod report;
+
+pub use error::FlowError;
+pub use input::InputFormat;
+pub use pipeline::{
+    optimize_cost, FlowOutput, FlowReport, Frontend, Pipeline, StageTimings, VerifyOutcome,
+};
+pub use report::{render_json, render_text};

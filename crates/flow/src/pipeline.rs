@@ -1,0 +1,567 @@
+//! The end-to-end synthesis pipeline: netlist → MIG → optimization →
+//! (R, S) costing → RRAM compilation → machine-level verification.
+//!
+//! [`Pipeline`] is a builder over the stages the paper describes and the
+//! other crates implement; [`Pipeline::run`] executes them in order and
+//! returns both the structured [`FlowReport`] (what the CLI prints as text
+//! or JSON) and the produced artifacts (optimized [`Mig`], compiled
+//! programs) for further processing.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_flow::{Pipeline, input::InputFormat};
+//! use rms_core::{Algorithm, Realization};
+//!
+//! # fn main() -> Result<(), rms_flow::FlowError> {
+//! let blif = ".model t\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n";
+//! let out = Pipeline::from_str(InputFormat::Blif, blif, "t")?
+//!     .algorithm(Algorithm::RramCosts)
+//!     .realization(Realization::Maj)
+//!     .effort(10)
+//!     .run()?;
+//! assert!(out.report.verify.passed());
+//! assert_eq!(out.report.cost.steps, out.array.program.num_steps());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::FlowError;
+use crate::input::{self, InputFormat};
+use rms_aig::Aig;
+use rms_core::cost::{MigStats, Realization, RramCost};
+use rms_core::opt::{Algorithm, OptOptions};
+use rms_core::Mig;
+use rms_logic::netlist::Netlist;
+use rms_logic::sim::random_patterns;
+use rms_logic::synth;
+use rms_logic::tt::MAX_VARS;
+use rms_rram::compile::{compile, CompiledCircuit};
+use rms_rram::machine::Machine;
+use rms_rram::plim::{compile_plim, PlimCircuit};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// How the initial MIG is seeded from the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// Convert the netlist gates one-to-one into majority nodes.
+    #[default]
+    Direct,
+    /// Restructure through a depth-balanced AIG first (useful when the
+    /// input is deeply serial two-level logic).
+    Aig,
+    /// Restructure through a shared Shannon/mux decomposition (the shape a
+    /// BDD front end produces). Limited to circuits whose truth tables fit
+    /// in memory.
+    Bdd,
+}
+
+impl Frontend {
+    /// Parses a frontend name as given on the command line.
+    pub fn from_name(name: &str) -> Option<Frontend> {
+        match name.to_ascii_lowercase().as_str() {
+            "direct" | "mig" => Some(Frontend::Direct),
+            "aig" => Some(Frontend::Aig),
+            "bdd" | "shannon" => Some(Frontend::Bdd),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Frontend::Direct => write!(f, "direct"),
+            Frontend::Aig => write!(f, "aig"),
+            Frontend::Bdd => write!(f, "bdd"),
+        }
+    }
+}
+
+/// Inputs wider than this use sampled rather than exhaustive verification.
+const EXHAUSTIVE_VERIFY_VARS: usize = 14;
+
+/// Number of 64-bit pattern words for sampled verification.
+const VERIFY_SAMPLE_WORDS: usize = 64;
+
+/// The BDD frontend materializes truth tables; cap the width so a typo
+/// cannot allocate 2^n bits.
+const BDD_FRONTEND_MAX_VARS: usize = 18;
+
+/// Outcome of the machine-level verification stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Verification was disabled.
+    Skipped,
+    /// Both compiled programs matched the netlist on every minterm.
+    Exhaustive,
+    /// Both compiled programs matched the netlist on sampled patterns.
+    Sampled {
+        /// Number of 64-bit pattern words simulated.
+        words: usize,
+    },
+}
+
+impl VerifyOutcome {
+    /// Whether verification actually ran and observed no mismatch.
+    ///
+    /// `false` only for [`VerifyOutcome::Skipped`] — a mismatch never
+    /// produces an outcome at all, it aborts the pipeline with
+    /// [`FlowError::Verification`].
+    pub fn passed(&self) -> bool {
+        !matches!(self, VerifyOutcome::Skipped)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            VerifyOutcome::Skipped => "skipped".into(),
+            VerifyOutcome::Exhaustive => "exhaustive".into(),
+            VerifyOutcome::Sampled { words } => format!("sampled ({words} words)"),
+        }
+    }
+}
+
+/// Wall-clock duration of each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Reading and parsing the input (zero when built from a netlist).
+    pub parse: Duration,
+    /// Frontend construction of the initial MIG.
+    pub construct: Duration,
+    /// The optimization algorithm.
+    pub optimize: Duration,
+    /// Level-parallel and PLiM compilation.
+    pub compile: Duration,
+    /// Machine-level verification.
+    pub verify: Duration,
+}
+
+/// The structured result of a pipeline run — everything the text and JSON
+/// reports render.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Circuit name (model name or file stem).
+    pub name: String,
+    /// Primary input count.
+    pub num_inputs: usize,
+    /// Primary output count.
+    pub num_outputs: usize,
+    /// Gate count of the source netlist.
+    pub source_gates: usize,
+    /// Which optimization algorithm ran.
+    pub algorithm: Algorithm,
+    /// Which majority-gate realization was targeted.
+    pub realization: Realization,
+    /// Optimization effort (cycles).
+    pub effort: usize,
+    /// How the MIG was seeded.
+    pub frontend: Frontend,
+    /// Statistics of the MIG before optimization.
+    pub initial: MigStats,
+    /// Statistics of the MIG after optimization.
+    pub optimized: MigStats,
+    /// Table I metrics of the optimized MIG for [`FlowReport::realization`].
+    pub cost: RramCost,
+    /// Steps of the compiled level-parallel program (equals `cost.steps`
+    /// except for the degenerate all-pass-through case).
+    pub array_steps: u64,
+    /// Physical peak device count of the level-parallel program.
+    pub array_physical_rrams: u64,
+    /// Instruction count of the serial PLiM stream.
+    pub plim_instructions: u64,
+    /// Peak live memory cells of the PLiM stream.
+    pub plim_cells: u64,
+    /// How the result was verified.
+    pub verify: VerifyOutcome,
+    /// Per-stage wall-clock times.
+    pub timings: StageTimings,
+}
+
+/// Artifacts of a pipeline run: the report plus every intermediate worth
+/// keeping.
+#[derive(Debug)]
+pub struct FlowOutput {
+    /// The structured report.
+    pub report: FlowReport,
+    /// The source netlist (reference semantics).
+    pub netlist: Netlist,
+    /// The optimized MIG.
+    pub mig: Mig,
+    /// The compiled level-parallel crossbar program.
+    pub array: CompiledCircuit,
+    /// The compiled serial PLiM instruction stream.
+    pub plim: PlimCircuit,
+}
+
+/// Builder for one end-to-end synthesis run.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    netlist: Netlist,
+    algorithm: Algorithm,
+    realization: Realization,
+    options: OptOptions,
+    frontend: Frontend,
+    verify: bool,
+    parse_time: Duration,
+}
+
+impl Pipeline {
+    /// Starts a pipeline from an already-parsed netlist.
+    pub fn new(netlist: Netlist) -> Self {
+        Pipeline {
+            netlist,
+            algorithm: Algorithm::RramCosts,
+            realization: Realization::Maj,
+            options: OptOptions::paper(),
+            frontend: Frontend::Direct,
+            verify: true,
+            parse_time: Duration::ZERO,
+        }
+    }
+
+    /// Starts a pipeline by loading `path` (format chosen by extension,
+    /// falling back to content sniffing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Io`] or [`FlowError::Parse`].
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, FlowError> {
+        let t0 = Instant::now();
+        let netlist = input::load_path(path.as_ref())?;
+        let mut p = Pipeline::new(netlist);
+        p.parse_time = t0.elapsed();
+        Ok(p)
+    }
+
+    /// Starts a pipeline from circuit text in an explicit format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Parse`] when the text is malformed.
+    pub fn from_str(format: InputFormat, text: &str, name: &str) -> Result<Self, FlowError> {
+        let t0 = Instant::now();
+        let netlist = input::parse_str(format, text, name)?;
+        let mut p = Pipeline::new(netlist);
+        p.parse_time = t0.elapsed();
+        Ok(p)
+    }
+
+    /// Starts a pipeline from an embedded benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownBenchmark`] for unknown names.
+    pub fn from_bench(name: &str) -> Result<Self, FlowError> {
+        Ok(Pipeline::new(input::load_bench(name)?))
+    }
+
+    /// Selects the optimization algorithm (default: Alg. 3, `RramCosts`).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the majority-gate realization (default: MAJ).
+    pub fn realization(mut self, realization: Realization) -> Self {
+        self.realization = realization;
+        self
+    }
+
+    /// Replaces the full optimizer options.
+    pub fn options(mut self, options: OptOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the optimization effort (cycles; the paper uses 40).
+    pub fn effort(mut self, effort: usize) -> Self {
+        self.options.effort = effort;
+        self
+    }
+
+    /// Selects how the initial MIG is seeded (default: direct).
+    pub fn frontend(mut self, frontend: Frontend) -> Self {
+        self.frontend = frontend;
+        self
+    }
+
+    /// Enables or disables machine-level verification (default: enabled).
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// A read-only view of the source netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Executes all stages and returns the report plus artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Unsupported`] when the BDD frontend is asked
+    /// to handle a circuit too wide for truth tables, and
+    /// [`FlowError::Verification`] when a compiled program disagrees with
+    /// the source netlist (which would indicate a bug in the toolchain —
+    /// the error carries the first differing pattern).
+    pub fn run(self) -> Result<FlowOutput, FlowError> {
+        let Pipeline {
+            netlist,
+            algorithm,
+            realization,
+            options,
+            frontend,
+            verify,
+            parse_time,
+        } = self;
+
+        let t0 = Instant::now();
+        let initial_mig = seed_mig(&netlist, frontend)?;
+        let construct = t0.elapsed();
+        let initial = MigStats::of(&initial_mig);
+
+        let t0 = Instant::now();
+        let mig = algorithm.run(&initial_mig, realization, &options);
+        let optimize = t0.elapsed();
+        let optimized = MigStats::of(&mig);
+        let cost = RramCost::of(&mig, realization);
+
+        let t0 = Instant::now();
+        let array = compile(&mig, realization);
+        let plim = compile_plim(&mig);
+        let compile_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let verify_outcome = if verify {
+            verify_programs(&netlist, &array, &plim)?
+        } else {
+            VerifyOutcome::Skipped
+        };
+        let verify_time = t0.elapsed();
+
+        let report = FlowReport {
+            name: netlist.name().to_string(),
+            num_inputs: netlist.num_inputs(),
+            num_outputs: netlist.num_outputs(),
+            source_gates: netlist.num_gates(),
+            algorithm,
+            realization,
+            effort: options.effort,
+            frontend,
+            initial,
+            optimized,
+            cost,
+            array_steps: array.program.num_steps(),
+            array_physical_rrams: array.physical_rrams,
+            plim_instructions: plim.instructions,
+            plim_cells: plim.cells,
+            verify: verify_outcome,
+            timings: StageTimings {
+                parse: parse_time,
+                construct,
+                optimize,
+                compile: compile_time,
+                verify: verify_time,
+            },
+        };
+        Ok(FlowOutput {
+            report,
+            netlist,
+            mig,
+            array,
+            plim,
+        })
+    }
+}
+
+/// Builds the initial MIG according to the chosen frontend.
+fn seed_mig(netlist: &Netlist, frontend: Frontend) -> Result<Mig, FlowError> {
+    match frontend {
+        Frontend::Direct => Ok(Mig::from_netlist(netlist)),
+        Frontend::Aig => {
+            let aig = Aig::from_netlist(netlist).balance();
+            Ok(Mig::from_netlist(&aig.to_netlist()))
+        }
+        Frontend::Bdd => {
+            let n = netlist.num_inputs();
+            if n > BDD_FRONTEND_MAX_VARS.min(MAX_VARS) {
+                return Err(FlowError::Unsupported(format!(
+                    "the BDD frontend materializes truth tables and supports at most {} inputs; \
+                     {:?} has {n}",
+                    BDD_FRONTEND_MAX_VARS.min(MAX_VARS),
+                    netlist.name()
+                )));
+            }
+            let shannon = synth::shannon_netlist(netlist.name(), &netlist.truth_tables());
+            Ok(Mig::from_netlist(&shannon))
+        }
+    }
+}
+
+/// Checks both compiled programs against the netlist — exhaustively for
+/// narrow circuits, with deterministic random patterns otherwise.
+fn verify_programs(
+    netlist: &Netlist,
+    array: &CompiledCircuit,
+    plim: &PlimCircuit,
+) -> Result<VerifyOutcome, FlowError> {
+    let n = netlist.num_inputs();
+    let programs = [("array", &array.program), ("plim", &plim.program)];
+    if n <= EXHAUSTIVE_VERIFY_VARS {
+        let reference = netlist.truth_tables();
+        for (what, program) in programs {
+            let got = Machine::truth_tables(program)
+                .map_err(|e| FlowError::Verification(format!("{what}: invalid program: {e}")))?;
+            if got != reference {
+                let (o, m) = first_diff(&got, &reference);
+                return Err(FlowError::Verification(format!(
+                    "{what} program differs from the netlist on output {o}, minterm {m}"
+                )));
+            }
+        }
+        return Ok(VerifyOutcome::Exhaustive);
+    }
+    let mut machine = Machine::new();
+    for (w, pattern) in random_patterns(n, VERIFY_SAMPLE_WORDS, 0x5eed_u64)
+        .into_iter()
+        .enumerate()
+    {
+        let reference = netlist.simulate_words(&pattern);
+        for (what, program) in programs {
+            let got = machine
+                .run_words(program, &pattern)
+                .map_err(|e| FlowError::Verification(format!("{what}: invalid program: {e}")))?;
+            if got != reference {
+                return Err(FlowError::Verification(format!(
+                    "{what} program differs from the netlist on pattern word {w}"
+                )));
+            }
+        }
+    }
+    Ok(VerifyOutcome::Sampled {
+        words: VERIFY_SAMPLE_WORDS,
+    })
+}
+
+/// First (output, minterm) where two truth-table vectors differ.
+fn first_diff(a: &[rms_logic::TruthTable], b: &[rms_logic::TruthTable]) -> (usize, u64) {
+    for (o, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            for m in 0..x.num_bits() {
+                if x.bit(m) != y.bit(m) {
+                    return (o, m);
+                }
+            }
+        }
+    }
+    (usize::MAX, u64::MAX)
+}
+
+/// Runs one optimizer configuration and returns the optimized graph with
+/// its Table I cost — the primitive the sweep runners are built on.
+pub fn optimize_cost(
+    mig: &Mig,
+    algorithm: Algorithm,
+    realization: Realization,
+    options: &OptOptions,
+) -> (Mig, RramCost) {
+    let out = algorithm.run(mig, realization, options);
+    let cost = RramCost::of(&out, realization);
+    (out, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE_BLIF: &str = "\
+.model sample
+.inputs a b c d e
+.outputs f g
+.names a b p1
+11 1
+.names c d p2
+10 1
+01 1
+.names p1 p2 e f
+11- 1
+--1 1
+.names a d e g
+000 1
+111 1
+.end
+";
+
+    #[test]
+    fn full_run_verifies_exhaustively() {
+        let out = Pipeline::from_str(InputFormat::Blif, SAMPLE_BLIF, "sample")
+            .unwrap()
+            .algorithm(Algorithm::RramCosts)
+            .realization(Realization::Imp)
+            .effort(8)
+            .run()
+            .unwrap();
+        assert_eq!(out.report.verify, VerifyOutcome::Exhaustive);
+        assert_eq!(out.report.num_inputs, 5);
+        assert_eq!(out.report.num_outputs, 2);
+        assert_eq!(out.report.cost, RramCost::of(&out.mig, Realization::Imp));
+        assert!(out.report.plim_instructions >= out.report.array_steps);
+    }
+
+    #[test]
+    fn frontends_agree_on_function() {
+        let reference = Pipeline::from_str(InputFormat::Blif, SAMPLE_BLIF, "s")
+            .unwrap()
+            .netlist()
+            .truth_tables();
+        for frontend in [Frontend::Direct, Frontend::Aig, Frontend::Bdd] {
+            let out = Pipeline::from_str(InputFormat::Blif, SAMPLE_BLIF, "s")
+                .unwrap()
+                .frontend(frontend)
+                .effort(4)
+                .run()
+                .unwrap();
+            assert_eq!(out.mig.truth_tables(), reference, "{frontend}");
+        }
+    }
+
+    #[test]
+    fn bdd_frontend_rejects_wide_circuits() {
+        let mut b = rms_logic::NetlistBuilder::new("wide");
+        let ins: Vec<_> = (0..40).map(|i| b.input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &w in &ins[1..] {
+            acc = b.xor(acc, w);
+        }
+        b.output("o", acc);
+        let err = Pipeline::new(b.build()).frontend(Frontend::Bdd).run();
+        assert!(matches!(err, Err(FlowError::Unsupported(_))));
+    }
+
+    #[test]
+    fn wide_circuits_verify_sampled() {
+        let mut b = rms_logic::NetlistBuilder::new("wide");
+        let ins: Vec<_> = (0..20).map(|i| b.input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &w in &ins[1..] {
+            acc = b.maj(acc, w, ins[0]);
+        }
+        b.output("o", acc);
+        let out = Pipeline::new(b.build()).effort(2).run().unwrap();
+        assert!(matches!(out.report.verify, VerifyOutcome::Sampled { .. }));
+    }
+
+    #[test]
+    fn optimize_cost_matches_algorithm_run() {
+        let nl = input::load_bench("rd53_f2").unwrap();
+        let mig = Mig::from_netlist(&nl);
+        let opts = OptOptions::with_effort(6);
+        let (out, cost) = optimize_cost(&mig, Algorithm::Steps, Realization::Maj, &opts);
+        assert_eq!(cost, RramCost::of(&out, Realization::Maj));
+        let direct = Algorithm::Steps.run(&mig, Realization::Maj, &opts);
+        assert_eq!(RramCost::of(&direct, Realization::Maj), cost);
+    }
+}

@@ -66,12 +66,7 @@ const fn exact(
     }
 }
 
-const fn synth(
-    name: &'static str,
-    inputs: usize,
-    outputs: usize,
-    gates: usize,
-) -> BenchmarkInfo {
+const fn synth(name: &'static str, inputs: usize, outputs: usize, gates: usize) -> BenchmarkInfo {
     BenchmarkInfo {
         name,
         inputs,
@@ -113,13 +108,23 @@ pub const LARGE_SUITE: &[BenchmarkInfo] = &[
 /// The 25 single-output functions of Table III (right half).
 pub const SMALL_SUITE: &[BenchmarkInfo] = &[
     exact("9sym_d", 9, 1, "1 iff input weight is in 3..=6"),
-    exact("con1_f1", 7, 1, "3-bit value strictly less than 4-bit value"),
+    exact(
+        "con1_f1",
+        7,
+        1,
+        "3-bit value strictly less than 4-bit value",
+    ),
     exact("con2_f2", 7, 1, "input weight is a multiple of 3"),
     exact("exam1_d", 3, 1, "maj(a, b, !c)"),
     exact("exam3_d", 4, 1, "(a^b)&(c|d) | (a&d)"),
     exact("max46_d", 9, 1, "4x5-bit product mod 64 is at least 46"),
     exact("newill_d", 8, 1, "majority of three nibble predicates"),
-    exact("newtag_d", 8, 1, "low nibble equals bit-reversed high nibble"),
+    exact(
+        "newtag_d",
+        8,
+        1,
+        "low nibble equals bit-reversed high nibble",
+    ),
     exact("rd53_f1", 5, 1, "bit 0 (parity) of the 5-input weight"),
     exact("rd53_f2", 5, 1, "bit 1 of the 5-input weight"),
     exact("rd53_f3", 5, 1, "bit 2 of the 5-input weight"),
@@ -135,7 +140,12 @@ pub const SMALL_SUITE: &[BenchmarkInfo] = &[
     exact("sao2_f3", 10, 1, "parity of bitwise a&b"),
     exact("sao2_f4", 10, 1, "carry-out of a+b"),
     exact("sym10_d", 10, 1, "1 iff input weight is in 3..=6"),
-    exact("t481_d", 16, 1, "equal-popcount test of the two 8-bit halves"),
+    exact(
+        "t481_d",
+        16,
+        1,
+        "equal-popcount test of the two 8-bit halves",
+    ),
     exact("xor5_d", 5, 1, "5-input odd parity"),
 ];
 
@@ -702,7 +712,11 @@ pub fn synthetic(name: &str, inputs: usize, outputs: usize, gates: usize) -> Net
                 b.or(acc, p)
             };
         }
-        let w = if rng.chance(1, 5) { acc.complement() } else { acc };
+        let w = if rng.chance(1, 5) {
+            acc.complement()
+        } else {
+            acc
+        };
         b.output(format!("f{o}"), w);
     }
     b.build()
@@ -747,7 +761,12 @@ mod tests {
 
     #[test]
     fn rd_bits_are_weight_bits() {
-        for (name, n, bit) in [("rd53_f1", 5u32, 0u32), ("rd53_f2", 5, 1), ("rd53_f3", 5, 2), ("rd84_f4", 8, 3)] {
+        for (name, n, bit) in [
+            ("rd53_f1", 5u32, 0u32),
+            ("rd53_f2", 5, 1),
+            ("rd53_f3", 5, 2),
+            ("rd84_f4", 8, 3),
+        ] {
             let nl = build(name).unwrap();
             for m in 0..(1u64 << n) {
                 let w = m.count_ones();

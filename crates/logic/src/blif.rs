@@ -104,8 +104,10 @@ pub fn parse(src: &str) -> Result<Netlist, ParseCircuitError> {
                     return Err(ParseCircuitError::at_line(line_no, ".names needs a signal"));
                 }
                 let output = tokens[tokens.len() - 1].to_string();
-                let fanins: Vec<String> =
-                    tokens[1..tokens.len() - 1].iter().map(|s| s.to_string()).collect();
+                let fanins: Vec<String> = tokens[1..tokens.len() - 1]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
                 let mut cubes = Vec::new();
                 while i < logical_lines.len() {
                     let (cl, cline) = &logical_lines[i];
@@ -265,9 +267,9 @@ pub fn parse(src: &str) -> Result<Netlist, ParseCircuitError> {
         if wires.contains_key(name) {
             continue;
         }
-        let &ci = producer.get(name.as_str()).ok_or_else(|| {
-            ParseCircuitError::new(format!("output {name:?} has no driver"))
-        })?;
+        let &ci = producer
+            .get(name.as_str())
+            .ok_or_else(|| ParseCircuitError::new(format!("output {name:?} has no driver")))?;
         elaborate(ci, &covers, &producer, &mut marks, &mut b, &mut wires)?;
     }
 
@@ -444,10 +446,8 @@ mod tests {
 
     #[test]
     fn parse_constants() {
-        let nl = parse(
-            ".model t\n.inputs a\n.outputs z one\n.names z\n.names one\n1\n.end\n",
-        )
-        .unwrap();
+        let nl =
+            parse(".model t\n.inputs a\n.outputs z one\n.names z\n.names one\n1\n.end\n").unwrap();
         assert_eq!(nl.evaluate(0), vec![false, true]);
     }
 
@@ -487,7 +487,8 @@ mod tests {
 
     #[test]
     fn rejects_latch() {
-        let err = parse(".model t\n.inputs a\n.outputs o\n.latch a o re clk 0\n.end\n").unwrap_err();
+        let err =
+            parse(".model t\n.inputs a\n.outputs o\n.latch a o re clk 0\n.end\n").unwrap_err();
         assert!(err.to_string().contains("unsupported"));
     }
 

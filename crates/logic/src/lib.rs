@@ -28,6 +28,12 @@
 //! # }
 //! ```
 
+//!
+//! This crate is the bottom layer of the workspace — every other crate
+//! builds on its [`Netlist`] IR and [`TruthTable`] ground truth; see
+//! `ARCHITECTURE.md` at the repository root for how the layers compose
+//! into the synthesis pipeline.
+
 pub mod bench_suite;
 pub mod blif;
 pub mod error;

@@ -264,11 +264,7 @@ impl Netlist {
             n <= MAX_VARS,
             "{n}-input circuit too large for exhaustive truth tables"
         );
-        let mut tts: Vec<TruthTable> = self
-            .outputs
-            .iter()
-            .map(|_| TruthTable::zero(n))
-            .collect();
+        let mut tts: Vec<TruthTable> = self.outputs.iter().map(|_| TruthTable::zero(n)).collect();
         let total: u64 = 1u64 << n;
         let mut base = 0u64;
         while base < total {
@@ -361,7 +357,10 @@ impl NetlistBuilder {
     }
 
     fn check(&self, w: Wire) {
-        assert!(w.node() < self.nodes.len(), "wire {w} references a future node");
+        assert!(
+            w.node() < self.nodes.len(),
+            "wire {w} references a future node"
+        );
     }
 
     fn gate(&mut self, kind: GateKind, fanins: Vec<Wire>) -> Wire {

@@ -43,31 +43,256 @@ const fn rs(rrams: u64, steps: u64) -> Rs {
 /// Table II of the paper: R and S per benchmark for all six configurations
 /// (effort = 40 cycles).
 pub const TABLE2: &[Table2Row] = &[
-    Table2Row { name: "5xp1",      inputs: 7,   area_imp: rs(170, 110),  depth_imp: rs(213, 110),  rram_imp: rs(199, 99),   rram_maj: rs(149, 36),   step_imp: rs(264, 77),   step_maj: rs(182, 28) },
-    Table2Row { name: "alu4",      inputs: 14,  area_imp: rs(1542, 286), depth_imp: rs(1858, 242), rram_imp: rs(2160, 176), rram_maj: rs(1370, 72),  step_imp: rs(2461, 165), step_maj: rs(1717, 56) },
-    Table2Row { name: "apex1",     inputs: 45,  area_imp: rs(2647, 241), depth_imp: rs(3399, 187), rram_imp: rs(3676, 165), rram_maj: rs(2343, 56),  step_imp: rs(4335, 121), step_maj: rs(2972, 44) },
-    Table2Row { name: "apex2",     inputs: 39,  area_imp: rs(355, 275),  depth_imp: rs(583, 231),  rram_imp: rs(531, 143),  rram_maj: rs(358, 56),   step_imp: rs(653, 132),  step_maj: rs(435, 47) },
-    Table2Row { name: "apex4",     inputs: 9,   area_imp: rs(3854, 198), depth_imp: rs(4122, 176), rram_imp: rs(4728, 143), rram_maj: rs(2820, 64),  step_imp: rs(5340, 132), step_maj: rs(3602, 48) },
-    Table2Row { name: "apex5",     inputs: 117, area_imp: rs(1240, 275), depth_imp: rs(1757, 143), rram_imp: rs(1482, 141), rram_maj: rs(1053, 47),  step_imp: rs(1975, 98),  step_maj: rs(1286, 35) },
-    Table2Row { name: "apex6",     inputs: 135, area_imp: rs(1097, 198), depth_imp: rs(1277, 143), rram_imp: rs(1652, 121), rram_maj: rs(1018, 44),  step_imp: rs(1742, 99),  step_maj: rs(1191, 36) },
-    Table2Row { name: "apex7",     inputs: 49,  area_imp: rs(300, 176),  depth_imp: rs(389, 143),  rram_imp: rs(408, 132),  rram_maj: rs(277, 48),   step_imp: rs(526, 121),  step_maj: rs(348, 44) },
-    Table2Row { name: "b9",        inputs: 41,  area_imp: rs(252, 99),   depth_imp: rs(252, 88),   rram_imp: rs(252, 87),   rram_maj: rs(168, 32),   step_imp: rs(252, 66),   step_maj: rs(168, 28) },
-    Table2Row { name: "clip",      inputs: 9,   area_imp: rs(256, 132),  depth_imp: rs(276, 121),  rram_imp: rs(312, 110),  rram_maj: rs(217, 40),   step_imp: rs(380, 99),   step_maj: rs(275, 36) },
-    Table2Row { name: "cm150a",    inputs: 21,  area_imp: rs(132, 99),   depth_imp: rs(132, 99),   rram_imp: rs(147, 77),   rram_maj: rs(95, 32),    step_imp: rs(132, 88),   step_maj: rs(90, 32) },
-    Table2Row { name: "cm162a",    inputs: 14,  area_imp: rs(90, 99),    depth_imp: rs(90, 77),    rram_imp: rs(90, 86),    rram_maj: rs(60, 30),    step_imp: rs(90, 66),    step_maj: rs(65, 24) },
-    Table2Row { name: "cm163a",    inputs: 16,  area_imp: rs(102, 77),   depth_imp: rs(102, 77),   rram_imp: rs(102, 76),   rram_maj: rs(68, 27),    step_imp: rs(102, 66),   step_maj: rs(68, 24) },
-    Table2Row { name: "cordic",    inputs: 23,  area_imp: rs(199, 164),  depth_imp: rs(242, 132),  rram_imp: rs(189, 121),  rram_maj: rs(134, 48),   step_imp: rs(229, 99),   step_maj: rs(162, 39) },
-    Table2Row { name: "misex1",    inputs: 8,   area_imp: rs(101, 77),   depth_imp: rs(128, 66),   rram_imp: rs(111, 66),   rram_maj: rs(76, 24),    step_imp: rs(130, 55),   step_maj: rs(94, 20) },
-    Table2Row { name: "misex3",    inputs: 14,  area_imp: rs(1547, 253), depth_imp: rs(2118, 231), rram_imp: rs(2207, 165), rram_maj: rs(1444, 67),  step_imp: rs(2621, 143), step_maj: rs(1762, 52) },
-    Table2Row { name: "parity",    inputs: 16,  area_imp: rs(224, 176),  depth_imp: rs(224, 176),  rram_imp: rs(216, 132),  rram_maj: rs(152, 53),   step_imp: rs(216, 154),  step_maj: rs(152, 48) },
-    Table2Row { name: "seq",       inputs: 41,  area_imp: rs(2032, 308), depth_imp: rs(2566, 242), rram_imp: rs(3189, 153), rram_maj: rs(1970, 64),  step_imp: rs(3551, 132), step_maj: rs(2498, 60) },
-    Table2Row { name: "t481",      inputs: 16,  area_imp: rs(102, 209),  depth_imp: rs(168, 132),  rram_imp: rs(148, 142),  rram_maj: rs(90, 52),    step_imp: rs(188, 110),  step_maj: rs(123, 40) },
-    Table2Row { name: "table5",    inputs: 17,  area_imp: rs(1598, 286), depth_imp: rs(2719, 231), rram_imp: rs(2630, 154), rram_maj: rs(1723, 64),  step_imp: rs(3393, 142), step_maj: rs(2252, 52) },
-    Table2Row { name: "too_large", inputs: 38,  area_imp: rs(315, 341),  depth_imp: rs(512, 264),  rram_imp: rs(510, 164),  rram_maj: rs(322, 64),   step_imp: rs(587, 121),  step_maj: rs(392, 48) },
-    Table2Row { name: "x1",        inputs: 51,  area_imp: rs(442, 164),  depth_imp: rs(736, 110),  rram_imp: rs(569, 99),   rram_maj: rs(435, 36),   step_imp: rs(711, 77),   step_maj: rs(509, 28) },
-    Table2Row { name: "x2",        inputs: 10,  area_imp: rs(66, 88),    depth_imp: rs(92, 77),    rram_imp: rs(66, 76),    rram_maj: rs(46, 26),    step_imp: rs(94, 66),    step_maj: rs(68, 24) },
-    Table2Row { name: "x3",        inputs: 135, area_imp: rs(1075, 198), depth_imp: rs(1363, 143), rram_imp: rs(1729, 99),  rram_maj: rs(1008, 44),  step_imp: rs(1787, 99),  step_maj: rs(1201, 36) },
-    Table2Row { name: "x4",        inputs: 94,  area_imp: rs(570, 121),  depth_imp: rs(591, 88),   rram_imp: rs(599, 77),   rram_maj: rs(391, 28),   step_imp: rs(694, 66),   step_maj: rs(563, 24) },
+    Table2Row {
+        name: "5xp1",
+        inputs: 7,
+        area_imp: rs(170, 110),
+        depth_imp: rs(213, 110),
+        rram_imp: rs(199, 99),
+        rram_maj: rs(149, 36),
+        step_imp: rs(264, 77),
+        step_maj: rs(182, 28),
+    },
+    Table2Row {
+        name: "alu4",
+        inputs: 14,
+        area_imp: rs(1542, 286),
+        depth_imp: rs(1858, 242),
+        rram_imp: rs(2160, 176),
+        rram_maj: rs(1370, 72),
+        step_imp: rs(2461, 165),
+        step_maj: rs(1717, 56),
+    },
+    Table2Row {
+        name: "apex1",
+        inputs: 45,
+        area_imp: rs(2647, 241),
+        depth_imp: rs(3399, 187),
+        rram_imp: rs(3676, 165),
+        rram_maj: rs(2343, 56),
+        step_imp: rs(4335, 121),
+        step_maj: rs(2972, 44),
+    },
+    Table2Row {
+        name: "apex2",
+        inputs: 39,
+        area_imp: rs(355, 275),
+        depth_imp: rs(583, 231),
+        rram_imp: rs(531, 143),
+        rram_maj: rs(358, 56),
+        step_imp: rs(653, 132),
+        step_maj: rs(435, 47),
+    },
+    Table2Row {
+        name: "apex4",
+        inputs: 9,
+        area_imp: rs(3854, 198),
+        depth_imp: rs(4122, 176),
+        rram_imp: rs(4728, 143),
+        rram_maj: rs(2820, 64),
+        step_imp: rs(5340, 132),
+        step_maj: rs(3602, 48),
+    },
+    Table2Row {
+        name: "apex5",
+        inputs: 117,
+        area_imp: rs(1240, 275),
+        depth_imp: rs(1757, 143),
+        rram_imp: rs(1482, 141),
+        rram_maj: rs(1053, 47),
+        step_imp: rs(1975, 98),
+        step_maj: rs(1286, 35),
+    },
+    Table2Row {
+        name: "apex6",
+        inputs: 135,
+        area_imp: rs(1097, 198),
+        depth_imp: rs(1277, 143),
+        rram_imp: rs(1652, 121),
+        rram_maj: rs(1018, 44),
+        step_imp: rs(1742, 99),
+        step_maj: rs(1191, 36),
+    },
+    Table2Row {
+        name: "apex7",
+        inputs: 49,
+        area_imp: rs(300, 176),
+        depth_imp: rs(389, 143),
+        rram_imp: rs(408, 132),
+        rram_maj: rs(277, 48),
+        step_imp: rs(526, 121),
+        step_maj: rs(348, 44),
+    },
+    Table2Row {
+        name: "b9",
+        inputs: 41,
+        area_imp: rs(252, 99),
+        depth_imp: rs(252, 88),
+        rram_imp: rs(252, 87),
+        rram_maj: rs(168, 32),
+        step_imp: rs(252, 66),
+        step_maj: rs(168, 28),
+    },
+    Table2Row {
+        name: "clip",
+        inputs: 9,
+        area_imp: rs(256, 132),
+        depth_imp: rs(276, 121),
+        rram_imp: rs(312, 110),
+        rram_maj: rs(217, 40),
+        step_imp: rs(380, 99),
+        step_maj: rs(275, 36),
+    },
+    Table2Row {
+        name: "cm150a",
+        inputs: 21,
+        area_imp: rs(132, 99),
+        depth_imp: rs(132, 99),
+        rram_imp: rs(147, 77),
+        rram_maj: rs(95, 32),
+        step_imp: rs(132, 88),
+        step_maj: rs(90, 32),
+    },
+    Table2Row {
+        name: "cm162a",
+        inputs: 14,
+        area_imp: rs(90, 99),
+        depth_imp: rs(90, 77),
+        rram_imp: rs(90, 86),
+        rram_maj: rs(60, 30),
+        step_imp: rs(90, 66),
+        step_maj: rs(65, 24),
+    },
+    Table2Row {
+        name: "cm163a",
+        inputs: 16,
+        area_imp: rs(102, 77),
+        depth_imp: rs(102, 77),
+        rram_imp: rs(102, 76),
+        rram_maj: rs(68, 27),
+        step_imp: rs(102, 66),
+        step_maj: rs(68, 24),
+    },
+    Table2Row {
+        name: "cordic",
+        inputs: 23,
+        area_imp: rs(199, 164),
+        depth_imp: rs(242, 132),
+        rram_imp: rs(189, 121),
+        rram_maj: rs(134, 48),
+        step_imp: rs(229, 99),
+        step_maj: rs(162, 39),
+    },
+    Table2Row {
+        name: "misex1",
+        inputs: 8,
+        area_imp: rs(101, 77),
+        depth_imp: rs(128, 66),
+        rram_imp: rs(111, 66),
+        rram_maj: rs(76, 24),
+        step_imp: rs(130, 55),
+        step_maj: rs(94, 20),
+    },
+    Table2Row {
+        name: "misex3",
+        inputs: 14,
+        area_imp: rs(1547, 253),
+        depth_imp: rs(2118, 231),
+        rram_imp: rs(2207, 165),
+        rram_maj: rs(1444, 67),
+        step_imp: rs(2621, 143),
+        step_maj: rs(1762, 52),
+    },
+    Table2Row {
+        name: "parity",
+        inputs: 16,
+        area_imp: rs(224, 176),
+        depth_imp: rs(224, 176),
+        rram_imp: rs(216, 132),
+        rram_maj: rs(152, 53),
+        step_imp: rs(216, 154),
+        step_maj: rs(152, 48),
+    },
+    Table2Row {
+        name: "seq",
+        inputs: 41,
+        area_imp: rs(2032, 308),
+        depth_imp: rs(2566, 242),
+        rram_imp: rs(3189, 153),
+        rram_maj: rs(1970, 64),
+        step_imp: rs(3551, 132),
+        step_maj: rs(2498, 60),
+    },
+    Table2Row {
+        name: "t481",
+        inputs: 16,
+        area_imp: rs(102, 209),
+        depth_imp: rs(168, 132),
+        rram_imp: rs(148, 142),
+        rram_maj: rs(90, 52),
+        step_imp: rs(188, 110),
+        step_maj: rs(123, 40),
+    },
+    Table2Row {
+        name: "table5",
+        inputs: 17,
+        area_imp: rs(1598, 286),
+        depth_imp: rs(2719, 231),
+        rram_imp: rs(2630, 154),
+        rram_maj: rs(1723, 64),
+        step_imp: rs(3393, 142),
+        step_maj: rs(2252, 52),
+    },
+    Table2Row {
+        name: "too_large",
+        inputs: 38,
+        area_imp: rs(315, 341),
+        depth_imp: rs(512, 264),
+        rram_imp: rs(510, 164),
+        rram_maj: rs(322, 64),
+        step_imp: rs(587, 121),
+        step_maj: rs(392, 48),
+    },
+    Table2Row {
+        name: "x1",
+        inputs: 51,
+        area_imp: rs(442, 164),
+        depth_imp: rs(736, 110),
+        rram_imp: rs(569, 99),
+        rram_maj: rs(435, 36),
+        step_imp: rs(711, 77),
+        step_maj: rs(509, 28),
+    },
+    Table2Row {
+        name: "x2",
+        inputs: 10,
+        area_imp: rs(66, 88),
+        depth_imp: rs(92, 77),
+        rram_imp: rs(66, 76),
+        rram_maj: rs(46, 26),
+        step_imp: rs(94, 66),
+        step_maj: rs(68, 24),
+    },
+    Table2Row {
+        name: "x3",
+        inputs: 135,
+        area_imp: rs(1075, 198),
+        depth_imp: rs(1363, 143),
+        rram_imp: rs(1729, 99),
+        rram_maj: rs(1008, 44),
+        step_imp: rs(1787, 99),
+        step_maj: rs(1201, 36),
+    },
+    Table2Row {
+        name: "x4",
+        inputs: 94,
+        area_imp: rs(570, 121),
+        depth_imp: rs(591, 88),
+        rram_imp: rs(599, 77),
+        rram_maj: rs(391, 28),
+        step_imp: rs(694, 66),
+        step_maj: rs(563, 24),
+    },
 ];
 
 /// Σ row of Table II as printed in the paper.
@@ -83,14 +308,14 @@ pub const TABLE2_SUM: Table2Row = Table2Row {
 };
 
 /// One row of Table III (left half): comparison with the BDD-based
-/// synthesis of Chakraborti et al. [11].
+/// synthesis of Chakraborti et al. \[11\].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table3BddRow {
     /// Benchmark name.
     pub name: &'static str,
     /// Number of primary inputs.
     pub inputs: u32,
-    /// BDD-based synthesis result from [11].
+    /// BDD-based synthesis result from \[11\].
     pub bdd: Rs,
     /// MIG multi-objective result, IMP realization.
     pub mig_imp: Rs,
@@ -98,33 +323,183 @@ pub struct Table3BddRow {
     pub mig_maj: Rs,
 }
 
-/// Table III, left half: BDD [11] vs. the proposed MIG flow.
+/// Table III, left half: BDD \[11\] vs. the proposed MIG flow.
 pub const TABLE3_BDD: &[Table3BddRow] = &[
-    Table3BddRow { name: "5xp1",      inputs: 7,   bdd: rs(84, 73),     mig_imp: rs(199, 99),   mig_maj: rs(149, 36) },
-    Table3BddRow { name: "alu4",      inputs: 14,  bdd: rs(642, 334),   mig_imp: rs(2160, 176), mig_maj: rs(1370, 72) },
-    Table3BddRow { name: "apex1",     inputs: 45,  bdd: rs(1626, 705),  mig_imp: rs(3676, 165), mig_maj: rs(2343, 56) },
-    Table3BddRow { name: "apex2",     inputs: 39,  bdd: rs(122, 237),   mig_imp: rs(531, 143),  mig_maj: rs(358, 56) },
-    Table3BddRow { name: "apex4",     inputs: 9,   bdd: rs(2073, 447),  mig_imp: rs(4728, 143), mig_maj: rs(2820, 64) },
-    Table3BddRow { name: "apex5",     inputs: 117, bdd: rs(806, 888),   mig_imp: rs(1482, 141), mig_maj: rs(1053, 47) },
-    Table3BddRow { name: "apex6",     inputs: 135, bdd: rs(770, 1169),  mig_imp: rs(1652, 121), mig_maj: rs(1018, 44) },
-    Table3BddRow { name: "apex7",     inputs: 49,  bdd: rs(290, 437),   mig_imp: rs(408, 132),  mig_maj: rs(277, 48) },
-    Table3BddRow { name: "b9",        inputs: 41,  bdd: rs(125, 298),   mig_imp: rs(252, 87),   mig_maj: rs(168, 32) },
-    Table3BddRow { name: "clip",      inputs: 9,   bdd: rs(120, 89),    mig_imp: rs(312, 110),  mig_maj: rs(217, 40) },
-    Table3BddRow { name: "cm150a",    inputs: 21,  bdd: rs(56, 127),    mig_imp: rs(147, 77),   mig_maj: rs(95, 32) },
-    Table3BddRow { name: "cm162a",    inputs: 14,  bdd: rs(46, 102),    mig_imp: rs(90, 86),    mig_maj: rs(60, 30) },
-    Table3BddRow { name: "cm163a",    inputs: 16,  bdd: rs(42, 116),    mig_imp: rs(102, 76),   mig_maj: rs(68, 27) },
-    Table3BddRow { name: "cordic",    inputs: 23,  bdd: rs(32, 149),    mig_imp: rs(189, 121),  mig_maj: rs(134, 48) },
-    Table3BddRow { name: "misex1",    inputs: 8,   bdd: rs(83, 69),     mig_imp: rs(111, 66),   mig_maj: rs(76, 24) },
-    Table3BddRow { name: "misex3",    inputs: 14,  bdd: rs(444, 185),   mig_imp: rs(2207, 165), mig_maj: rs(1444, 67) },
-    Table3BddRow { name: "parity",    inputs: 16,  bdd: rs(23, 113),    mig_imp: rs(216, 132),  mig_maj: rs(152, 53) },
-    Table3BddRow { name: "seq",       inputs: 41,  bdd: rs(1566, 692),  mig_imp: rs(3189, 153), mig_maj: rs(1970, 64) },
-    Table3BddRow { name: "t481",      inputs: 16,  bdd: rs(26, 107),    mig_imp: rs(148, 142),  mig_maj: rs(90, 52) },
-    Table3BddRow { name: "table5",    inputs: 17,  bdd: rs(580, 168),   mig_imp: rs(2630, 154), mig_maj: rs(1723, 64) },
-    Table3BddRow { name: "too_large", inputs: 38,  bdd: rs(282, 232),   mig_imp: rs(510, 164),  mig_maj: rs(322, 64) },
-    Table3BddRow { name: "x1",        inputs: 51,  bdd: rs(230, 398),   mig_imp: rs(569, 99),   mig_maj: rs(435, 36) },
-    Table3BddRow { name: "x2",        inputs: 10,  bdd: rs(60, 80),     mig_imp: rs(66, 76),    mig_maj: rs(46, 26) },
-    Table3BddRow { name: "x3",        inputs: 135, bdd: rs(770, 1169),  mig_imp: rs(1729, 99),  mig_maj: rs(1008, 44) },
-    Table3BddRow { name: "x4",        inputs: 94,  bdd: rs(401, 642),   mig_imp: rs(599, 77),   mig_maj: rs(391, 28) },
+    Table3BddRow {
+        name: "5xp1",
+        inputs: 7,
+        bdd: rs(84, 73),
+        mig_imp: rs(199, 99),
+        mig_maj: rs(149, 36),
+    },
+    Table3BddRow {
+        name: "alu4",
+        inputs: 14,
+        bdd: rs(642, 334),
+        mig_imp: rs(2160, 176),
+        mig_maj: rs(1370, 72),
+    },
+    Table3BddRow {
+        name: "apex1",
+        inputs: 45,
+        bdd: rs(1626, 705),
+        mig_imp: rs(3676, 165),
+        mig_maj: rs(2343, 56),
+    },
+    Table3BddRow {
+        name: "apex2",
+        inputs: 39,
+        bdd: rs(122, 237),
+        mig_imp: rs(531, 143),
+        mig_maj: rs(358, 56),
+    },
+    Table3BddRow {
+        name: "apex4",
+        inputs: 9,
+        bdd: rs(2073, 447),
+        mig_imp: rs(4728, 143),
+        mig_maj: rs(2820, 64),
+    },
+    Table3BddRow {
+        name: "apex5",
+        inputs: 117,
+        bdd: rs(806, 888),
+        mig_imp: rs(1482, 141),
+        mig_maj: rs(1053, 47),
+    },
+    Table3BddRow {
+        name: "apex6",
+        inputs: 135,
+        bdd: rs(770, 1169),
+        mig_imp: rs(1652, 121),
+        mig_maj: rs(1018, 44),
+    },
+    Table3BddRow {
+        name: "apex7",
+        inputs: 49,
+        bdd: rs(290, 437),
+        mig_imp: rs(408, 132),
+        mig_maj: rs(277, 48),
+    },
+    Table3BddRow {
+        name: "b9",
+        inputs: 41,
+        bdd: rs(125, 298),
+        mig_imp: rs(252, 87),
+        mig_maj: rs(168, 32),
+    },
+    Table3BddRow {
+        name: "clip",
+        inputs: 9,
+        bdd: rs(120, 89),
+        mig_imp: rs(312, 110),
+        mig_maj: rs(217, 40),
+    },
+    Table3BddRow {
+        name: "cm150a",
+        inputs: 21,
+        bdd: rs(56, 127),
+        mig_imp: rs(147, 77),
+        mig_maj: rs(95, 32),
+    },
+    Table3BddRow {
+        name: "cm162a",
+        inputs: 14,
+        bdd: rs(46, 102),
+        mig_imp: rs(90, 86),
+        mig_maj: rs(60, 30),
+    },
+    Table3BddRow {
+        name: "cm163a",
+        inputs: 16,
+        bdd: rs(42, 116),
+        mig_imp: rs(102, 76),
+        mig_maj: rs(68, 27),
+    },
+    Table3BddRow {
+        name: "cordic",
+        inputs: 23,
+        bdd: rs(32, 149),
+        mig_imp: rs(189, 121),
+        mig_maj: rs(134, 48),
+    },
+    Table3BddRow {
+        name: "misex1",
+        inputs: 8,
+        bdd: rs(83, 69),
+        mig_imp: rs(111, 66),
+        mig_maj: rs(76, 24),
+    },
+    Table3BddRow {
+        name: "misex3",
+        inputs: 14,
+        bdd: rs(444, 185),
+        mig_imp: rs(2207, 165),
+        mig_maj: rs(1444, 67),
+    },
+    Table3BddRow {
+        name: "parity",
+        inputs: 16,
+        bdd: rs(23, 113),
+        mig_imp: rs(216, 132),
+        mig_maj: rs(152, 53),
+    },
+    Table3BddRow {
+        name: "seq",
+        inputs: 41,
+        bdd: rs(1566, 692),
+        mig_imp: rs(3189, 153),
+        mig_maj: rs(1970, 64),
+    },
+    Table3BddRow {
+        name: "t481",
+        inputs: 16,
+        bdd: rs(26, 107),
+        mig_imp: rs(148, 142),
+        mig_maj: rs(90, 52),
+    },
+    Table3BddRow {
+        name: "table5",
+        inputs: 17,
+        bdd: rs(580, 168),
+        mig_imp: rs(2630, 154),
+        mig_maj: rs(1723, 64),
+    },
+    Table3BddRow {
+        name: "too_large",
+        inputs: 38,
+        bdd: rs(282, 232),
+        mig_imp: rs(510, 164),
+        mig_maj: rs(322, 64),
+    },
+    Table3BddRow {
+        name: "x1",
+        inputs: 51,
+        bdd: rs(230, 398),
+        mig_imp: rs(569, 99),
+        mig_maj: rs(435, 36),
+    },
+    Table3BddRow {
+        name: "x2",
+        inputs: 10,
+        bdd: rs(60, 80),
+        mig_imp: rs(66, 76),
+        mig_maj: rs(46, 26),
+    },
+    Table3BddRow {
+        name: "x3",
+        inputs: 135,
+        bdd: rs(770, 1169),
+        mig_imp: rs(1729, 99),
+        mig_maj: rs(1008, 44),
+    },
+    Table3BddRow {
+        name: "x4",
+        inputs: 94,
+        bdd: rs(401, 642),
+        mig_imp: rs(599, 77),
+        mig_maj: rs(391, 28),
+    },
 ];
 
 /// Σ row of Table III's left half.
@@ -137,7 +512,7 @@ pub const TABLE3_BDD_SUM: Table3BddRow = Table3BddRow {
 };
 
 /// One row of Table III (right half): comparison with the AIG-based
-/// synthesis of Bürger et al. [12]. Only step counts were reported for the
+/// synthesis of Bürger et al. \[12\]. Only step counts were reported for the
 /// AIG flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table3AigRow {
@@ -146,7 +521,7 @@ pub struct Table3AigRow {
     pub name: &'static str,
     /// Number of primary inputs.
     pub inputs: u32,
-    /// Steps of the AIG-based synthesis [12] (RRAM counts not reported).
+    /// Steps of the AIG-based synthesis \[12\] (RRAM counts not reported).
     pub aig_steps: u64,
     /// MIG multi-objective result, IMP realization.
     pub mig_imp: Rs,
@@ -172,33 +547,33 @@ const fn a3(
     }
 }
 
-/// Table III, right half: AIG [12] vs. the proposed MIG flow.
+/// Table III, right half: AIG \[12\] vs. the proposed MIG flow.
 pub const TABLE3_AIG: &[Table3AigRow] = &[
-    a3("9sym_d",   9,  1418, 923, 175, 398, 60),
-    a3("con1_f1",  7,  18,   70,  75,  28,  26),
-    a3("con2_f2",  7,  19,   60,  76,  24,  24),
-    a3("exam1_d",  3,  12,   43,  44,  19,  16),
-    a3("exam3_d",  4,  12,   50,  55,  20,  23),
-    a3("max46_d",  9,  427,  408, 131, 193, 48),
-    a3("newill_d", 8,  50,   129, 109, 57,  40),
-    a3("newtag_d", 8,  21,   90,  96,  36,  33),
-    a3("rd53_f1",  5,  27,   60,  64,  24,  25),
-    a3("rd53_f2",  5,  57,   77,  77,  35,  28),
-    a3("rd53_f3",  5,  32,   86,  66,  38,  24),
-    a3("rd73_f1",  7,  238,  291, 121, 140, 44),
-    a3("rd73_f2",  7,  46,   129, 88,  57,  32),
-    a3("rd73_f3",  7,  104,  193, 107, 84,  39),
-    a3("rd84_f1",  8,  351,  430, 153, 187, 52),
-    a3("rd84_f2",  8,  47,   172, 88,  76,  31),
-    a3("rd84_f3",  8,  23,   90,  50,  36,  15),
-    a3("rd84_f4",  8,  345,  473, 141, 214, 47),
-    a3("sao2_f1",  10, 102,  110, 108, 72,  35),
-    a3("sao2_f2",  10, 112,  234, 119, 98,  42),
-    a3("sao2_f3",  10, 380,  325, 143, 143, 55),
-    a3("sao2_f4",  10, 252,  326, 143, 163, 59),
-    a3("sym10_d",  10, 1172, 1475, 187, 643, 72),
-    a3("t481_d",   16, 1564, 1285, 187, 567, 72),
-    a3("xor5_d",   5,  32,   86,  66,  38,  24),
+    a3("9sym_d", 9, 1418, 923, 175, 398, 60),
+    a3("con1_f1", 7, 18, 70, 75, 28, 26),
+    a3("con2_f2", 7, 19, 60, 76, 24, 24),
+    a3("exam1_d", 3, 12, 43, 44, 19, 16),
+    a3("exam3_d", 4, 12, 50, 55, 20, 23),
+    a3("max46_d", 9, 427, 408, 131, 193, 48),
+    a3("newill_d", 8, 50, 129, 109, 57, 40),
+    a3("newtag_d", 8, 21, 90, 96, 36, 33),
+    a3("rd53_f1", 5, 27, 60, 64, 24, 25),
+    a3("rd53_f2", 5, 57, 77, 77, 35, 28),
+    a3("rd53_f3", 5, 32, 86, 66, 38, 24),
+    a3("rd73_f1", 7, 238, 291, 121, 140, 44),
+    a3("rd73_f2", 7, 46, 129, 88, 57, 32),
+    a3("rd73_f3", 7, 104, 193, 107, 84, 39),
+    a3("rd84_f1", 8, 351, 430, 153, 187, 52),
+    a3("rd84_f2", 8, 47, 172, 88, 76, 31),
+    a3("rd84_f3", 8, 23, 90, 50, 36, 15),
+    a3("rd84_f4", 8, 345, 473, 141, 214, 47),
+    a3("sao2_f1", 10, 102, 110, 108, 72, 35),
+    a3("sao2_f2", 10, 112, 234, 119, 98, 42),
+    a3("sao2_f3", 10, 380, 325, 143, 143, 55),
+    a3("sao2_f4", 10, 252, 326, 143, 163, 59),
+    a3("sym10_d", 10, 1172, 1475, 187, 643, 72),
+    a3("t481_d", 16, 1564, 1285, 187, 567, 72),
+    a3("xor5_d", 5, 32, 86, 66, 38, 24),
 ];
 
 /// Σ row of Table III's right half.
@@ -243,12 +618,30 @@ mod tests {
                 .iter()
                 .fold((0, 0), |(r, s), row| (r + f(row).rrams, s + f(row).steps))
         };
-        assert_eq!(sum(|r| r.area_imp), (TABLE2_SUM.area_imp.rrams, TABLE2_SUM.area_imp.steps));
-        assert_eq!(sum(|r| r.depth_imp), (TABLE2_SUM.depth_imp.rrams, TABLE2_SUM.depth_imp.steps));
-        assert_eq!(sum(|r| r.rram_imp), (TABLE2_SUM.rram_imp.rrams, TABLE2_SUM.rram_imp.steps));
-        assert_eq!(sum(|r| r.rram_maj), (TABLE2_SUM.rram_maj.rrams, TABLE2_SUM.rram_maj.steps));
-        assert_eq!(sum(|r| r.step_imp), (TABLE2_SUM.step_imp.rrams, TABLE2_SUM.step_imp.steps));
-        assert_eq!(sum(|r| r.step_maj), (TABLE2_SUM.step_maj.rrams, TABLE2_SUM.step_maj.steps));
+        assert_eq!(
+            sum(|r| r.area_imp),
+            (TABLE2_SUM.area_imp.rrams, TABLE2_SUM.area_imp.steps)
+        );
+        assert_eq!(
+            sum(|r| r.depth_imp),
+            (TABLE2_SUM.depth_imp.rrams, TABLE2_SUM.depth_imp.steps)
+        );
+        assert_eq!(
+            sum(|r| r.rram_imp),
+            (TABLE2_SUM.rram_imp.rrams, TABLE2_SUM.rram_imp.steps)
+        );
+        assert_eq!(
+            sum(|r| r.rram_maj),
+            (TABLE2_SUM.rram_maj.rrams, TABLE2_SUM.rram_maj.steps)
+        );
+        assert_eq!(
+            sum(|r| r.step_imp),
+            (TABLE2_SUM.step_imp.rrams, TABLE2_SUM.step_imp.steps)
+        );
+        assert_eq!(
+            sum(|r| r.step_maj),
+            (TABLE2_SUM.step_maj.rrams, TABLE2_SUM.step_maj.steps)
+        );
     }
 
     #[test]
@@ -264,14 +657,20 @@ mod tests {
     fn table3_aig_sums_match() {
         let s: u64 = TABLE3_AIG.iter().map(|x| x.aig_steps).sum();
         assert_eq!(s, TABLE3_AIG_SUM.aig_steps);
-        let (ir, is) = TABLE3_AIG
-            .iter()
-            .fold((0u64, 0u64), |(r, s), x| (r + x.mig_imp.rrams, s + x.mig_imp.steps));
-        assert_eq!((ir, is), (TABLE3_AIG_SUM.mig_imp.rrams, TABLE3_AIG_SUM.mig_imp.steps));
-        let (mr, ms) = TABLE3_AIG
-            .iter()
-            .fold((0u64, 0u64), |(r, s), x| (r + x.mig_maj.rrams, s + x.mig_maj.steps));
-        assert_eq!((mr, ms), (TABLE3_AIG_SUM.mig_maj.rrams, TABLE3_AIG_SUM.mig_maj.steps));
+        let (ir, is) = TABLE3_AIG.iter().fold((0u64, 0u64), |(r, s), x| {
+            (r + x.mig_imp.rrams, s + x.mig_imp.steps)
+        });
+        assert_eq!(
+            (ir, is),
+            (TABLE3_AIG_SUM.mig_imp.rrams, TABLE3_AIG_SUM.mig_imp.steps)
+        );
+        let (mr, ms) = TABLE3_AIG.iter().fold((0u64, 0u64), |(r, s), x| {
+            (r + x.mig_maj.rrams, s + x.mig_maj.steps)
+        });
+        assert_eq!(
+            (mr, ms),
+            (TABLE3_AIG_SUM.mig_maj.rrams, TABLE3_AIG_SUM.mig_maj.steps)
+        );
     }
 
     #[test]

@@ -60,14 +60,20 @@ pub fn parse(src: &str) -> Result<Netlist, ParseCircuitError> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         match tokens[0] {
             ".i" => {
-                num_inputs = Some(tokens.get(1).and_then(|t| t.parse().ok()).ok_or_else(
-                    || ParseCircuitError::at_line(line_no, "bad .i count"),
-                )?)
+                num_inputs = Some(
+                    tokens
+                        .get(1)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| ParseCircuitError::at_line(line_no, "bad .i count"))?,
+                )
             }
             ".o" => {
-                num_outputs = Some(tokens.get(1).and_then(|t| t.parse().ok()).ok_or_else(
-                    || ParseCircuitError::at_line(line_no, "bad .o count"),
-                )?)
+                num_outputs = Some(
+                    tokens
+                        .get(1)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| ParseCircuitError::at_line(line_no, "bad .o count"))?,
+                )
             }
             ".ilb" => input_names = Some(tokens[1..].iter().map(|s| s.to_string()).collect()),
             ".ob" => output_names = Some(tokens[1..].iter().map(|s| s.to_string()).collect()),
@@ -134,10 +140,8 @@ pub fn parse(src: &str) -> Result<Netlist, ParseCircuitError> {
 
     let ni = num_inputs.ok_or_else(|| ParseCircuitError::new("missing .i"))?;
     let no = num_outputs.ok_or_else(|| ParseCircuitError::new("missing .o"))?;
-    let input_names =
-        input_names.unwrap_or_else(|| (0..ni).map(|i| format!("x{i}")).collect());
-    let output_names =
-        output_names.unwrap_or_else(|| (0..no).map(|i| format!("f{i}")).collect());
+    let input_names = input_names.unwrap_or_else(|| (0..ni).map(|i| format!("x{i}")).collect());
+    let output_names = output_names.unwrap_or_else(|| (0..no).map(|i| format!("f{i}")).collect());
     if input_names.len() != ni {
         return Err(ParseCircuitError::new(".ilb arity does not match .i"));
     }

@@ -41,7 +41,11 @@ pub fn sop_netlist(name: &str, tts: &[TruthTable]) -> Netlist {
                 continue;
             }
             let term = *minterm_wire.entry(m).or_insert_with(|| {
-                let mut t = if m & 1 == 1 { ins[0] } else { ins[0].complement() };
+                let mut t = if m & 1 == 1 {
+                    ins[0]
+                } else {
+                    ins[0].complement()
+                };
                 for (i, &w) in ins.iter().enumerate().skip(1) {
                     let lit = if (m >> i) & 1 == 1 { w } else { w.complement() };
                     t = b.and(t, lit);
@@ -105,11 +109,7 @@ pub fn shannon_netlist(name: &str, tts: &[TruthTable]) -> Netlist {
         let lo = tt.cofactor0(v);
         let hw = expand(&hi, v + 1, b, ins, cache);
         let lw = expand(&lo, v + 1, b, ins, cache);
-        let w = if hw == lw {
-            hw
-        } else {
-            b.mux(ins[v], hw, lw)
-        };
+        let w = if hw == lw { hw } else { b.mux(ins[v], hw, lw) };
         cache.insert(tt.clone(), w);
         w
     }

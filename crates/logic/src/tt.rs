@@ -591,7 +591,10 @@ mod tests {
         for m in 0..16u64 {
             assert_eq!(f.bit(m), m % 3 == 0);
         }
-        assert_eq!(f.count_ones(), (0..16u64).filter(|m| m % 3 == 0).count() as u64);
+        assert_eq!(
+            f.count_ones(),
+            (0..16u64).filter(|m| m % 3 == 0).count() as u64
+        );
     }
 
     #[test]

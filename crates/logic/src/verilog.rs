@@ -12,9 +12,7 @@ pub fn write(nl: &Netlist) -> String {
     let mut out = String::new();
     let ident = |name: &str| -> String {
         // Escape anything that is not a plain Verilog identifier.
-        if name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             && name.chars().next().is_some_and(|c| !c.is_ascii_digit())
         {
             name.to_string()
@@ -65,10 +63,7 @@ pub fn write(nl: &Netlist) -> String {
             GateKind::And => format!("{} & {}", f[0], f[1]),
             GateKind::Or => format!("{} | {}", f[0], f[1]),
             GateKind::Xor => format!("{} ^ {}", f[0], f[1]),
-            GateKind::Maj => format!(
-                "({0} & {1}) | ({0} & {2}) | ({1} & {2})",
-                f[0], f[1], f[2]
-            ),
+            GateKind::Maj => format!("({0} & {1}) | ({0} & {2}) | ({1} & {2})", f[0], f[1], f[2]),
             GateKind::Mux => format!("{0} ? {1} : {2}", f[0], f[1], f[2]),
         };
         let _ = writeln!(out, "  assign n{idx} = {rhs};");

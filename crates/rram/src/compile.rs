@@ -13,7 +13,7 @@
 //! [`rms_core::cost::RramCost`]. The machine also reports the *physical*
 //! peak device count, which exceeds `R` whenever values produced in one
 //! level must stay alive past the next level; Table I deliberately models
-//! only the per-level footprint (see EXPERIMENTS.md for the measured gap).
+//! only the per-level footprint (the `repro_*` reports print the measured gap).
 
 use crate::isa::{MicroOp, Operand, Program, RegId};
 use rms_core::cost::Realization;
@@ -266,8 +266,8 @@ pub fn compile(mig: &Mig, realization: Realization) -> CompiledCircuit {
         for &g in gates {
             let regs = &gate_regs[&g];
             let out_reg = match realization {
-                Realization::Imp => regs[3],  // device A of Fig. 3
-                Realization::Maj => regs[2],  // device Z
+                Realization::Imp => regs[3], // device A of Fig. 3
+                Realization::Maj => regs[2], // device Z
             };
             for &r in regs {
                 if r != out_reg {
@@ -374,9 +374,18 @@ fn emit_imp_gate(slots: &mut [Vec<MicroOp>], regs: &[RegId], ops: [Operand; 3]) 
     let (x, y, z, a, b, c) = (regs[0], regs[1], regs[2], regs[3], regs[4], regs[5]);
     let rg = Operand::Reg;
     slots[0].extend([
-        MicroOp::Load { dst: x, src: ops[0] },
-        MicroOp::Load { dst: y, src: ops[1] },
-        MicroOp::Load { dst: z, src: ops[2] },
+        MicroOp::Load {
+            dst: x,
+            src: ops[0],
+        },
+        MicroOp::Load {
+            dst: y,
+            src: ops[1],
+        },
+        MicroOp::Load {
+            dst: z,
+            src: ops[2],
+        },
         MicroOp::False { dst: a },
         MicroOp::False { dst: b },
         MicroOp::False { dst: c },
@@ -397,9 +406,18 @@ fn emit_imp_gate(slots: &mut [Vec<MicroOp>], regs: &[RegId], ops: [Operand; 3]) 
 fn emit_maj_gate(slots: &mut [Vec<MicroOp>], regs: &[RegId], ops: [Operand; 3]) {
     let (x, y, z, a) = (regs[0], regs[1], regs[2], regs[3]);
     slots[0].extend([
-        MicroOp::Load { dst: x, src: ops[0] },
-        MicroOp::Load { dst: y, src: ops[1] },
-        MicroOp::Load { dst: z, src: ops[2] },
+        MicroOp::Load {
+            dst: x,
+            src: ops[0],
+        },
+        MicroOp::Load {
+            dst: y,
+            src: ops[1],
+        },
+        MicroOp::Load {
+            dst: z,
+            src: ops[2],
+        },
         MicroOp::False { dst: a },
     ]);
     slots[1].push(MicroOp::Maj {
@@ -425,7 +443,9 @@ mod tests {
         Mig::from_netlist(&bench_suite::build(name).unwrap())
     }
 
-    const SAMPLES: &[&str] = &["exam1_d", "exam3_d", "rd53_f2", "con1_f1", "sao2_f4", "9sym_d"];
+    const SAMPLES: &[&str] = &[
+        "exam1_d", "exam3_d", "rd53_f2", "con1_f1", "sao2_f4", "9sym_d",
+    ];
 
     #[test]
     fn compiled_programs_compute_the_mig_function() {

@@ -40,9 +40,18 @@ pub fn imp_majority_gate() -> Program {
         num_regs: 6,
         steps: vec![
             vec![
-                MicroOp::Load { dst: X, src: Operand::Input(0) },
-                MicroOp::Load { dst: Y, src: Operand::Input(1) },
-                MicroOp::Load { dst: Z, src: Operand::Input(2) },
+                MicroOp::Load {
+                    dst: X,
+                    src: Operand::Input(0),
+                },
+                MicroOp::Load {
+                    dst: Y,
+                    src: Operand::Input(1),
+                },
+                MicroOp::Load {
+                    dst: Z,
+                    src: Operand::Input(2),
+                },
                 MicroOp::False { dst: A },
                 MicroOp::False { dst: B },
                 MicroOp::False { dst: C },
@@ -76,9 +85,18 @@ pub fn maj_majority_gate() -> Program {
         num_regs: 4,
         steps: vec![
             vec![
-                MicroOp::Load { dst: X, src: Operand::Input(0) },
-                MicroOp::Load { dst: Y, src: Operand::Input(1) },
-                MicroOp::Load { dst: Z, src: Operand::Input(2) },
+                MicroOp::Load {
+                    dst: X,
+                    src: Operand::Input(0),
+                },
+                MicroOp::Load {
+                    dst: Y,
+                    src: Operand::Input(1),
+                },
+                MicroOp::Load {
+                    dst: Z,
+                    src: Operand::Input(2),
+                },
                 MicroOp::False { dst: A },
             ],
             vec![MicroOp::Maj {

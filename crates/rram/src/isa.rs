@@ -135,7 +135,7 @@ pub struct Program {
     /// Output name and the device holding the value after the last step.
     pub outputs: Vec<(String, RegId)>,
     /// The paper's `R` metric: the modelled per-level device footprint
-    /// `max_i (K·N_i + C_i)` (see [`crate::compile`]); `0` when the program
+    /// `max_i (K·N_i + C_i)` (see [`mod@crate::compile`]); `0` when the program
     /// was hand-written rather than compiled.
     pub model_rrams: u64,
 }

@@ -10,7 +10,7 @@
 //!   step-parallel [`isa::Program`]s,
 //! - [`gates`] — the paper's 10-step IMP-based and 3-step MAJ-based
 //!   majority gates as ready-made programs,
-//! - [`compile`] — the level-by-level MIG compiler of Sec. III-B with
+//! - [`mod@compile`] — the level-by-level MIG compiler of Sec. III-B with
 //!   device reuse, and
 //! - [`machine`] — a cycle-accurate, bit-parallel interpreter.
 //!
@@ -31,6 +31,11 @@
 //! # Ok(())
 //! # }
 //! ```
+
+//!
+//! This crate is the hardware layer of the workspace; see
+//! `ARCHITECTURE.md` at the repository root for how the cost model the
+//! compilers realize composes with the optimization layer.
 
 pub mod compile;
 pub mod device;

@@ -109,7 +109,10 @@ impl Machine {
     ///
     /// Returns a [`ProgramError`] if the program fails validation.
     pub fn run_bools(program: &Program, inputs: &[bool]) -> Result<Vec<bool>, ProgramError> {
-        let words: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let words: Vec<u64> = inputs
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
         let mut m = Machine::new();
         let outs = m.run_words(program, &words)?;
         Ok(outs.into_iter().map(|w| w & 1 == 1).collect())

@@ -10,7 +10,7 @@
 //!
 //! where `A`/`B` are operands read from memory (or constants) and `Z` is a
 //! memory cell modified in place. Unlike the level-parallel array of
-//! [`crate::compile`], nothing executes concurrently, so the instruction
+//! [`mod@crate::compile`], nothing executes concurrently, so the instruction
 //! count — not `K·D + L` — is the latency. This module compiles an MIG to
 //! an RM3 instruction stream and reports that count; comparing it against
 //! the parallel schedule quantifies exactly what the crossbar's intra-level
@@ -103,7 +103,7 @@ pub fn compile_plim(mig: &Mig) -> PlimCircuit {
     let mut cells = Cells::default();
     let mut steps: Vec<Vec<MicroOp>> = Vec::new();
     let mut value: HashMap<usize, RegId> = HashMap::new();
-    let mut emit = |steps: &mut Vec<Vec<MicroOp>>, op: MicroOp| steps.push(vec![op]);
+    let emit = |steps: &mut Vec<Vec<MicroOp>>, op: MicroOp| steps.push(vec![op]);
 
     // Reads the uncomplemented value of a signal as an operand.
     let operand = |sig: MigSignal, value: &HashMap<usize, RegId>, mig: &Mig| -> Operand {
@@ -145,9 +145,23 @@ pub fn compile_plim(mig: &Mig) -> PlimCircuit {
                 },
             );
         } else if y_compl {
-            emit(&mut steps, MicroOp::Maj { p: yv, q: Operand::Const(false), r: a });
+            emit(
+                &mut steps,
+                MicroOp::Maj {
+                    p: yv,
+                    q: Operand::Const(false),
+                    r: a,
+                },
+            );
         } else {
-            emit(&mut steps, MicroOp::Maj { p: Operand::Const(true), q: yv, r: a });
+            emit(
+                &mut steps,
+                MicroOp::Maj {
+                    p: Operand::Const(true),
+                    q: yv,
+                    r: a,
+                },
+            );
         }
         // Seed Z with z' (one extra inversion instruction if complemented).
         if z_stale {
@@ -165,7 +179,14 @@ pub fn compile_plim(mig: &Mig) -> PlimCircuit {
             );
         } else if z_compl {
             // RM3(1, z, Z) with Z = 0 gives ¬z.
-            emit(&mut steps, MicroOp::Maj { p: Operand::Const(true), q: zv, r: zr });
+            emit(
+                &mut steps,
+                MicroOp::Maj {
+                    p: Operand::Const(true),
+                    q: zv,
+                    r: zr,
+                },
+            );
         } else {
             emit(&mut steps, MicroOp::Load { dst: zr, src: zv });
         }
@@ -182,13 +203,27 @@ pub fn compile_plim(mig: &Mig) -> PlimCircuit {
             if stale {
                 emit(&mut steps, MicroOp::False { dst: nx });
             }
-            emit(&mut steps, MicroOp::Maj { p: Operand::Const(true), q: xv, r: nx });
+            emit(
+                &mut steps,
+                MicroOp::Maj {
+                    p: Operand::Const(true),
+                    q: xv,
+                    r: nx,
+                },
+            );
             cells.release(nx);
             Operand::Reg(nx)
         } else {
             xv
         };
-        emit(&mut steps, MicroOp::Maj { p: xop, q: Operand::Reg(a), r: zr });
+        emit(
+            &mut steps,
+            MicroOp::Maj {
+                p: xop,
+                q: Operand::Reg(a),
+                r: zr,
+            },
+        );
         cells.release(a);
         value.insert(idx, zr);
         for kid in kids {
@@ -225,7 +260,14 @@ pub fn compile_plim(mig: &Mig) -> PlimCircuit {
                 },
             );
         } else if sig.is_complemented() {
-            emit(&mut steps, MicroOp::Maj { p: Operand::Const(true), q: src, r });
+            emit(
+                &mut steps,
+                MicroOp::Maj {
+                    p: Operand::Const(true),
+                    q: src,
+                    r,
+                },
+            );
         } else {
             emit(&mut steps, MicroOp::Load { dst: r, src });
         }

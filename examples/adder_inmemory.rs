@@ -34,10 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mig = Mig::from_netlist(&netlist);
     let opts = OptOptions::paper();
 
-    println!("{BITS}-bit ripple-carry adder: {} gates, depth {}", netlist.num_gates(), netlist.depth());
-    println!("initial MIG: {} nodes, depth {}\n", mig.num_gates(), mig.depth());
+    println!(
+        "{BITS}-bit ripple-carry adder: {} gates, depth {}",
+        netlist.num_gates(),
+        netlist.depth()
+    );
+    println!(
+        "initial MIG: {} nodes, depth {}\n",
+        mig.num_gates(),
+        mig.depth()
+    );
 
-    println!("{:<12} {:>14} {:>14}", "algorithm", "IMP (R/S)", "MAJ (R/S)");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "algorithm", "IMP (R/S)", "MAJ (R/S)"
+    );
     for alg in Algorithm::ALL {
         let imp = alg.run(&mig, Realization::Imp, &opts);
         let maj = alg.run(&mig, Realization::Maj, &opts);
@@ -68,11 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bits.push((b >> i) & 1 == 1);
         }
         let outs = Machine::run_bools(&circuit.program, &bits)?;
-        let sum: u64 = outs
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v as u64) << i)
-            .sum();
+        let sum: u64 = outs.iter().enumerate().map(|(i, &v)| (v as u64) << i).sum();
         assert_eq!(sum, a + b, "in-memory addition must be exact");
         println!("  {a:2} + {b:2} = {sum}");
     }

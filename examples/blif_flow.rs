@@ -50,12 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = OptOptions::paper();
     let optimized = opt::optimize_rram(&mig, Realization::Maj, &opts);
     let mig_cost = RramCost::of(&optimized, Realization::Maj);
-    println!("MIG  multi-objective (MAJ): R={} S={}", mig_cost.rrams, mig_cost.steps);
+    println!(
+        "MIG  multi-objective (MAJ): R={} S={}",
+        mig_cost.rrams, mig_cost.steps
+    );
     let imp_cost = RramCost::of(
         &opt::optimize_rram(&mig, Realization::Imp, &opts),
         Realization::Imp,
     );
-    println!("MIG  multi-objective (IMP): R={} S={}", imp_cost.rrams, imp_cost.steps);
+    println!(
+        "MIG  multi-objective (IMP): R={} S={}",
+        imp_cost.rrams, imp_cost.steps
+    );
 
     // BDD baseline [11].
     let circ = bdd_build::from_netlist(&netlist, bdd_build::Ordering::DfsFromOutputs);

@@ -27,7 +27,10 @@ fn trace(program: &Program, names: &[&str], inputs: &[bool]) {
             .map(|r| (format!("r{r}"), RegId(r as u32)))
             .collect();
         let states = Machine::run_bools(&probe, inputs).expect("valid program");
-        let ops: Vec<String> = program.steps[cut - 1].iter().map(|o| o.to_string()).collect();
+        let ops: Vec<String> = program.steps[cut - 1]
+            .iter()
+            .map(|o| o.to_string())
+            .collect();
         let vals: Vec<String> = states.iter().map(|&v| format!("{}", v as u8)).collect();
         println!("{cut:4} | {:<37}| {}", ops.join("; "), vals.join(" "));
     }
@@ -37,7 +40,11 @@ fn main() {
     let inputs = [true, false, true]; // x=1, y=0, z=1 -> majority 1
 
     println!("== Fig. 3: IMP-based majority gate, 6 RRAMs, 10 steps ==");
-    trace(&imp_majority_gate(), &["X", "Y", "Z", "A", "B", "C"], &inputs);
+    trace(
+        &imp_majority_gate(),
+        &["X", "Y", "Z", "A", "B", "C"],
+        &inputs,
+    );
     println!("output device A holds maj(1,0,1) = 1\n");
 
     println!("== Sec. III-A2: MAJ-based majority gate, 4 RRAMs, 3 steps ==");

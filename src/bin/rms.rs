@@ -1,0 +1,356 @@
+//! `rms` — command-line driver for the RRAM/MIG synthesis pipeline.
+//!
+//! Subcommands:
+//!
+//! - `rms run` — full pipeline on a user circuit: parse, optimize,
+//!   compile (array + PLiM), verify, report (text or `--json`).
+//! - `rms optimize` — run an optimization algorithm and emit the
+//!   optimized circuit (`--emit blif|pla|verilog|dot`).
+//! - `rms compile` — compile to an RRAM program and print its listing.
+//! - `rms bench` — regenerate the paper's tables over the embedded
+//!   suites, in parallel across benchmarks by default.
+//!
+//! Run `rms help` (or any subcommand with `--help`) for the flag list.
+
+use rms_bench::reports;
+use rms_core::opt::{Algorithm, OptOptions};
+use rms_core::Realization;
+use rms_flow::{FlowError, Frontend, InputFormat, Pipeline};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rms - RRAM-aware MIG logic synthesis (DATE 2016 reproduction)
+
+USAGE:
+    rms <run|optimize|compile|bench|help> [flags]
+
+INPUT (run / optimize / compile):
+    --input FILE          circuit file (.blif, .pla, .expr/.eqn, .tt; sniffed otherwise)
+    --bench NAME          embedded benchmark (see `rms bench --list`)
+    --expr TEXT           inline expression, e.g. \"f = maj(a, b, c) ^ d\"
+    --format FMT          override input format detection (blif|pla|expr|tt)
+
+FLOW:
+    --opt ALG             area | depth | rram | steps        (default: rram, Alg. 3)
+    --realization R       imp | maj                          (default: maj)
+    --effort N            optimization cycles                (default: 40)
+    --frontend F          direct | aig | bdd                 (default: direct)
+    --no-verify           skip machine-level verification
+
+OUTPUT:
+    --json                machine-readable report (run)
+    --emit FMT            blif | pla | verilog | dot         (optimize)
+    --output FILE         write emitted circuit to FILE instead of stdout
+    --plim                compile the serial PLiM stream instead of the array (compile)
+    --listing             print the program listing (compile)
+
+BENCH:
+    --table2 --table3 --summary --runtime --figures    sections (default: summary)
+    --list                list embedded benchmark names
+    --sequential          disable the thread pool
+    --jobs N              worker threads (default: all cores; RMS_THREADS also works)
+
+EXAMPLES:
+    rms run --input adder.blif --opt rram --realization imp --json
+    rms optimize --bench misex1 --opt area --emit blif --output misex1_opt.blif
+    rms compile --expr \"f = a & b | c\" --plim --listing
+    rms bench --table2 --effort 40
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "optimize" => cmd_optimize(rest),
+        "compile" => cmd_compile(rest),
+        "bench" => cmd_bench(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}; try `rms help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("rms: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Flags shared by `run`, `optimize`, and `compile`.
+struct FlowArgs {
+    input: Option<String>,
+    bench: Option<String>,
+    expr: Option<String>,
+    format: Option<InputFormat>,
+    algorithm: Algorithm,
+    realization: Realization,
+    effort: usize,
+    frontend: Frontend,
+    verify: bool,
+    json: bool,
+    emit: Option<String>,
+    output: Option<String>,
+    plim: bool,
+    listing: bool,
+}
+
+impl FlowArgs {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut a = FlowArgs {
+            input: None,
+            bench: None,
+            expr: None,
+            format: None,
+            algorithm: Algorithm::RramCosts,
+            realization: Realization::Maj,
+            effort: OptOptions::default().effort,
+            frontend: Frontend::Direct,
+            verify: true,
+            json: false,
+            emit: None,
+            output: None,
+            plim: false,
+            listing: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--input" => a.input = Some(value("--input")?),
+                "--bench" => a.bench = Some(value("--bench")?),
+                "--expr" => a.expr = Some(value("--expr")?),
+                "--format" => {
+                    let v = value("--format")?;
+                    a.format = Some(
+                        InputFormat::from_name(&v)
+                            .ok_or_else(|| format!("unknown format {v:?}"))?,
+                    );
+                }
+                "--opt" => {
+                    let v = value("--opt")?;
+                    a.algorithm = match v.to_ascii_lowercase().as_str() {
+                        "area" => Algorithm::Area,
+                        "depth" => Algorithm::Depth,
+                        "rram" | "rram-costs" | "multi" => Algorithm::RramCosts,
+                        "steps" | "step" => Algorithm::Steps,
+                        _ => return Err(format!("unknown algorithm {v:?}")),
+                    };
+                }
+                "--realization" => {
+                    let v = value("--realization")?;
+                    a.realization = match v.to_ascii_lowercase().as_str() {
+                        "imp" => Realization::Imp,
+                        "maj" => Realization::Maj,
+                        _ => return Err(format!("unknown realization {v:?}")),
+                    };
+                }
+                "--effort" => {
+                    let v = value("--effort")?;
+                    a.effort = v
+                        .parse()
+                        .map_err(|_| format!("--effort expects a number, got {v:?}"))?;
+                }
+                "--frontend" => {
+                    let v = value("--frontend")?;
+                    a.frontend =
+                        Frontend::from_name(&v).ok_or_else(|| format!("unknown frontend {v:?}"))?;
+                }
+                "--no-verify" => a.verify = false,
+                "--json" => a.json = true,
+                "--emit" => a.emit = Some(value("--emit")?),
+                "--output" => a.output = Some(value("--output")?),
+                "--plim" => a.plim = true,
+                "--listing" => a.listing = true,
+                other => return Err(format!("unknown flag {other:?}; try `rms help`")),
+            }
+        }
+        Ok(a)
+    }
+
+    fn pipeline(&self) -> Result<Pipeline, String> {
+        let sources =
+            self.input.is_some() as u8 + self.bench.is_some() as u8 + self.expr.is_some() as u8;
+        if sources != 1 {
+            return Err("give exactly one of --input, --bench, --expr".into());
+        }
+        let pipeline = if let Some(path) = &self.input {
+            match self.format {
+                Some(format) => {
+                    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    let name = std::path::Path::new(path)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("circuit")
+                        .to_string();
+                    Pipeline::from_str(format, &text, &name).map_err(err_str)?
+                }
+                None => Pipeline::from_path(path).map_err(err_str)?,
+            }
+        } else if let Some(name) = &self.bench {
+            Pipeline::from_bench(name).map_err(err_str)?
+        } else {
+            let text = self.expr.as_deref().unwrap();
+            Pipeline::from_str(InputFormat::Expr, text, "expr").map_err(err_str)?
+        };
+        Ok(pipeline
+            .algorithm(self.algorithm)
+            .realization(self.realization)
+            .effort(self.effort)
+            .frontend(self.frontend)
+            .verify(self.verify))
+    }
+}
+
+fn err_str(e: FlowError) -> String {
+    e.to_string()
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let a = FlowArgs::parse(args)?;
+    let out = a.pipeline()?.run().map_err(err_str)?;
+    if a.json {
+        print!("{}", rms_flow::render_json(&out.report));
+    } else {
+        print!("{}", rms_flow::render_text(&out.report));
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let a = FlowArgs::parse(args)?;
+    let out = a.pipeline()?.run().map_err(err_str)?;
+    let emitted = match a.emit.as_deref() {
+        None => None,
+        Some("blif") => Some(rms_logic::blif::write(&out.mig.to_netlist())),
+        Some("pla") => Some(rms_logic::pla::write(&out.mig.to_netlist())),
+        Some("verilog" | "v") => Some(rms_logic::verilog::write(&out.mig.to_netlist())),
+        Some("dot") => Some(out.mig.to_dot()),
+        Some(other) => return Err(format!("unknown --emit format {other:?}")),
+    };
+    // When the emitted circuit occupies stdout, the report moves to
+    // stderr so both streams stay parseable.
+    let mut stdout_taken = false;
+    match (emitted, &a.output) {
+        (Some(text), Some(path)) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        (Some(text), None) => {
+            print!("{text}");
+            stdout_taken = true;
+        }
+        (None, _) => {}
+    }
+    let report = if a.json {
+        rms_flow::render_json(&out.report)
+    } else {
+        rms_flow::render_text(&out.report)
+    };
+    if a.json && !stdout_taken {
+        print!("{report}");
+    } else {
+        eprint!("{report}");
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let a = FlowArgs::parse(args)?;
+    let out = a.pipeline()?.run().map_err(err_str)?;
+    let (what, program) = if a.plim {
+        ("plim", &out.plim.program)
+    } else {
+        ("array", &out.array.program)
+    };
+    println!(
+        "{what} program: {} steps, {} registers, {} inputs, {} outputs (verification: {})",
+        program.num_steps(),
+        program.num_regs,
+        program.num_inputs,
+        program.outputs.len(),
+        out.report.verify.label()
+    );
+    if a.listing {
+        print!("{}", program.listing());
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut sections: Vec<&str> = Vec::new();
+    let mut effort = OptOptions::default().effort;
+    let mut jobs = 0usize; // 0 = default thread pool
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--table2" => sections.push("table2"),
+            "--table3" => sections.push("table3"),
+            "--summary" => sections.push("summary"),
+            "--runtime" => sections.push("runtime"),
+            "--figures" => sections.push("figures"),
+            "--list" => {
+                for info in rms_logic::bench_suite::LARGE_SUITE {
+                    println!("{:<12} {} inputs (large suite)", info.name, info.inputs);
+                }
+                for info in rms_logic::bench_suite::SMALL_SUITE {
+                    println!("{:<12} {} inputs (small suite)", info.name, info.inputs);
+                }
+                return Ok(());
+            }
+            "--sequential" => jobs = 1,
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--jobs requires a value".to_string())?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+            }
+            "--effort" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--effort requires a value".to_string())?;
+                effort = v
+                    .parse()
+                    .map_err(|_| format!("--effort expects a number, got {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}; try `rms help`")),
+        }
+    }
+    if sections.is_empty() {
+        sections.push("summary");
+    }
+    let opts = OptOptions::with_effort(effort);
+    for (i, section) in sections.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match *section {
+            "table2" => print!("{}", reports::table2_report(&opts, jobs)),
+            "table3" => print!(
+                "{}",
+                reports::table3_report(&opts, &rms_bdd::BddSynthOptions::default(), jobs)
+            ),
+            "summary" => print!("{}", reports::summary_report(&opts, jobs)),
+            "runtime" => print!("{}", reports::runtime_report(&opts)),
+            "figures" => print!("{}", reports::figures_report()),
+            _ => unreachable!(),
+        }
+    }
+    Ok(())
+}

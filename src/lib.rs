@@ -1,1 +1,44 @@
-pub use rms_aig as aig; pub use rms_bdd as bdd; pub use rms_core as mig; pub use rms_logic as logic; pub use rms_rram as rram;
+//! Reproduction of *"Fast Logic Synthesis for RRAM-based In-Memory
+//! Computing using Majority-Inverter Graphs"* (Shirinzadeh, Soeken,
+//! Gaillardon, Drechsler — DATE 2016), grown into a workspace with a
+//! unified synthesis pipeline and a command-line driver.
+//!
+//! This crate is a facade: each module below re-exports one workspace
+//! crate, so `rram_mig::mig::Mig` and `rms_core::Mig` are the same type.
+//!
+//! | Module | Crate | Layer |
+//! |---|---|---|
+//! | [`logic`] | `rms-logic` | truth tables, netlists, BLIF/PLA/expression I/O, simulation, benchmark suites |
+//! | [`mig`]   | `rms-core`  | majority-inverter graphs, rewrite passes, Algs. 1–4, the (R, S) cost model |
+//! | [`rram`]  | `rms-rram`  | RRAM device model, micro-op ISA, level-parallel and PLiM compilers, machine |
+//! | [`aig`]   | `rms-aig`   | and-inverter graphs and the node-serial baseline of Table III |
+//! | [`bdd`]   | `rms-bdd`   | ROBDDs and the mux-per-node baseline of Table III |
+//! | [`flow`]  | `rms-flow`  | the end-to-end pipeline, input loading, reports, thread pool |
+//!
+//! The `rms` binary in this package drives [`flow::Pipeline`] from the
+//! command line; the reproduction harness lives in the `rms-bench` crate.
+//! See `README.md` for a quickstart and `ARCHITECTURE.md` for the stage
+//! and data-structure documentation.
+//!
+//! # Example
+//!
+//! ```
+//! use rram_mig::flow::{Pipeline, InputFormat};
+//! use rram_mig::mig::{Algorithm, Realization};
+//!
+//! # fn main() -> Result<(), rram_mig::flow::FlowError> {
+//! let out = Pipeline::from_str(InputFormat::Expr, "f = maj(a, b, c)", "demo")?
+//!     .algorithm(Algorithm::RramCosts)
+//!     .realization(Realization::Imp)
+//!     .run()?;
+//! assert_eq!(out.report.cost.rrams, 6); // one IMP majority gate
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rms_aig as aig;
+pub use rms_bdd as bdd;
+pub use rms_core as mig;
+pub use rms_flow as flow;
+pub use rms_logic as logic;
+pub use rms_rram as rram;

@@ -10,7 +10,10 @@ use rram_mig::rram::compile::compile;
 
 #[test]
 fn formulas_match_machine_on_initial_migs() {
-    for info in bench_suite::LARGE_SUITE.iter().chain(bench_suite::SMALL_SUITE) {
+    for info in bench_suite::LARGE_SUITE
+        .iter()
+        .chain(bench_suite::SMALL_SUITE)
+    {
         let mig = Mig::from_netlist(&bench_suite::build_info(info)).compact();
         for real in Realization::ALL {
             let cost = RramCost::of(&mig, real);
@@ -50,7 +53,10 @@ fn formulas_match_machine_after_optimization() {
                     cost.steps,
                     "{name}/{alg}/{real}: steps"
                 );
-                assert_eq!(circuit.model_rrams, cost.rrams, "{name}/{alg}/{real}: rrams");
+                assert_eq!(
+                    circuit.model_rrams, cost.rrams,
+                    "{name}/{alg}/{real}: rrams"
+                );
             }
         }
     }

@@ -33,11 +33,7 @@ fn optimizers_preserve_functions_exhaustively() {
         for alg in Algorithm::ALL {
             for real in Realization::ALL {
                 let opt = alg.run(&mig, real, &opts);
-                assert_eq!(
-                    opt.truth_tables(),
-                    reference,
-                    "{name}: {alg} under {real}"
-                );
+                assert_eq!(opt.truth_tables(), reference, "{name}: {alg} under {real}");
             }
         }
     }

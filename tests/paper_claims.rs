@@ -2,11 +2,11 @@
 //! effort on the embedded suite (the `repro_*` binaries run the full
 //! effort-40 configuration). "Shape" means: who wins, and in which
 //! direction the trade-offs go — not absolute numbers, since the substrate
-//! circuits are substitutes (see DESIGN.md).
+//! circuits are substitutes (see ARCHITECTURE.md).
 
+use rms_bench::runner;
 use rram_mig::bdd::BddSynthOptions;
 use rram_mig::mig::opt::OptOptions;
-use rms_bench::runner;
 
 fn opts() -> OptOptions {
     OptOptions::with_effort(10)
