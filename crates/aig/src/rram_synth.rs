@@ -99,8 +99,8 @@ pub fn synthesize(aig: &Aig) -> AigRramCircuit {
         }
     }
     let mut consumers = vec![0u32; aig.len()];
-    for idx in 0..aig.len() {
-        if !alive[idx] {
+    for (idx, &is_alive) in alive.iter().enumerate() {
+        if !is_alive {
             continue;
         }
         if let AigNode::And(kids) = aig.node(idx) {
@@ -132,8 +132,8 @@ pub fn synthesize(aig: &Aig) -> AigRramCircuit {
             r
         };
 
-    for idx in 0..aig.len() {
-        if !alive[idx] {
+    for (idx, &is_alive) in alive.iter().enumerate() {
+        if !is_alive {
             continue;
         }
         let AigNode::And(kids) = aig.node(idx) else {

@@ -69,8 +69,8 @@ pub fn dfs_order(nl: &Netlist) -> Vec<u32> {
         visit(nl, w.node(), &mut seen_node, &mut seen_input, &mut order);
     }
     // Unreferenced inputs go last.
-    for i in 0..nl.num_inputs() {
-        if !seen_input[i] {
+    for (i, &seen) in seen_input.iter().enumerate() {
+        if !seen {
             order.push(i as u32);
         }
     }

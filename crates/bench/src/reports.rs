@@ -96,6 +96,82 @@ pub fn table2_report(opts: &OptOptions, jobs: usize) -> String {
     out
 }
 
+/// The algorithm-comparison sweep: Algs. 1–4 vs. the cut-rewriting
+/// engine (node counts and MAJ-realization R/S over the small suite).
+pub fn algs_report(opts: &OptOptions, jobs: usize) -> String {
+    let t0 = Instant::now();
+    let rows = runner::run_algs_jobs(opts, jobs);
+    let elapsed = t0.elapsed();
+
+    let mut table = TextTable::new(&[
+        "benchmark",
+        "initial",
+        "Area",
+        "Depth",
+        "RRAM",
+        "Step",
+        "Cut",
+        "Cut+RRAM",
+        "rewrites",
+    ]);
+    let mut cut_wins = 0usize;
+    let mut gate_sums = [0u64; 6];
+    let mut rs_sums = [0u64; 6];
+    for r in &rows {
+        table.row(vec![
+            r.info.name.to_string(),
+            r.initial_gates.to_string(),
+            format!("{} ({})", r.gates[0], rs(r.cost[0])),
+            format!("{} ({})", r.gates[1], rs(r.cost[1])),
+            format!("{} ({})", r.gates[2], rs(r.cost[2])),
+            format!("{} ({})", r.gates[3], rs(r.cost[3])),
+            format!("{} ({})", r.gates[4], rs(r.cost[4])),
+            format!("{} ({})", r.gates[5], rs(r.cost[5])),
+            r.cut_rewrites.to_string(),
+        ]);
+        if r.gates[4] <= r.gates[0] {
+            cut_wins += 1;
+        }
+        for i in 0..6 {
+            gate_sums[i] += r.gates[i];
+            rs_sums[i] += r.cost[i].rrams * r.cost[i].steps;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Algorithm comparison (gates and MAJ-realization R/S, effort = {})",
+        opts.effort
+    );
+    let _ = writeln!(
+        out,
+        "Columns: Algs. 1-4 of the paper, then the cut-rewriting engine (Alg. 5) and the cut+RRAM hybrid.\n"
+    );
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\ncut <= area on gates: {cut_wins}/{} benchmarks",
+        rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "total gates: area {} | cut {} ({} vs area)",
+        gate_sums[0],
+        gate_sums[4],
+        percent_change(gate_sums[4], gate_sums[0])
+    );
+    let _ = writeln!(
+        out,
+        "sum of R*S products: rram {} | cut+rram {} ({} vs rram)",
+        rs_sums[2],
+        rs_sums[5],
+        percent_change(rs_sums[5], rs_sums[2])
+    );
+    let _ = writeln!(out, "sweep run-time: {elapsed:.2?}");
+    out
+}
+
 /// Regenerates Table III: the MIG flow vs. the BDD-based \[11\] and the
 /// AIG-based \[12\] RRAM synthesis baselines.
 pub fn table3_report(opts: &OptOptions, synth: &BddSynthOptions, jobs: usize) -> String {
@@ -496,5 +572,13 @@ mod tests {
         for alg in Algorithm::ALL {
             assert!(text.contains(&alg.to_string()), "{alg} missing:\n{text}");
         }
+    }
+
+    #[test]
+    fn algs_report_summarizes_the_sweep() {
+        let text = algs_report(&OptOptions::with_effort(2), 0);
+        assert!(text.contains("Cut+RRAM"), "{text}");
+        assert!(text.contains("cut <= area on gates:"), "{text}");
+        assert!(text.contains("/25 benchmarks"), "{text}");
     }
 }

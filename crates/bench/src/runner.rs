@@ -235,6 +235,62 @@ pub fn run_table3_aig_jobs(opts: &OptOptions, jobs: usize) -> Vec<Table3AigMeasu
     par::par_map_threads(&infos, workers(jobs), |info| run_table3_aig_row(info, opts))
 }
 
+/// One measured row of the algorithm-comparison sweep: Algs. 1–4 against
+/// the cut-rewriting engine, over the small (single-output) suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgsMeasured {
+    /// Benchmark descriptor.
+    pub info: &'static BenchmarkInfo,
+    /// Majority-gate count of the unoptimized MIG.
+    pub initial_gates: u64,
+    /// Gate count per algorithm, in [`Algorithm::ALL_WITH_CUT`] order.
+    pub gates: [u64; 6],
+    /// Table I metrics per algorithm (MAJ realization), same order.
+    pub cost: [Measured; 6],
+    /// Cut rewrites accepted by the `Cut` run.
+    pub cut_rewrites: u64,
+}
+
+/// Runs every algorithm (including the cut engine) on one benchmark
+/// under the MAJ realization.
+pub fn run_algs_row(info: &'static BenchmarkInfo, opts: &OptOptions) -> AlgsMeasured {
+    let mig = Mig::from_netlist(&bench_suite::build_info(info));
+    let mut gates = [0u64; 6];
+    let mut cost = [Measured::default(); 6];
+    let mut cut_rewrites = 0;
+    for (i, alg) in Algorithm::ALL_WITH_CUT.into_iter().enumerate() {
+        let (out, stats) = rms_flow::run_algorithm(&mig, alg, Realization::Maj, opts);
+        gates[i] = out.num_gates() as u64;
+        cost[i] = RramCost::of(&out, Realization::Maj).into();
+        if alg == Algorithm::Cut {
+            cut_rewrites = stats.rewrites;
+        }
+    }
+    AlgsMeasured {
+        info,
+        initial_gates: mig.num_gates() as u64,
+        gates,
+        cost,
+        cut_rewrites,
+    }
+}
+
+/// Runs the algorithm-comparison sweep over the small suite sequentially.
+pub fn run_algs(opts: &OptOptions) -> Vec<AlgsMeasured> {
+    bench_suite::SMALL_SUITE
+        .iter()
+        .map(|info| run_algs_row(info, opts))
+        .collect()
+}
+
+/// Runs the algorithm-comparison sweep on `jobs` worker threads (`0` =
+/// all cores). Rows come back in suite order, bit-identical to
+/// [`run_algs`].
+pub fn run_algs_jobs(opts: &OptOptions, jobs: usize) -> Vec<AlgsMeasured> {
+    let infos: Vec<&'static BenchmarkInfo> = bench_suite::SMALL_SUITE.iter().collect();
+    par::par_map_threads(&infos, workers(jobs), |info| run_algs_row(info, opts))
+}
+
 /// Sum of a column over rows.
 pub fn sum_by<T>(rows: &[T], f: impl Fn(&T) -> Measured) -> Measured {
     rows.iter().fold(Measured::default(), |acc, r| {
@@ -307,6 +363,27 @@ mod tests {
         ];
         let s = sum_by(&rows, |m| *m);
         assert_eq!(s, Measured { rrams: 4, steps: 6 });
+    }
+
+    #[test]
+    fn algs_row_covers_all_algorithms() {
+        let info = rms_logic::bench_suite::info("exam3_d").unwrap();
+        let row = run_algs_row(info, &OptOptions::with_effort(4));
+        assert!(row.initial_gates > 0);
+        for (i, &g) in row.gates.iter().enumerate() {
+            assert!(g <= row.initial_gates, "alg {i}");
+            assert!(row.cost[i].steps > 0, "alg {i}");
+        }
+        // The cut engine never loses to plain area optimization here.
+        assert!(row.gates[4] <= row.gates[0], "{row:?}");
+    }
+
+    #[test]
+    fn parallel_algs_sweep_matches_sequential() {
+        let opts = OptOptions::with_effort(2);
+        let seq = run_algs(&opts);
+        let par3 = run_algs_jobs(&opts, 3);
+        assert_eq!(seq, par3);
     }
 
     #[test]

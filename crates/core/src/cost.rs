@@ -107,8 +107,8 @@ impl LevelProfile {
         // output level.
         let mut nodes_per_level = vec![0u64; depth];
         let mut compl_per_level = vec![0u64; depth + 1];
-        for idx in 0..mig.len() {
-            if !alive[idx] {
+        for (idx, &is_alive) in alive.iter().enumerate() {
+            if !is_alive {
                 continue;
             }
             if let MigNode::Maj(kids) = mig.node(idx) {
@@ -279,7 +279,7 @@ mod tests {
         assert_eq!(p.compl_per_level, vec![0, 1]);
         assert_eq!(p.levels_with_compl, 1);
         let cost = RramCost::of(&m, Realization::Maj);
-        assert_eq!(cost.steps, 3 * 1 + 1);
+        assert_eq!(cost.steps, 3 + 1);
         assert_eq!(cost.rrams, 4);
     }
 

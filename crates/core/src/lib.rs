@@ -43,5 +43,5 @@ pub mod signal;
 
 pub use cost::{LevelProfile, MigStats, Realization, RramCost};
 pub use mig::{Mig, MigNode};
-pub use opt::{Algorithm, OptOptions};
+pub use opt::{Algorithm, OptOptions, OptStats};
 pub use signal::MigSignal;

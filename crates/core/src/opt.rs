@@ -12,6 +12,15 @@
 //! | [`optimize_depth`] | Alg. 2 | depth | push-up; relevance; push-up |
 //! | [`optimize_rram`]  | Alg. 3 | R and S | push-up; Ω.I(1–3); push-up; reshape↓; eliminate |
 //! | [`optimize_steps`] | Alg. 4 | S | push-up; Ω.I(1); Ω.I(1–3); push-up |
+//!
+//! Beyond the paper, this module also hosts the **cycle scripts** of the
+//! cut-rewriting engine (Algorithm 5, [`Algorithm::Cut`] and the hybrid
+//! [`Algorithm::CutRram`]): [`cut_script`] and [`cut_rram_script`] run the
+//! same best-iterate loop with a pluggable *rewrite round* callback. The
+//! actual NPN-database round lives in the `rms-cut` crate (which depends
+//! on this one); `rms-flow` injects it. Calling [`Algorithm::run`] on a
+//! cut variant from plain `rms-core` degrades gracefully to the
+//! underlying Ω/Ψ script with identity rounds.
 
 use crate::cost::{Realization, RramCost};
 use crate::mig::Mig;
@@ -61,20 +70,37 @@ fn fingerprint(mig: &Mig) -> (usize, u32, u64, u64) {
     )
 }
 
+/// Statistics of one optimization run, consumed by the pipeline reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Optimization cycles actually executed (`<= effort` with early exit).
+    pub cycles: usize,
+    /// Rewrite passes executed, including the final polish pass.
+    pub passes: u64,
+    /// Cut rewrites accepted by the NPN-database engine (0 for Algs. 1–4).
+    pub rewrites: u64,
+    /// Majority-gate count before optimization.
+    pub gates_before: u64,
+    /// Majority-gate count after optimization.
+    pub gates_after: u64,
+}
+
 /// Generic driver: runs `cycle` up to `effort` times, tracking the iterate
-/// with the smallest `score`.
+/// with the smallest `score`; also reports how many cycles executed.
 fn drive<S: PartialOrd + Copy>(
     mig: &Mig,
     opts: &OptOptions,
     score: impl Fn(&Mig) -> S,
     mut cycle: impl FnMut(&Mig, usize) -> Mig,
-) -> Mig {
+) -> (Mig, usize) {
     let mut current = mig.compact();
     let mut best = current.clone();
     let mut best_score = score(&best);
+    let mut cycles = 0;
     for c in 0..opts.effort {
         let before = fingerprint(&current);
         current = cycle(&current, c);
+        cycles = c + 1;
         let s = score(&current);
         if s < best_score {
             best_score = s;
@@ -84,7 +110,25 @@ fn drive<S: PartialOrd + Copy>(
             break;
         }
     }
-    best
+    (best, cycles)
+}
+
+/// Assembles an [`OptStats`] from a finished run.
+fn stats_of(
+    before: &Mig,
+    after: &Mig,
+    cycles: usize,
+    passes_per_cycle: u64,
+    final_passes: u64,
+    rewrites: u64,
+) -> OptStats {
+    OptStats {
+        cycles,
+        passes: cycles as u64 * passes_per_cycle + final_passes,
+        rewrites,
+        gates_before: before.num_gates() as u64,
+        gates_after: after.num_gates() as u64,
+    }
 }
 
 /// Alg. 1 — conventional MIG area optimization (node-count objective).
@@ -92,7 +136,12 @@ fn drive<S: PartialOrd + Copy>(
 /// Per cycle: `eliminate` (Ω.M; Ω.D R→L), `reshape` (Ω.A; Ψ.C, alternating
 /// direction), `eliminate` again; a final `eliminate` after the loop.
 pub fn optimize_area(mig: &Mig, opts: &OptOptions) -> Mig {
-    let out = drive(
+    optimize_area_stats(mig, opts).0
+}
+
+/// [`optimize_area`] with run statistics.
+pub fn optimize_area_stats(mig: &Mig, opts: &OptOptions) -> (Mig, OptStats) {
+    let (out, cycles) = drive(
         mig,
         opts,
         |m| (m.num_gates(), m.depth()),
@@ -102,7 +151,9 @@ pub fn optimize_area(mig: &Mig, opts: &OptOptions) -> Mig {
             eliminate(&m)
         },
     );
-    eliminate(&out)
+    let out = eliminate(&out);
+    let stats = stats_of(mig, &out, cycles, 3, 1, 0);
+    (out, stats)
 }
 
 /// Alg. 2 — conventional MIG depth optimization (level-count objective).
@@ -110,7 +161,12 @@ pub fn optimize_area(mig: &Mig, opts: &OptOptions) -> Mig {
 /// Per cycle: `push_up` (Ω.M; Ω.D L→R; Ω.A; Ψ.C), `relevance` (Ψ.R),
 /// `push_up` again; a final `push_up` after the loop.
 pub fn optimize_depth(mig: &Mig, opts: &OptOptions) -> Mig {
-    let out = drive(
+    optimize_depth_stats(mig, opts).0
+}
+
+/// [`optimize_depth`] with run statistics.
+pub fn optimize_depth_stats(mig: &Mig, opts: &OptOptions) -> (Mig, OptStats) {
+    let (out, cycles) = drive(
         mig,
         opts,
         |m| (m.depth(), m.num_gates()),
@@ -120,7 +176,9 @@ pub fn optimize_depth(mig: &Mig, opts: &OptOptions) -> Mig {
             push_up(&m)
         },
     );
-    push_up(&out)
+    let out = push_up(&out);
+    let stats = stats_of(mig, &out, cycles, 3, 1, 0);
+    (out, stats)
 }
 
 /// Alg. 3 — the paper's multi-objective optimization for RRAM costs.
@@ -133,7 +191,16 @@ pub fn optimize_depth(mig: &Mig, opts: &OptOptions) -> Mig {
 /// a scalarization of the bi-objective goal that rewards balanced
 /// improvements over single-metric ones.
 pub fn optimize_rram(mig: &Mig, realization: Realization, opts: &OptOptions) -> Mig {
-    let out = drive(
+    optimize_rram_stats(mig, realization, opts).0
+}
+
+/// [`optimize_rram`] with run statistics.
+pub fn optimize_rram_stats(
+    mig: &Mig,
+    realization: Realization,
+    opts: &OptOptions,
+) -> (Mig, OptStats) {
+    let (out, cycles) = drive(
         mig,
         opts,
         |m| {
@@ -148,7 +215,9 @@ pub fn optimize_rram(mig: &Mig, realization: Realization, opts: &OptOptions) -> 
             eliminate(&m)
         },
     );
-    push_up(&out)
+    let out = push_up(&out);
+    let stats = stats_of(mig, &out, cycles, 5, 1, 0);
+    (out, stats)
 }
 
 /// Alg. 4 — the paper's step optimization.
@@ -158,7 +227,16 @@ pub fn optimize_rram(mig: &Mig, realization: Realization, opts: &OptOptions) -> 
 /// `push_up` after the loop. The returned iterate minimizes `S`, breaking
 /// ties by `R`.
 pub fn optimize_steps(mig: &Mig, realization: Realization, opts: &OptOptions) -> Mig {
-    let out = drive(
+    optimize_steps_stats(mig, realization, opts).0
+}
+
+/// [`optimize_steps`] with run statistics.
+pub fn optimize_steps_stats(
+    mig: &Mig,
+    realization: Realization,
+    opts: &OptOptions,
+) -> (Mig, OptStats) {
+    let (out, cycles) = drive(
         mig,
         opts,
         |m| {
@@ -172,7 +250,94 @@ pub fn optimize_steps(mig: &Mig, realization: Realization, opts: &OptOptions) ->
             push_up(&m)
         },
     );
-    push_up(&out)
+    let out = push_up(&out);
+    let stats = stats_of(mig, &out, cycles, 4, 1, 0);
+    (out, stats)
+}
+
+/// A cut-rewriting round: maps a graph to a rewritten graph plus the
+/// number of accepted rewrites. The second argument enables zero-gain
+/// replacements (used on alternating cycles to escape plateaus).
+pub type CutRound<'a> = &'a mut dyn FnMut(&Mig, bool) -> (Mig, u64);
+
+/// Algorithm 5 — cut-based NPN rewriting (node-count objective).
+///
+/// Per cycle: `eliminate`, one database **rewrite round** (zero-gain
+/// replacements enabled on odd cycles), `eliminate`, `reshape`
+/// (alternating direction), `eliminate`; a final `eliminate` after the
+/// loop. The cycle is a superset of Alg. 1's, so with the same effort the
+/// result is at least as good in practice; the best iterate by
+/// `(gates, depth)` is returned.
+///
+/// The round callback is supplied by the `rms-cut` crate (via
+/// `rms-flow`); see the module docs.
+pub fn cut_script(mig: &Mig, opts: &OptOptions, round: CutRound) -> (Mig, OptStats) {
+    let mut rewrites = 0u64;
+    let (out, cycles) = drive(
+        mig,
+        opts,
+        |m| (m.num_gates(), m.depth()),
+        |m, c| {
+            let m = eliminate(m);
+            let (m, rw) = round(&m, c % 2 == 1);
+            rewrites += rw;
+            let m = eliminate(&m);
+            let m = reshape(&m, c % 2 == 0);
+            eliminate(&m)
+        },
+    );
+    let out = eliminate(&out);
+    let stats = stats_of(mig, &out, cycles, 5, 1, rewrites);
+    (out, stats)
+}
+
+/// The hybrid cut + RRAM-cost script ([`Algorithm::CutRram`]).
+///
+/// Interleaves one database rewrite round with the Alg. 3 pass sequence
+/// per cycle, scoring iterates by the `R·S` product for `realization`.
+/// The plain Alg. 3 result is evaluated as a candidate too, so the
+/// returned graph **never scores worse than [`optimize_rram`]**.
+pub fn cut_rram_script(
+    mig: &Mig,
+    realization: Realization,
+    opts: &OptOptions,
+    round: CutRound,
+) -> (Mig, OptStats) {
+    let score = |m: &Mig| {
+        let c = RramCost::of(m, realization);
+        (c.rrams.saturating_mul(c.steps), c.steps)
+    };
+    let base = optimize_rram(mig, realization, opts);
+    let mut rewrites = 0u64;
+    let (hybrid, cycles) = drive(mig, opts, score, |m, c| {
+        let (m, rw) = round(m, c % 2 == 1);
+        rewrites += rw;
+        let m = push_up(&m);
+        let m = inverter_propagation(&m, InverterCases::ALL, false);
+        let m = push_up(&m);
+        let m = reshape(&m, true);
+        eliminate(&m)
+    });
+    let polished = push_up(&hybrid);
+    let mut best = base;
+    let mut from_hybrid = false;
+    for cand in [hybrid, polished] {
+        if score(&cand) < score(&best) {
+            best = cand;
+            from_hybrid = true;
+        }
+    }
+    // When the plain Alg. 3 result wins, the returned graph contains no
+    // cut rewrites — do not attribute the hybrid loop's work to it.
+    let stats = stats_of(
+        mig,
+        &best,
+        cycles,
+        6,
+        1,
+        if from_hybrid { rewrites } else { 0 },
+    );
+    (best, stats)
 }
 
 /// Which optimization algorithm to run (used by the harness binaries).
@@ -186,10 +351,19 @@ pub enum Algorithm {
     RramCosts,
     /// Alg. 4, step optimization.
     Steps,
+    /// Alg. 5, cut-based NPN-database rewriting (node-count objective).
+    ///
+    /// The database round lives in the `rms-cut` crate; run this through
+    /// `rms_flow::optimize_cost` (or `rms_cut::optimize_cut`) to get the
+    /// full engine. Plain [`Algorithm::run`] degrades to identity rounds.
+    Cut,
+    /// The hybrid script: cut rewriting interleaved with Alg. 3 passes,
+    /// scored by the `R·S` product (same caveat as [`Algorithm::Cut`]).
+    CutRram,
 }
 
 impl Algorithm {
-    /// All four algorithms in paper order.
+    /// The four paper algorithms, in paper order.
     pub const ALL: [Algorithm; 4] = [
         Algorithm::Area,
         Algorithm::Depth,
@@ -197,13 +371,42 @@ impl Algorithm {
         Algorithm::Steps,
     ];
 
+    /// All algorithms including the cut-rewriting variants.
+    pub const ALL_WITH_CUT: [Algorithm; 6] = [
+        Algorithm::Area,
+        Algorithm::Depth,
+        Algorithm::RramCosts,
+        Algorithm::Steps,
+        Algorithm::Cut,
+        Algorithm::CutRram,
+    ];
+
     /// Runs the selected algorithm.
     pub fn run(self, mig: &Mig, realization: Realization, opts: &OptOptions) -> Mig {
+        self.run_stats(mig, realization, opts).0
+    }
+
+    /// Runs the selected algorithm and reports run statistics.
+    ///
+    /// For the cut variants this uses **identity rewrite rounds** (the
+    /// NPN-database engine is a separate crate layered above this one);
+    /// the result is functionally correct but equivalent to running the
+    /// underlying Ω/Ψ script alone. `rms_flow::optimize_cost` injects the
+    /// real engine.
+    pub fn run_stats(
+        self,
+        mig: &Mig,
+        realization: Realization,
+        opts: &OptOptions,
+    ) -> (Mig, OptStats) {
+        let mut identity = |m: &Mig, _zero_gain: bool| (m.clone(), 0u64);
         match self {
-            Algorithm::Area => optimize_area(mig, opts),
-            Algorithm::Depth => optimize_depth(mig, opts),
-            Algorithm::RramCosts => optimize_rram(mig, realization, opts),
-            Algorithm::Steps => optimize_steps(mig, realization, opts),
+            Algorithm::Area => optimize_area_stats(mig, opts),
+            Algorithm::Depth => optimize_depth_stats(mig, opts),
+            Algorithm::RramCosts => optimize_rram_stats(mig, realization, opts),
+            Algorithm::Steps => optimize_steps_stats(mig, realization, opts),
+            Algorithm::Cut => cut_script(mig, opts, &mut identity),
+            Algorithm::CutRram => cut_rram_script(mig, realization, opts, &mut identity),
         }
     }
 }
@@ -215,6 +418,8 @@ impl std::fmt::Display for Algorithm {
             Algorithm::Depth => write!(f, "Depth"),
             Algorithm::RramCosts => write!(f, "RRAM costs"),
             Algorithm::Steps => write!(f, "Step"),
+            Algorithm::Cut => write!(f, "Cut rewriting"),
+            Algorithm::CutRram => write!(f, "Cut+RRAM"),
         }
     }
 }

@@ -445,7 +445,7 @@ mod tests {
     use super::*;
     use crate::cost::LevelProfile;
     use rms_logic::bench_suite;
-    use rms_logic::sim::{check_equivalence, EquivResult};
+    use rms_logic::sim::check_equivalence;
 
     fn assert_equiv(a: &Mig, b: &Mig, what: &str) {
         let res = check_equivalence(&a.to_netlist(), &b.to_netlist());

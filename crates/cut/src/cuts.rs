@@ -1,0 +1,268 @@
+//! Priority k-feasible cut enumeration over majority-inverter graphs.
+//!
+//! A **cut** of a node `n` is a set of nodes (*leaves*) such that every
+//! path from the primary inputs to `n` passes through a leaf; the cut is
+//! *k-feasible* when it has at most `k` leaves. Each cut carries the
+//! local function of `n` expressed over its leaves as a 16-bit truth
+//! table (k ≤ [`MAX_CUT_INPUTS`] = 4), which is what the NPN database
+//! lookup in [`crate::rewrite`] consumes.
+//!
+//! Cut sets are built bottom-up in one topological sweep: the cuts of a
+//! majority node are the k-feasible unions of one cut per child (plus
+//! the trivial cut `{n}`), and each node keeps at most
+//! [`MAX_CUTS_PER_NODE`] cuts, preferring small leaf sets — the standard
+//! *priority cuts* bound that keeps enumeration linear in practice.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_core::Mig;
+//! use rms_cut::cuts;
+//!
+//! let mut mig = Mig::with_inputs("t", 4);
+//! let (a, b) = (mig.input(0), mig.input(1));
+//! let g = mig.and(a, b);
+//! mig.add_output("f", g);
+//! let sets = cuts::enumerate(&mig, cuts::MAX_CUTS_PER_NODE);
+//! // The AND node has its trivial cut and the {a, b} cut (0xAAAA & 0xCCCC).
+//! assert!(sets[g.node()].iter().any(|c| c.tt == 0x8888));
+//! ```
+
+use crate::npn::VAR_TT;
+use rms_core::{Mig, MigNode};
+
+/// Maximum number of leaves of an enumerated cut (the database covers
+/// 4-input functions).
+pub const MAX_CUT_INPUTS: usize = 4;
+
+/// Default bound on the number of cuts kept per node.
+pub const MAX_CUTS_PER_NODE: usize = 8;
+
+/// One cut of a node: sorted leaf node indices plus the node's function
+/// over them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Leaf node indices, sorted ascending. Leaf `j` is truth-table
+    /// variable `j`; the constant node never appears as a leaf.
+    pub leaves: Vec<u32>,
+    /// Function of the (uncomplemented) node over the leaves, extended
+    /// to a full 4-variable table (variables `leaves.len()..4` are
+    /// irrelevant).
+    pub tt: u16,
+}
+
+impl Cut {
+    /// Whether this is the trivial single-leaf cut `{node}` of `node`.
+    pub fn is_trivial(&self, node: usize) -> bool {
+        self.leaves.len() == 1 && self.leaves[0] as usize == node
+    }
+}
+
+/// Re-expresses `tt` (over leaf list `from`) over the superset leaf list
+/// `to`. Both lists are sorted; every element of `from` occurs in `to`.
+fn expand(tt: u16, from: &[u32], to: &[u32]) -> u16 {
+    if from.len() == to.len() {
+        return tt;
+    }
+    // Position of each `from` leaf within `to`.
+    let mut pos = [0usize; MAX_CUT_INPUTS];
+    for (j, leaf) in from.iter().enumerate() {
+        pos[j] = to.binary_search(leaf).expect("from ⊆ to");
+    }
+    let mut r = 0u16;
+    for m in 0..16usize {
+        let mut cm = 0usize;
+        for (j, &p) in pos.iter().enumerate().take(from.len()) {
+            if (m >> p) & 1 == 1 {
+                cm |= 1 << j;
+            }
+        }
+        if (tt >> cm) & 1 == 1 {
+            r |= 1 << m;
+        }
+    }
+    r
+}
+
+/// Sorted union of up to three sorted leaf lists; `None` when the union
+/// exceeds [`MAX_CUT_INPUTS`].
+fn merge_leaves(a: &[u32], b: &[u32], c: &[u32]) -> Option<Vec<u32>> {
+    let mut out: Vec<u32> = Vec::with_capacity(MAX_CUT_INPUTS);
+    for src in [a, b, c] {
+        for &l in src {
+            if let Err(i) = out.binary_search(&l) {
+                if out.len() == MAX_CUT_INPUTS {
+                    return None;
+                }
+                out.insert(i, l);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Enumerates up to `max_cuts` k-feasible cuts (k = 4) for every node.
+///
+/// The result is indexed by node; each node's list is deterministic,
+/// sorted by leaf count (then lexicographically by leaves), and always
+/// ends with the node's trivial cut.
+pub fn enumerate(mig: &Mig, max_cuts: usize) -> Vec<Vec<Cut>> {
+    let mut sets: Vec<Vec<Cut>> = Vec::with_capacity(mig.len());
+    for idx in 0..mig.len() {
+        let cuts = match mig.node(idx) {
+            MigNode::Const0 => vec![Cut {
+                leaves: Vec::new(),
+                tt: 0,
+            }],
+            MigNode::Input(_) => vec![Cut {
+                leaves: vec![idx as u32],
+                tt: VAR_TT[0],
+            }],
+            MigNode::Maj(kids) => {
+                let mut merged: Vec<Cut> = Vec::new();
+                let (c0, c1, c2) = (
+                    &sets[kids[0].node()],
+                    &sets[kids[1].node()],
+                    &sets[kids[2].node()],
+                );
+                for a in c0 {
+                    for b in c1 {
+                        for c in c2 {
+                            let Some(leaves) = merge_leaves(&a.leaves, &b.leaves, &c.leaves) else {
+                                continue;
+                            };
+                            if merged.iter().any(|m| m.leaves == leaves) {
+                                continue;
+                            }
+                            let mut tts = [0u16; 3];
+                            for (slot, (cut, sig)) in
+                                tts.iter_mut()
+                                    .zip([(a, kids[0]), (b, kids[1]), (c, kids[2])])
+                            {
+                                let t = expand(cut.tt, &cut.leaves, &leaves);
+                                *slot = if sig.is_complemented() { !t } else { t };
+                            }
+                            let tt = (tts[0] & tts[1]) | (tts[0] & tts[2]) | (tts[1] & tts[2]);
+                            merged.push(Cut { leaves, tt });
+                        }
+                    }
+                }
+                merged
+                    .sort_by(|x, y| (x.leaves.len(), &x.leaves).cmp(&(y.leaves.len(), &y.leaves)));
+                merged.truncate(max_cuts.saturating_sub(1));
+                // The trivial cut last: parents can always merge through
+                // the node itself, and the rewriter skips it cheaply.
+                merged.push(Cut {
+                    leaves: vec![idx as u32],
+                    tt: VAR_TT[0],
+                });
+                merged
+            }
+        };
+        sets.push(cuts);
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_core::MigSignal;
+    use std::collections::HashMap;
+
+    /// Reference evaluation: value of `node` given values for the leaves.
+    fn eval_node(
+        mig: &Mig,
+        node: usize,
+        leaves: &[u32],
+        values: u16,
+        memo: &mut HashMap<usize, bool>,
+    ) -> bool {
+        if let Some(j) = leaves.iter().position(|&l| l as usize == node) {
+            return (values >> j) & 1 == 1;
+        }
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        let v = match mig.node(node) {
+            MigNode::Const0 => false,
+            MigNode::Input(_) => panic!("input {node} not covered by cut"),
+            MigNode::Maj(kids) => {
+                let vs: Vec<bool> = kids
+                    .iter()
+                    .map(|s: &MigSignal| {
+                        eval_node(mig, s.node(), leaves, values, memo) ^ s.is_complemented()
+                    })
+                    .collect();
+                (vs[0] as u8 + vs[1] as u8 + vs[2] as u8) >= 2
+            }
+        };
+        memo.insert(node, v);
+        v
+    }
+
+    fn sample_mig() -> Mig {
+        let mut m = Mig::with_inputs("t", 5);
+        let (a, b, c, d, e) = (m.input(0), m.input(1), m.input(2), m.input(3), m.input(4));
+        let g1 = m.maj(a, !b, c);
+        let g2 = m.and(c, d);
+        let g3 = m.maj(g1, !g2, e);
+        let g4 = m.xor(g3, a);
+        m.add_output("f", g4);
+        m
+    }
+
+    #[test]
+    fn every_cut_truth_table_is_correct() {
+        let mig = sample_mig();
+        let sets = enumerate(&mig, MAX_CUTS_PER_NODE);
+        assert_eq!(sets.len(), mig.len());
+        for (node, cuts) in sets.iter().enumerate() {
+            for cut in cuts {
+                if cut.leaves.is_empty() {
+                    continue; // constant node
+                }
+                for values in 0..(1u16 << cut.leaves.len()) {
+                    let mut memo = HashMap::new();
+                    let want = eval_node(&mig, node, &cut.leaves, values, &mut memo);
+                    let got = (cut.tt >> values) & 1 == 1;
+                    assert_eq!(got, want, "node {node} cut {:?} m={values}", cut.leaves);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_counts_are_bounded_and_end_trivial() {
+        let mig = sample_mig();
+        for max_cuts in [1, 2, 4, MAX_CUTS_PER_NODE] {
+            let sets = enumerate(&mig, max_cuts);
+            for (node, cuts) in sets.iter().enumerate() {
+                assert!(cuts.len() <= max_cuts.max(1), "node {node}");
+                if mig.maj_children(node).is_some() {
+                    assert!(cuts.last().unwrap().is_trivial(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_are_sorted_and_feasible() {
+        let mig = sample_mig();
+        for cuts in enumerate(&mig, MAX_CUTS_PER_NODE) {
+            for cut in cuts {
+                assert!(cut.leaves.len() <= MAX_CUT_INPUTS);
+                assert!(cut.leaves.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn expand_keeps_function() {
+        // f = x0 & x1 over leaves [7, 9] expanded to [3, 7, 9]: x0 -> var 1,
+        // x1 -> var 2.
+        let tt = VAR_TT[0] & VAR_TT[1];
+        let e = expand(tt, &[7, 9], &[3, 7, 9]);
+        assert_eq!(e, VAR_TT[1] & VAR_TT[2]);
+    }
+}

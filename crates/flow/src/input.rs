@@ -1,5 +1,6 @@
-//! Circuit input loading for the pipeline: BLIF, PLA, Boolean
-//! expressions, raw truth tables, and the embedded benchmark suites.
+//! Circuit input loading for the pipeline: BLIF, PLA, structural
+//! Verilog, Boolean expressions, raw truth tables, and the embedded
+//! benchmark suites.
 //!
 //! Formats are chosen by file extension and fall back to content
 //! sniffing, so `rms run --input adder.blif` and `rms run --input spec.tt`
@@ -9,6 +10,7 @@
 //! |---|---|---|
 //! | [`InputFormat::Blif`] | `.blif` | `.model/.inputs/.outputs/.names` sections |
 //! | [`InputFormat::Pla`]  | `.pla`  | Espresso `.i/.o/.p` two-level covers |
+//! | [`InputFormat::Verilog`] | `.v`, `.sv` | gate-level `module`/`assign` subset |
 //! | [`InputFormat::Expr`] | `.expr`, `.eqn` | one `name = expression` per line |
 //! | [`InputFormat::TruthTable`] | `.tt` | one `name = bits` per line, hex (`0xe8`) or binary |
 //!
@@ -20,7 +22,7 @@ use crate::error::FlowError;
 use rms_logic::expr::{Expr, ExprNode};
 use rms_logic::netlist::{Netlist, NetlistBuilder, Wire};
 use rms_logic::tt::{TruthTable, MAX_VARS};
-use rms_logic::{bench_suite, blif, pla, synth};
+use rms_logic::{bench_suite, blif, pla, synth, verilog};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -31,6 +33,8 @@ pub enum InputFormat {
     Blif,
     /// Espresso PLA two-level covers.
     Pla,
+    /// Structural gate-level Verilog (`module`/`wire`/`assign` subset).
+    Verilog,
     /// Boolean expression lines (`f = maj(a, b, c) ^ !d`).
     Expr,
     /// Raw truth tables (`f = 0xe8`).
@@ -39,9 +43,10 @@ pub enum InputFormat {
 
 impl InputFormat {
     /// All formats, for help messages.
-    pub const ALL: [InputFormat; 4] = [
+    pub const ALL: [InputFormat; 5] = [
         InputFormat::Blif,
         InputFormat::Pla,
+        InputFormat::Verilog,
         InputFormat::Expr,
         InputFormat::TruthTable,
     ];
@@ -52,6 +57,7 @@ impl InputFormat {
         match ext.as_str() {
             "blif" => Some(InputFormat::Blif),
             "pla" => Some(InputFormat::Pla),
+            "v" | "sv" | "verilog" => Some(InputFormat::Verilog),
             "expr" | "eqn" | "bool" => Some(InputFormat::Expr),
             "tt" | "truth" => Some(InputFormat::TruthTable),
             _ => None,
@@ -63,6 +69,7 @@ impl InputFormat {
         match name.to_ascii_lowercase().as_str() {
             "blif" => Some(InputFormat::Blif),
             "pla" => Some(InputFormat::Pla),
+            "verilog" | "v" => Some(InputFormat::Verilog),
             "expr" | "expression" | "eqn" => Some(InputFormat::Expr),
             "tt" | "truth-table" | "truthtable" => Some(InputFormat::TruthTable),
             _ => None,
@@ -75,6 +82,7 @@ impl std::fmt::Display for InputFormat {
         match self {
             InputFormat::Blif => write!(f, "blif"),
             InputFormat::Pla => write!(f, "pla"),
+            InputFormat::Verilog => write!(f, "verilog"),
             InputFormat::Expr => write!(f, "expr"),
             InputFormat::TruthTable => write!(f, "tt"),
         }
@@ -84,8 +92,9 @@ impl std::fmt::Display for InputFormat {
 /// Guesses the format of `text` from its first meaningful tokens.
 ///
 /// BLIF starts with dot-directives like `.model`; PLA with `.i`/`.o`;
-/// truth-table files contain only bit strings on the value side; anything
-/// else is treated as an expression file.
+/// Verilog with the `module` keyword; truth-table files contain only bit
+/// strings on the value side; anything else is treated as an expression
+/// file.
 pub fn sniff_format(text: &str) -> InputFormat {
     for raw in text.lines() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -96,6 +105,7 @@ pub fn sniff_format(text: &str) -> InputFormat {
             match word {
                 ".model" | ".inputs" | ".outputs" | ".names" | ".exdc" => return InputFormat::Blif,
                 ".i" | ".o" | ".p" | ".ilb" | ".ob" | ".type" => return InputFormat::Pla,
+                "module" | "//" | "/*" => return InputFormat::Verilog,
                 _ => {}
             }
         }
@@ -122,15 +132,6 @@ pub fn sniff_format(text: &str) -> InputFormat {
 /// Returns [`FlowError::Io`] when the file cannot be read and
 /// [`FlowError::Parse`] when its contents are malformed.
 pub fn load_path(path: &Path) -> Result<Netlist, FlowError> {
-    if let Some(ext) = path.extension().and_then(|s| s.to_str()) {
-        if matches!(ext.to_ascii_lowercase().as_str(), "v" | "sv" | "verilog") {
-            return Err(FlowError::Unsupported(format!(
-                "{}: Verilog is an output format only (`--emit verilog`); \
-                 supply BLIF, PLA, expression, or truth-table input",
-                path.display()
-            )));
-        }
-    }
     let text =
         std::fs::read_to_string(path).map_err(|e| FlowError::io(path.display().to_string(), e))?;
     let format = InputFormat::from_extension(path).unwrap_or_else(|| sniff_format(&text));
@@ -153,6 +154,7 @@ pub fn parse_str(format: InputFormat, text: &str, name: &str) -> Result<Netlist,
     match format {
         InputFormat::Blif => blif::parse(text).map_err(FlowError::Parse),
         InputFormat::Pla => pla::parse(text).map_err(FlowError::Parse),
+        InputFormat::Verilog => verilog::parse(text).map_err(FlowError::Parse),
         InputFormat::Expr => parse_expr_file(text, name),
         InputFormat::TruthTable => parse_tt_file(text, name),
     }
@@ -409,9 +411,13 @@ mod tests {
     }
 
     #[test]
-    fn verilog_input_is_rejected_with_guidance() {
-        let err = load_path(Path::new("/nonexistent/out.v")).unwrap_err();
-        assert!(err.to_string().contains("output format only"), "{err}");
+    fn verilog_input_round_trips_through_the_emitter() {
+        let blif_src = ".model rt\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n";
+        let nl = parse_str(InputFormat::Blif, blif_src, "rt").unwrap();
+        let text = rms_logic::verilog::write(&nl);
+        assert_eq!(sniff_format(&text), InputFormat::Verilog);
+        let back = parse_str(InputFormat::Verilog, &text, "rt").unwrap();
+        assert_eq!(back.truth_tables(), nl.truth_tables());
     }
 
     #[test]

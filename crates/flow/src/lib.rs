@@ -3,18 +3,19 @@
 //!
 //! The other crates in this workspace each own one layer of the paper's
 //! flow — Boolean functions ([`rms_logic`]), majority-inverter graphs and
-//! the four optimization algorithms ([`rms_core`]), the RRAM machine and
-//! compilers ([`rms_rram`]), and the AIG/BDD baselines ([`rms_aig`],
+//! the optimization algorithms ([`rms_core`]), the cut-based NPN
+//! rewriting engine ([`rms_cut`]), the RRAM machine and compilers
+//! ([`rms_rram`]), and the AIG/BDD baselines ([`rms_aig`],
 //! [`rms_bdd`]). This crate chains them:
 //!
 //! ```text
-//! BLIF / PLA / expr / truth table          (input::load_path, parse_str)
+//! BLIF / PLA / Verilog / expr / truth table   (input::load_path, parse_str)
 //!        │
 //!        ▼
 //! Netlist ──frontend──► Mig                (Pipeline::frontend: direct / aig / bdd)
 //!        │
 //!        ▼
-//! optimizer: Algs. 1–4                     (Pipeline::algorithm, effort)
+//! optimizer: Algs. 1–4 + cut rewriting     (Pipeline::algorithm, effort)
 //!        │
 //!        ▼
 //! (R, S) costing — Table I                 (rms_core::cost)
@@ -61,6 +62,7 @@ pub mod report;
 pub use error::FlowError;
 pub use input::InputFormat;
 pub use pipeline::{
-    optimize_cost, FlowOutput, FlowReport, Frontend, Pipeline, StageTimings, VerifyOutcome,
+    optimize_cost, run_algorithm, FlowOutput, FlowReport, Frontend, Pipeline, StageTimings,
+    VerifyOutcome, DEFAULT_VERIFY_SEED,
 };
 pub use report::{render_json, render_text};

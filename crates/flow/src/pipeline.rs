@@ -30,7 +30,7 @@ use crate::error::FlowError;
 use crate::input::{self, InputFormat};
 use rms_aig::Aig;
 use rms_core::cost::{MigStats, Realization, RramCost};
-use rms_core::opt::{Algorithm, OptOptions};
+use rms_core::opt::{Algorithm, OptOptions, OptStats};
 use rms_core::Mig;
 use rms_logic::netlist::Netlist;
 use rms_logic::sim::random_patterns;
@@ -84,6 +84,10 @@ const EXHAUSTIVE_VERIFY_VARS: usize = 14;
 
 /// Number of 64-bit pattern words for sampled verification.
 const VERIFY_SAMPLE_WORDS: usize = 64;
+
+/// Default seed of the sampled-verification pattern RNG
+/// ([`Pipeline::seed`] overrides it).
+pub const DEFAULT_VERIFY_SEED: u64 = 0x5eed;
 
 /// The BDD frontend materializes truth tables; cap the width so a typo
 /// cannot allocate 2^n bits.
@@ -162,6 +166,8 @@ pub struct FlowReport {
     pub initial: MigStats,
     /// Statistics of the MIG after optimization.
     pub optimized: MigStats,
+    /// Optimizer run statistics (cycles, passes, cut rewrites).
+    pub opt: OptStats,
     /// Table I metrics of the optimized MIG for [`FlowReport::realization`].
     pub cost: RramCost,
     /// Steps of the compiled level-parallel program (equals `cost.steps`
@@ -175,6 +181,8 @@ pub struct FlowReport {
     pub plim_cells: u64,
     /// How the result was verified.
     pub verify: VerifyOutcome,
+    /// Seed of the sampled-verification pattern RNG.
+    pub verify_seed: u64,
     /// Per-stage wall-clock times.
     pub timings: StageTimings,
 }
@@ -204,6 +212,7 @@ pub struct Pipeline {
     options: OptOptions,
     frontend: Frontend,
     verify: bool,
+    seed: u64,
     parse_time: Duration,
 }
 
@@ -217,6 +226,7 @@ impl Pipeline {
             options: OptOptions::paper(),
             frontend: Frontend::Direct,
             verify: true,
+            seed: DEFAULT_VERIFY_SEED,
             parse_time: Duration::ZERO,
         }
     }
@@ -293,6 +303,15 @@ impl Pipeline {
         self
     }
 
+    /// Sets the seed of the sampled-verification pattern RNG (default:
+    /// [`DEFAULT_VERIFY_SEED`]), so a failing wide-circuit verification
+    /// can be reproduced — and varied — across runs. Exhaustive
+    /// verification ignores the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// A read-only view of the source netlist.
     pub fn netlist(&self) -> &Netlist {
         &self.netlist
@@ -315,6 +334,7 @@ impl Pipeline {
             options,
             frontend,
             verify,
+            seed,
             parse_time,
         } = self;
 
@@ -324,7 +344,7 @@ impl Pipeline {
         let initial = MigStats::of(&initial_mig);
 
         let t0 = Instant::now();
-        let mig = algorithm.run(&initial_mig, realization, &options);
+        let (mig, opt_stats) = run_algorithm(&initial_mig, algorithm, realization, &options);
         let optimize = t0.elapsed();
         let optimized = MigStats::of(&mig);
         let cost = RramCost::of(&mig, realization);
@@ -336,7 +356,7 @@ impl Pipeline {
 
         let t0 = Instant::now();
         let verify_outcome = if verify {
-            verify_programs(&netlist, &array, &plim)?
+            verify_programs(&netlist, &array, &plim, seed)?
         } else {
             VerifyOutcome::Skipped
         };
@@ -353,12 +373,14 @@ impl Pipeline {
             frontend,
             initial,
             optimized,
+            opt: opt_stats,
             cost,
             array_steps: array.program.num_steps(),
             array_physical_rrams: array.physical_rrams,
             plim_instructions: plim.instructions,
             plim_cells: plim.cells,
             verify: verify_outcome,
+            verify_seed: seed,
             timings: StageTimings {
                 parse: parse_time,
                 construct,
@@ -407,6 +429,7 @@ fn verify_programs(
     netlist: &Netlist,
     array: &CompiledCircuit,
     plim: &PlimCircuit,
+    seed: u64,
 ) -> Result<VerifyOutcome, FlowError> {
     let n = netlist.num_inputs();
     let programs = [("array", &array.program), ("plim", &plim.program)];
@@ -425,7 +448,7 @@ fn verify_programs(
         return Ok(VerifyOutcome::Exhaustive);
     }
     let mut machine = Machine::new();
-    for (w, pattern) in random_patterns(n, VERIFY_SAMPLE_WORDS, 0x5eed_u64)
+    for (w, pattern) in random_patterns(n, VERIFY_SAMPLE_WORDS, seed)
         .into_iter()
         .enumerate()
     {
@@ -460,6 +483,23 @@ fn first_diff(a: &[rms_logic::TruthTable], b: &[rms_logic::TruthTable]) -> (usiz
     (usize::MAX, u64::MAX)
 }
 
+/// Runs an optimization algorithm with the full engine set: the paper's
+/// Algs. 1–4 from `rms-core`, plus the cut-rewriting variants backed by
+/// the `rms-cut` NPN database ([`Algorithm::Cut`] / [`Algorithm::CutRram`],
+/// which plain [`Algorithm::run`] can only approximate).
+pub fn run_algorithm(
+    mig: &Mig,
+    algorithm: Algorithm,
+    realization: Realization,
+    options: &OptOptions,
+) -> (Mig, OptStats) {
+    match algorithm {
+        Algorithm::Cut => rms_cut::optimize_cut_stats(mig, options),
+        Algorithm::CutRram => rms_cut::optimize_cut_rram_stats(mig, realization, options),
+        other => other.run_stats(mig, realization, options),
+    }
+}
+
 /// Runs one optimizer configuration and returns the optimized graph with
 /// its Table I cost — the primitive the sweep runners are built on.
 pub fn optimize_cost(
@@ -468,7 +508,7 @@ pub fn optimize_cost(
     realization: Realization,
     options: &OptOptions,
 ) -> (Mig, RramCost) {
-    let out = algorithm.run(mig, realization, options);
+    let (out, _) = run_algorithm(mig, algorithm, realization, options);
     let cost = RramCost::of(&out, realization);
     (out, cost)
 }
@@ -552,6 +592,39 @@ mod tests {
         b.output("o", acc);
         let out = Pipeline::new(b.build()).effort(2).run().unwrap();
         assert!(matches!(out.report.verify, VerifyOutcome::Sampled { .. }));
+    }
+
+    #[test]
+    fn cut_algorithms_run_and_verify() {
+        for alg in [Algorithm::Cut, Algorithm::CutRram] {
+            let out = Pipeline::from_str(InputFormat::Blif, SAMPLE_BLIF, "s")
+                .unwrap()
+                .algorithm(alg)
+                .effort(4)
+                .run()
+                .unwrap();
+            assert_eq!(out.report.verify, VerifyOutcome::Exhaustive, "{alg}");
+            assert_eq!(out.report.algorithm, alg);
+            assert_eq!(out.report.opt.gates_after, out.mig.num_gates() as u64);
+        }
+    }
+
+    #[test]
+    fn seed_threads_into_sampled_verification() {
+        let mut b = rms_logic::NetlistBuilder::new("wide");
+        let ins: Vec<_> = (0..20).map(|i| b.input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &w in &ins[1..] {
+            acc = b.maj(acc, w, ins[0]);
+        }
+        b.output("o", acc);
+        let out = Pipeline::new(b.build()).effort(1).seed(42).run().unwrap();
+        assert!(matches!(out.report.verify, VerifyOutcome::Sampled { .. }));
+        assert_eq!(out.report.verify_seed, 42);
+        // The default seed is fixed, not time-derived.
+        let nl = input::load_bench("rd53_f2").unwrap();
+        let out = Pipeline::new(nl).effort(1).run().unwrap();
+        assert_eq!(out.report.verify_seed, super::DEFAULT_VERIFY_SEED);
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub fn render_text(r: &FlowReport) -> String {
     );
     let _ = writeln!(
         out,
+        "opt:  {} cycles, {} passes, {} cut rewrites",
+        r.opt.cycles, r.opt.passes, r.opt.rewrites
+    );
+    let _ = writeln!(
+        out,
         "cost ({}): R = {} devices, S = {} steps   (before optimization: R = {}, S = {})",
         r.realization,
         r.cost.rrams,
@@ -84,7 +89,15 @@ pub fn render_json(r: &FlowReport) -> String {
         j.num_field("instructions", r.plim_instructions);
         j.num_field("cells", r.plim_cells);
     });
+    j.obj_field("opt", |j| {
+        j.num_field("cycles", r.opt.cycles as u64);
+        j.num_field("passes", r.opt.passes);
+        j.num_field("rewrites", r.opt.rewrites);
+        j.num_field("gates_before", r.opt.gates_before);
+        j.num_field("gates_after", r.opt.gates_after);
+    });
     j.str_field("verification", &r.verify.label());
+    j.num_field("verify_seed", r.verify_seed);
     j.obj_field("timings_ms", |j| timings(j, &r.timings));
     j.close();
     j.finish()
@@ -231,6 +244,7 @@ mod tests {
         assert!(text.contains("circuit \"j\""));
         assert!(text.contains("verification: exhaustive"));
         assert!(text.contains("R = "));
+        assert!(text.contains("cut rewrites"));
     }
 
     #[test]
@@ -243,6 +257,8 @@ mod tests {
         );
         assert!(json.contains("\"algorithm\":\"RRAM costs\""));
         assert!(json.contains("\"cost\":{\"rrams\":"));
+        assert!(json.contains("\"opt\":{\"cycles\":"));
+        assert!(json.contains("\"verify_seed\":24301"));
         assert!(json.ends_with("}\n"));
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }

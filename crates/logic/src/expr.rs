@@ -200,7 +200,10 @@ fn eval_node(node: &ExprNode, a: &[bool]) -> bool {
         ExprNode::Xor(x, y) => eval_node(x, a) ^ eval_node(y, a),
         ExprNode::Maj(x, y, z) => {
             let (x, y, z) = (eval_node(x, a), eval_node(y, a), eval_node(z, a));
-            (x && y) || (x && z) || (y && z)
+            #[allow(clippy::nonminimal_bool)] // canonical majority form
+            {
+                (x && y) || (x && z) || (y && z)
+            }
         }
         ExprNode::Mux(s, t, e) => {
             if eval_node(s, a) {

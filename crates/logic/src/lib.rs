@@ -9,6 +9,7 @@
 //! - [`netlist`]: a multi-output gate-level intermediate representation,
 //! - [`blif`] and [`pla`]: readers/writers for the interchange formats the
 //!   original benchmark suites (ISCAS89 / LGsynth91) are distributed in,
+//! - [`verilog`]: a structural gate-level Verilog writer and reader,
 //! - [`sim`]: bit-parallel simulation and equivalence checking,
 //! - [`bench_suite`]: the embedded benchmark circuits used by the
 //!   evaluation harness, and

@@ -187,7 +187,7 @@ mod tests {
     fn shannon_skips_irrelevant_variables() {
         let n = 5;
         let f = TruthTable::var(n, 3); // only depends on x3
-        let nl = shannon_netlist("t", &[f.clone()]);
+        let nl = shannon_netlist("t", std::slice::from_ref(&f));
         assert_eq!(nl.num_gates(), 1); // a single mux(x3, 1, 0)
         check(&[f], &nl);
     }

@@ -99,10 +99,7 @@ impl TruthTable {
     pub fn one(num_vars: usize) -> Self {
         Self::assert_vars(num_vars);
         let mut words = vec![u64::MAX; Self::word_count(num_vars)];
-        words[0] = Self::tail_mask(num_vars) & u64::MAX;
-        if num_vars < 6 {
-            words[0] = Self::tail_mask(num_vars);
-        }
+        words[0] = Self::tail_mask(num_vars);
         TruthTable { num_vars, words }
     }
 
@@ -119,9 +116,6 @@ impl TruthTable {
             let pattern = VAR_PATTERNS[var] & Self::tail_mask(num_vars);
             for w in &mut t.words {
                 *w = pattern;
-            }
-            if num_vars < 6 {
-                t.words[0] = VAR_PATTERNS[var] & Self::tail_mask(num_vars);
             }
         } else {
             let period = 1usize << (var - 6);

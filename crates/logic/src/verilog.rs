@@ -1,10 +1,25 @@
-//! Structural Verilog writer for netlists.
+//! Structural Verilog writer **and reader** for netlists.
 //!
-//! Emits a synthesizable module using `assign` statements — the export
-//! path for taking a synthesized circuit into a conventional EDA flow for
-//! comparison against the in-memory implementation.
+//! [`write()`] emits a synthesizable module using `assign` statements — the
+//! export path for taking a synthesized circuit into a conventional EDA
+//! flow for comparison against the in-memory implementation.
+//!
+//! [`parse`] accepts the matching gate-level subset back as an *input*
+//! format: one `module` with `input`/`output`/`wire` declarations
+//! (non-ANSI or ANSI header style) and `assign` statements over `&`, `|`,
+//! `^`, `~`, the ternary mux `?:`, parentheses, the literals
+//! `1'b0`/`1'b1`, and escaped identifiers (`\name `). Assignments may
+//! appear in any order; nets are resolved lazily from the outputs, so the
+//! writer→reader round trip is exact up to gate decomposition (the writer
+//! spells a majority gate as its AND/OR sum, which reads back as three
+//! ANDs and two ORs computing the same function).
+//!
+//! Vectors (`[3:0]`), procedural blocks, and instantiations are outside
+//! the subset and rejected with a line-numbered error.
 
-use crate::netlist::{GateKind, Netlist, Wire};
+use crate::error::ParseCircuitError;
+use crate::netlist::{GateKind, Netlist, NetlistBuilder, Wire};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Renders a netlist as a structural Verilog module.
@@ -39,6 +54,20 @@ pub fn write(nl: &Netlist) -> String {
     for o in &outputs {
         let _ = writeln!(out, "  output {o};");
     }
+    // Internal wire names: `n{idx}`, suffixed with underscores when a
+    // port is literally named like one (escaping cannot disambiguate —
+    // `\n3 ` and `n3` are the same Verilog identifier).
+    let mut used: std::collections::HashSet<&str> =
+        nl.input_names().iter().map(|s| s.as_str()).collect();
+    used.extend(nl.outputs().iter().map(|(n, _)| n.as_str()));
+    let mut wire_names: HashMap<usize, String> = HashMap::new();
+    for (idx, _) in nl.gates() {
+        let mut name = format!("n{idx}");
+        while used.contains(name.as_str()) {
+            name.push('_');
+        }
+        wire_names.insert(idx, name);
+    }
     let sig = |w: Wire| -> String {
         let node = w.node();
         let base = if node == 0 {
@@ -46,7 +75,7 @@ pub fn write(nl: &Netlist) -> String {
         } else if node <= nl.num_inputs() {
             ident(&nl.input_names()[node - 1])
         } else {
-            format!("n{node}")
+            wire_names[&node].clone()
         };
         if w.is_complemented() {
             format!("~{base}")
@@ -55,7 +84,7 @@ pub fn write(nl: &Netlist) -> String {
         }
     };
     for (idx, _) in nl.gates() {
-        let _ = writeln!(out, "  wire n{idx};");
+        let _ = writeln!(out, "  wire {};", wire_names[&idx]);
     }
     for (idx, gate) in nl.gates() {
         let f: Vec<String> = gate.fanins.iter().map(|&w| sig(w)).collect();
@@ -66,13 +95,482 @@ pub fn write(nl: &Netlist) -> String {
             GateKind::Maj => format!("({0} & {1}) | ({0} & {2}) | ({1} & {2})", f[0], f[1], f[2]),
             GateKind::Mux => format!("{0} ? {1} : {2}", f[0], f[1], f[2]),
         };
-        let _ = writeln!(out, "  assign n{idx} = {rhs};");
+        let _ = writeln!(out, "  assign {} = {rhs};", wire_names[&idx]);
     }
     for (name, w) in nl.outputs() {
         let _ = writeln!(out, "  assign {} = {};", ident(name), sig(*w));
     }
     out.push_str("endmodule\n");
     out
+}
+
+/// One lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Identifier or keyword (escaped identifiers arrive unescaped).
+    Ident(String),
+    /// `1'b0` / `1'b1`.
+    Lit(bool),
+    /// Single-character symbol: `( ) , ; = ? : ~ & | ^`.
+    Sym(char),
+}
+
+/// Tokenizes Verilog source, stripping `//` and `/* */` comments.
+fn lex(text: &str) -> Result<Vec<(Tok, usize)>, ParseCircuitError> {
+    let mut toks = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c == '/' {
+                                break;
+                            }
+                            prev = c;
+                        }
+                    }
+                    _ => {
+                        return Err(ParseCircuitError::at_line(line, "stray '/'"));
+                    }
+                }
+            }
+            '\\' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    name.push(c);
+                    chars.next();
+                }
+                if name.is_empty() {
+                    return Err(ParseCircuitError::at_line(line, "empty escaped identifier"));
+                }
+                toks.push((Tok::Ident(name), line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(name), line));
+            }
+            c if c.is_ascii_digit() => {
+                let mut lit = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '\'' {
+                        lit.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match lit.as_str() {
+                    "1'b0" | "1'd0" | "1'h0" => toks.push((Tok::Lit(false), line)),
+                    "1'b1" | "1'd1" | "1'h1" => toks.push((Tok::Lit(true), line)),
+                    other => {
+                        return Err(ParseCircuitError::at_line(
+                            line,
+                            format!("unsupported literal {other:?} (only 1'b0 / 1'b1)"),
+                        ));
+                    }
+                }
+            }
+            '(' | ')' | ',' | ';' | '=' | '?' | ':' | '~' | '&' | '|' | '^' => {
+                toks.push((Tok::Sym(c), line));
+                chars.next();
+            }
+            '[' => {
+                return Err(ParseCircuitError::at_line(
+                    line,
+                    "vector ranges ([msb:lsb]) are not supported",
+                ));
+            }
+            other => {
+                return Err(ParseCircuitError::at_line(
+                    line,
+                    format!("unexpected character {other:?}"),
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Expression tree of the right-hand side of an `assign`.
+#[derive(Debug, Clone)]
+enum VExpr {
+    Const(bool),
+    Ref(String),
+    Not(Box<VExpr>),
+    And(Box<VExpr>, Box<VExpr>),
+    Or(Box<VExpr>, Box<VExpr>),
+    Xor(Box<VExpr>, Box<VExpr>),
+    Mux(Box<VExpr>, Box<VExpr>, Box<VExpr>),
+}
+
+/// Token-stream parser for the structural subset.
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseCircuitError {
+        ParseCircuitError::at_line(self.line(), msg)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseCircuitError> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseCircuitError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err("expected an identifier")),
+        }
+    }
+
+    fn ternary(&mut self) -> Result<VExpr, ParseCircuitError> {
+        let cond = self.or_expr()?;
+        if self.eat_sym('?') {
+            let t = self.ternary()?;
+            self.expect_sym(':')?;
+            let e = self.ternary()?;
+            Ok(VExpr::Mux(Box::new(cond), Box::new(t), Box::new(e)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<VExpr, ParseCircuitError> {
+        let mut a = self.xor_expr()?;
+        while self.eat_sym('|') {
+            let b = self.xor_expr()?;
+            a = VExpr::Or(Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn xor_expr(&mut self) -> Result<VExpr, ParseCircuitError> {
+        let mut a = self.and_expr()?;
+        while self.eat_sym('^') {
+            let b = self.and_expr()?;
+            a = VExpr::Xor(Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn and_expr(&mut self) -> Result<VExpr, ParseCircuitError> {
+        let mut a = self.unary()?;
+        while self.eat_sym('&') {
+            let b = self.unary()?;
+            a = VExpr::And(Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn unary(&mut self) -> Result<VExpr, ParseCircuitError> {
+        if self.eat_sym('~') {
+            return Ok(VExpr::Not(Box::new(self.unary()?)));
+        }
+        match self.next() {
+            Some(Tok::Sym('(')) => {
+                let e = self.ternary()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Some(Tok::Lit(v)) => Ok(VExpr::Const(v)),
+            Some(Tok::Ident(n)) => Ok(VExpr::Ref(n)),
+            _ => Err(self.err("expected an operand")),
+        }
+    }
+}
+
+/// Declarations collected from one module body.
+#[derive(Default)]
+struct Module {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    /// Plain (non-ANSI) header port names, validated against the body.
+    ports: Vec<String>,
+    assigns: HashMap<String, VExpr>,
+}
+
+/// Parses the structural gate-level subset into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a line-numbered [`ParseCircuitError`] for syntax outside the
+/// subset, references to undeclared nets, combinational cycles, multiply
+/// driven or undriven nets.
+pub fn parse(text: &str) -> Result<Netlist, ParseCircuitError> {
+    let mut p = Parser {
+        toks: lex(text)?,
+        pos: 0,
+    };
+    let mut m = Module::default();
+
+    match p.next() {
+        Some(Tok::Ident(k)) if k == "module" => {}
+        _ => return Err(ParseCircuitError::new("expected `module`")),
+    }
+    m.name = p.expect_ident()?;
+    // Header port list; ANSI-style `input`/`output` markers are honoured,
+    // plain port names are validated against the body declarations.
+    if p.eat_sym('(') {
+        let mut dir: Option<bool> = None; // Some(true) = input
+        while !p.eat_sym(')') {
+            match p.next() {
+                Some(Tok::Ident(w)) if w == "input" => dir = Some(true),
+                Some(Tok::Ident(w)) if w == "output" => dir = Some(false),
+                Some(Tok::Ident(w)) if w == "wire" => {}
+                Some(Tok::Ident(name)) => {
+                    match dir {
+                        Some(true) => m.inputs.push(name),
+                        Some(false) => m.outputs.push(name),
+                        None => m.ports.push(name), // non-ANSI: declared in the body
+                    }
+                    if !p.eat_sym(',') && p.peek() != Some(&Tok::Sym(')')) {
+                        return Err(p.err("expected ',' or ')' in port list"));
+                    }
+                }
+                _ => return Err(p.err("malformed port list")),
+            }
+        }
+    }
+    p.expect_sym(';')?;
+
+    loop {
+        match p.next() {
+            Some(Tok::Ident(k)) if k == "endmodule" => break,
+            Some(Tok::Ident(k)) if k == "input" || k == "output" || k == "wire" => loop {
+                let mut name = p.expect_ident()?;
+                // `input wire a;` / `output wire f;` — skip the net type.
+                if name == "wire" && k != "wire" {
+                    name = p.expect_ident()?;
+                }
+                if k == "input" {
+                    m.inputs.push(name);
+                } else if k == "output" {
+                    m.outputs.push(name);
+                }
+                if p.eat_sym(';') {
+                    break;
+                }
+                p.expect_sym(',')?;
+            },
+            Some(Tok::Ident(k)) if k == "assign" => {
+                let target = p.expect_ident()?;
+                p.expect_sym('=')?;
+                let expr = p.ternary()?;
+                p.expect_sym(';')?;
+                if m.assigns.insert(target.clone(), expr).is_some() {
+                    return Err(p.err(format!("net {target:?} is driven twice")));
+                }
+            }
+            Some(other) => {
+                return Err(p.err(format!(
+                    "unsupported construct {other:?} (structural subset only)"
+                )));
+            }
+            None => return Err(ParseCircuitError::new("missing `endmodule`")),
+        }
+    }
+    if p.peek().is_some() {
+        return Err(p.err("unexpected tokens after `endmodule` (one module per file)"));
+    }
+
+    lower_module(m)
+}
+
+/// Builds the netlist: declares inputs in order, then resolves each
+/// output net recursively through the assignments.
+fn lower_module(m: Module) -> Result<Netlist, ParseCircuitError> {
+    if m.outputs.is_empty() {
+        return Err(ParseCircuitError::new(format!(
+            "module {:?} declares no outputs",
+            m.name
+        )));
+    }
+    // Non-ANSI header ports must be declared in the body.
+    for port in &m.ports {
+        if !m.inputs.contains(port) && !m.outputs.contains(port) {
+            return Err(ParseCircuitError::new(format!(
+                "port {port:?} is not declared `input` or `output` in the module body"
+            )));
+        }
+    }
+    // An `assign` driving a declared input is a short, not a definition.
+    for name in &m.inputs {
+        if m.assigns.contains_key(name) {
+            return Err(ParseCircuitError::new(format!(
+                "net {name:?} is declared `input` but also driven by an assign"
+            )));
+        }
+    }
+    for (i, name) in m.outputs.iter().enumerate() {
+        if m.outputs[..i].contains(name) {
+            return Err(ParseCircuitError::new(format!(
+                "output {name:?} declared twice"
+            )));
+        }
+    }
+    let mut b = NetlistBuilder::new(m.name);
+    let mut env: HashMap<String, Wire> = HashMap::new();
+    for name in &m.inputs {
+        let w = b.input(name.clone());
+        if env.insert(name.clone(), w).is_some() {
+            return Err(ParseCircuitError::new(format!(
+                "input {name:?} declared twice"
+            )));
+        }
+    }
+    let mut resolving: Vec<String> = Vec::new();
+    let mut outs: Vec<(String, Wire)> = Vec::new();
+    for name in &m.outputs {
+        let w = resolve(name, &m.assigns, &mut b, &mut env, &mut resolving)?;
+        outs.push((name.clone(), w));
+    }
+    for (name, w) in outs {
+        b.output(name, w);
+    }
+    Ok(b.build())
+}
+
+/// Resolves a net by name, lowering its driving expression on demand.
+fn resolve(
+    name: &str,
+    assigns: &HashMap<String, VExpr>,
+    b: &mut NetlistBuilder,
+    env: &mut HashMap<String, Wire>,
+    resolving: &mut Vec<String>,
+) -> Result<Wire, ParseCircuitError> {
+    if let Some(&w) = env.get(name) {
+        return Ok(w);
+    }
+    if resolving.iter().any(|n| n == name) {
+        return Err(ParseCircuitError::new(format!(
+            "combinational cycle through net {name:?}"
+        )));
+    }
+    let Some(expr) = assigns.get(name) else {
+        return Err(ParseCircuitError::new(format!(
+            "net {name:?} is never driven"
+        )));
+    };
+    resolving.push(name.to_string());
+    let w = lower_expr(expr, assigns, b, env, resolving)?;
+    resolving.pop();
+    env.insert(name.to_string(), w);
+    Ok(w)
+}
+
+fn lower_expr(
+    expr: &VExpr,
+    assigns: &HashMap<String, VExpr>,
+    b: &mut NetlistBuilder,
+    env: &mut HashMap<String, Wire>,
+    resolving: &mut Vec<String>,
+) -> Result<Wire, ParseCircuitError> {
+    Ok(match expr {
+        VExpr::Const(false) => b.const0(),
+        VExpr::Const(true) => b.const1(),
+        VExpr::Ref(n) => resolve(n, assigns, b, env, resolving)?,
+        VExpr::Not(a) => {
+            let w = lower_expr(a, assigns, b, env, resolving)?;
+            b.not(w)
+        }
+        VExpr::And(x, y) => {
+            let (x, y) = (
+                lower_expr(x, assigns, b, env, resolving)?,
+                lower_expr(y, assigns, b, env, resolving)?,
+            );
+            b.and(x, y)
+        }
+        VExpr::Or(x, y) => {
+            let (x, y) = (
+                lower_expr(x, assigns, b, env, resolving)?,
+                lower_expr(y, assigns, b, env, resolving)?,
+            );
+            b.or(x, y)
+        }
+        VExpr::Xor(x, y) => {
+            let (x, y) = (
+                lower_expr(x, assigns, b, env, resolving)?,
+                lower_expr(y, assigns, b, env, resolving)?,
+            );
+            b.xor(x, y)
+        }
+        VExpr::Mux(s, t, e) => {
+            let (s, t, e) = (
+                lower_expr(s, assigns, b, env, resolving)?,
+                lower_expr(t, assigns, b, env, resolving)?,
+                lower_expr(e, assigns, b, env, resolving)?,
+            );
+            b.mux(s, t, e)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -133,5 +631,167 @@ mod tests {
         let v = write(&b.build());
         assert!(v.contains("assign zero = 1'b0"), "{v}");
         assert!(v.contains("assign one = ~1'b0"), "{v}");
+    }
+
+    #[test]
+    fn parse_simple_module() {
+        let src = "
+            // a full adder bit
+            module fa(a, b, cin, s, cout);
+              input a; input b, cin;
+              output s, cout;
+              wire t;
+              assign t = a ^ b;
+              assign s = t ^ cin;
+              assign cout = (a & b) | (t & cin);
+            endmodule
+        ";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.name(), "fa");
+        assert_eq!(nl.num_inputs(), 3);
+        assert_eq!(nl.num_outputs(), 2);
+        for m in 0..8u64 {
+            let bits = m.count_ones() as u64;
+            let got = nl.evaluate(m);
+            assert_eq!(got[0], bits & 1 == 1, "sum, minterm {m}");
+            assert_eq!(got[1], bits >= 2, "carry, minterm {m}");
+        }
+    }
+
+    #[test]
+    fn parse_ansi_header_ternary_and_literals() {
+        let src = "
+            module m(input s, input t, input e, output f, output g);
+              assign f = s ? ~t : e;
+              assign g = 1'b1 & ~1'b0;
+            endmodule
+        ";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.num_inputs(), 3);
+        for m in 0..8u64 {
+            let s = m & 1 == 1;
+            let t = m & 2 != 0;
+            let e = m & 4 != 0;
+            let got = nl.evaluate(m);
+            assert_eq!(got[0], if s { !t } else { e }, "minterm {m}");
+            assert!(got[1]);
+        }
+    }
+
+    #[test]
+    fn parse_out_of_order_assigns_and_precedence() {
+        let src = "
+            module p(a, b, c, f);
+              input a, b, c;
+              output f;
+              wire u; wire v;
+              assign f = u | v;   /* u, v defined below */
+              assign v = a & b ^ c;  // == (a & b) ^ c
+              assign u = ~a & ~b;
+            endmodule
+        ";
+        let nl = parse(src).unwrap();
+        for m in 0..8u64 {
+            let (a, b, c) = (m & 1 == 1, m & 2 != 0, m & 4 != 0);
+            let want = (!a && !b) | ((a && b) ^ c);
+            assert_eq!(nl.evaluate(m)[0], want, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn round_trip_through_the_writer() {
+        use crate::bench_suite;
+        use crate::sim::check_equivalence;
+        for name in ["rd53_f2", "exam3_d", "newtag_d", "misex1"] {
+            let nl = bench_suite::build(name).unwrap();
+            let text = write(&nl);
+            let back = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back.num_inputs(), nl.num_inputs(), "{name}");
+            assert_eq!(back.num_outputs(), nl.num_outputs(), "{name}");
+            let res = check_equivalence(&nl, &back);
+            assert!(res.holds(), "{name}: {res:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_escaped_identifiers() {
+        use crate::sim::check_equivalence;
+        let mut b = NetlistBuilder::new("5xp1");
+        let x = b.input("a[0]");
+        let y = b.input("in.2");
+        let g = b.and(x, b.not(y));
+        b.output("f$out", g);
+        let nl = b.build();
+        let back = parse(&write(&nl)).unwrap();
+        assert_eq!(back.input_names(), nl.input_names());
+        assert!(check_equivalence(&nl, &back).holds());
+    }
+
+    #[test]
+    fn round_trip_with_port_named_like_a_wire() {
+        use crate::sim::check_equivalence;
+        // An input literally named `n3` would collide with the first
+        // gate's internal wire name; the writer must rename the wire and
+        // the round trip must stay functionally exact.
+        let mut b = NetlistBuilder::new("clash");
+        let x = b.input("n3");
+        let y = b.input("b");
+        let g = b.and(x, y);
+        b.output("f", g);
+        let nl = b.build();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        assert_eq!(
+            check_equivalence(&nl, &back),
+            crate::sim::EquivResult::Equivalent,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn driving_an_input_is_rejected() {
+        let src = "module m(a, f);\n input a;\n output f;\n assign a = 1'b1;\n assign f = a;\nendmodule\n";
+        let err = parse(src).unwrap_err().to_string();
+        assert!(err.contains("declared `input`"), "{err}");
+    }
+
+    #[test]
+    fn second_module_is_rejected() {
+        let src = "module a(x, f);\n input x;\n output f;\n assign f = x;\nendmodule\nmodule b(y, g);\n input y;\n output g;\n assign g = y;\nendmodule\n";
+        let err = parse(src).unwrap_err().to_string();
+        assert!(err.contains("one module per file"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_header_port_is_rejected() {
+        let src = "module m(a, f, ghost);\n input a;\n output f;\n assign f = a;\nendmodule\n";
+        let err = parse(src).unwrap_err().to_string();
+        assert!(err.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_are_line_numbered_and_specific() {
+        let cycle =
+            "module m(a, f);\n input a;\n output f;\n assign f = g;\n assign g = f;\nendmodule\n";
+        let err = parse(cycle).unwrap_err().to_string();
+        assert!(err.contains("cycle"), "{err}");
+
+        let undriven = "module m(a, f);\n input a;\n output f;\nendmodule\n";
+        let err = parse(undriven).unwrap_err().to_string();
+        assert!(err.contains("never driven"), "{err}");
+
+        let double =
+            "module m(a, f);\n input a;\n output f;\n assign f = a;\n assign f = ~a;\nendmodule\n";
+        let err = parse(double).unwrap_err().to_string();
+        assert!(err.contains("driven twice"), "{err}");
+
+        let vector = "module m(a, f);\n input [3:0] a;\n output f;\nendmodule\n";
+        let err = parse(vector).unwrap_err().to_string();
+        assert!(err.contains("vector"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+
+        let wide = "module m(a, f);\n input a;\n output f;\n assign f = 2'b10;\nendmodule\n";
+        let err = parse(wide).unwrap_err().to_string();
+        assert!(err.contains("literal"), "{err}");
     }
 }

@@ -121,8 +121,8 @@ pub fn compile(mig: &Mig, realization: Realization) -> CompiledCircuit {
 
     // Remaining consumer count per alive node (gate fanins + outputs).
     let mut consumers = vec![0u32; mig.len()];
-    for idx in 0..mig.len() {
-        if !alive[idx] {
+    for (idx, &is_alive) in alive.iter().enumerate() {
+        if !is_alive {
             continue;
         }
         if let MigNode::Maj(kids) = mig.node(idx) {
@@ -138,8 +138,8 @@ pub fn compile(mig: &Mig, realization: Realization) -> CompiledCircuit {
     // Group alive gates by level.
     let depth = mig.depth() as usize;
     let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); depth + 1];
-    for idx in 0..mig.len() {
-        if !alive[idx] {
+    for (idx, &is_alive) in alive.iter().enumerate() {
+        if !is_alive {
             continue;
         }
         if let MigNode::Maj(_) = mig.node(idx) {

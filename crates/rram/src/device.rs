@@ -67,6 +67,7 @@ impl Rram {
 
     /// Applies terminal levels `(p, q)` for one step: `R' = M(p, ¬q, R)`
     /// (the intrinsic majority of Fig. 2).
+    #[allow(clippy::nonminimal_bool)] // canonical majority form
     pub fn apply(&mut self, p: bool, q: bool) {
         let nq = !q;
         self.state = (p && nq) || (p && self.state) || (nq && self.state);

@@ -87,8 +87,8 @@ pub fn compile_plim(mig: &Mig) -> PlimCircuit {
         }
     }
     let mut consumers = vec![0u32; mig.len()];
-    for idx in 0..mig.len() {
-        if alive[idx] {
+    for (idx, &is_alive) in alive.iter().enumerate() {
+        if is_alive {
             if let MigNode::Maj(kids) = mig.node(idx) {
                 for k in kids {
                     consumers[k.node()] += 1;
@@ -117,8 +117,8 @@ pub fn compile_plim(mig: &Mig) -> PlimCircuit {
         }
     };
 
-    for idx in 0..mig.len() {
-        if !alive[idx] {
+    for (idx, &is_alive) in alive.iter().enumerate() {
+        if !is_alive {
             continue;
         }
         let MigNode::Maj(kids) = mig.node(idx) else {
@@ -141,7 +141,7 @@ pub fn compile_plim(mig: &Mig) -> PlimCircuit {
                 &mut steps,
                 MicroOp::Load {
                     dst: a,
-                    src: Operand::Const(!(y == MigSignal::TRUE)),
+                    src: Operand::Const(y != MigSignal::TRUE),
                 },
             );
         } else if y_compl {

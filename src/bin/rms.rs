@@ -25,17 +25,19 @@ USAGE:
     rms <run|optimize|compile|bench|help> [flags]
 
 INPUT (run / optimize / compile):
-    --input FILE          circuit file (.blif, .pla, .expr/.eqn, .tt; sniffed otherwise)
+    --input FILE          circuit file (.blif, .pla, .v, .expr/.eqn, .tt; sniffed otherwise)
     --bench NAME          embedded benchmark (see `rms bench --list`)
     --expr TEXT           inline expression, e.g. \"f = maj(a, b, c) ^ d\"
-    --format FMT          override input format detection (blif|pla|expr|tt)
+    --format FMT          override input format detection (blif|pla|verilog|expr|tt)
 
 FLOW:
-    --opt ALG             area | depth | rram | steps        (default: rram, Alg. 3)
+    --opt ALG             area | depth | rram | steps | cut | cut-rram
+                                                             (default: rram, Alg. 3)
     --realization R       imp | maj                          (default: maj)
     --effort N            optimization cycles                (default: 40)
     --frontend F          direct | aig | bdd                 (default: direct)
     --no-verify           skip machine-level verification
+    --seed N              sampled-verification RNG seed      (default: fixed)
 
 OUTPUT:
     --json                machine-readable report (run)
@@ -45,16 +47,20 @@ OUTPUT:
     --listing             print the program listing (compile)
 
 BENCH:
-    --table2 --table3 --summary --runtime --figures    sections (default: summary)
+    --table2 --table3 --summary --runtime --figures --algs
+                          sections (default: summary); --algs sweeps
+                          Algs. 1-4 vs the cut engine
     --list                list embedded benchmark names
     --sequential          disable the thread pool
     --jobs N              worker threads (default: all cores; RMS_THREADS also works)
 
 EXAMPLES:
     rms run --input adder.blif --opt rram --realization imp --json
+    rms run --bench misex1 --opt cut
     rms optimize --bench misex1 --opt area --emit blif --output misex1_opt.blif
+    rms optimize --input design.v --opt cut-rram --emit verilog
     rms compile --expr \"f = a & b | c\" --plim --listing
-    rms bench --table2 --effort 40
+    rms bench --table2 --algs --effort 40
 ";
 
 fn main() -> ExitCode {
@@ -98,6 +104,7 @@ struct FlowArgs {
     effort: usize,
     frontend: Frontend,
     verify: bool,
+    seed: Option<u64>,
     json: bool,
     emit: Option<String>,
     output: Option<String>,
@@ -117,6 +124,7 @@ impl FlowArgs {
             effort: OptOptions::default().effort,
             frontend: Frontend::Direct,
             verify: true,
+            seed: None,
             json: false,
             emit: None,
             output: None,
@@ -148,6 +156,8 @@ impl FlowArgs {
                         "depth" => Algorithm::Depth,
                         "rram" | "rram-costs" | "multi" => Algorithm::RramCosts,
                         "steps" | "step" => Algorithm::Steps,
+                        "cut" | "rewrite" => Algorithm::Cut,
+                        "cut-rram" | "cut_rram" | "cutrram" => Algorithm::CutRram,
                         _ => return Err(format!("unknown algorithm {v:?}")),
                     };
                 }
@@ -171,6 +181,13 @@ impl FlowArgs {
                         Frontend::from_name(&v).ok_or_else(|| format!("unknown frontend {v:?}"))?;
                 }
                 "--no-verify" => a.verify = false,
+                "--seed" => {
+                    let v = value("--seed")?;
+                    a.seed = Some(
+                        v.parse()
+                            .map_err(|_| format!("--seed expects a u64, got {v:?}"))?,
+                    );
+                }
                 "--json" => a.json = true,
                 "--emit" => a.emit = Some(value("--emit")?),
                 "--output" => a.output = Some(value("--output")?),
@@ -207,12 +224,16 @@ impl FlowArgs {
             let text = self.expr.as_deref().unwrap();
             Pipeline::from_str(InputFormat::Expr, text, "expr").map_err(err_str)?
         };
-        Ok(pipeline
+        let mut pipeline = pipeline
             .algorithm(self.algorithm)
             .realization(self.realization)
             .effort(self.effort)
             .frontend(self.frontend)
-            .verify(self.verify))
+            .verify(self.verify);
+        if let Some(seed) = self.seed {
+            pipeline = pipeline.seed(seed);
+        }
+        Ok(pipeline)
     }
 }
 
@@ -299,6 +320,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--table2" => sections.push("table2"),
+            "--algs" => sections.push("algs"),
             "--table3" => sections.push("table3"),
             "--summary" => sections.push("summary"),
             "--runtime" => sections.push("runtime"),
@@ -346,6 +368,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 "{}",
                 reports::table3_report(&opts, &rms_bdd::BddSynthOptions::default(), jobs)
             ),
+            "algs" => print!("{}", reports::algs_report(&opts, jobs)),
             "summary" => print!("{}", reports::summary_report(&opts, jobs)),
             "runtime" => print!("{}", reports::runtime_report(&opts)),
             "figures" => print!("{}", reports::figures_report()),

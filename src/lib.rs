@@ -10,6 +10,7 @@
 //! |---|---|---|
 //! | [`logic`] | `rms-logic` | truth tables, netlists, BLIF/PLA/expression I/O, simulation, benchmark suites |
 //! | [`mig`]   | `rms-core`  | majority-inverter graphs, rewrite passes, Algs. 1–4, the (R, S) cost model |
+//! | [`cut`]   | `rms-cut`   | k-cut enumeration, NPN canonicalization, the 4-input MIG database, Alg. 5 |
 //! | [`rram`]  | `rms-rram`  | RRAM device model, micro-op ISA, level-parallel and PLiM compilers, machine |
 //! | [`aig`]   | `rms-aig`   | and-inverter graphs and the node-serial baseline of Table III |
 //! | [`bdd`]   | `rms-bdd`   | ROBDDs and the mux-per-node baseline of Table III |
@@ -39,6 +40,7 @@
 pub use rms_aig as aig;
 pub use rms_bdd as bdd;
 pub use rms_core as mig;
+pub use rms_cut as cut;
 pub use rms_flow as flow;
 pub use rms_logic as logic;
 pub use rms_rram as rram;

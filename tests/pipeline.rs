@@ -160,3 +160,63 @@ fn parallel_table3_bdd_sweep_matches_sequential() {
         assert_eq!(a.bdd_nodes, b.bdd_nodes);
     }
 }
+
+#[test]
+fn cut_rewriting_beats_area_and_never_worsens_rram_costs() {
+    // Acceptance criteria of the cut engine: machine-verified like
+    // Algs. 1-4, gate count <= Alg. 1 on at least half of the embedded
+    // small suite, and the hybrid never increases the best known R*S.
+    use rram_mig::logic::bench_suite;
+    use rram_mig::mig::Mig;
+
+    let opts = OptOptions::with_effort(8);
+    let mut wins = 0usize;
+    let total = bench_suite::SMALL_SUITE.len();
+    for info in bench_suite::SMALL_SUITE {
+        let mig = Mig::from_netlist(&bench_suite::build_info(info));
+        let (cut, _) = rram_mig::flow::run_algorithm(&mig, Algorithm::Cut, Realization::Maj, &opts);
+        let (area, _) =
+            rram_mig::flow::run_algorithm(&mig, Algorithm::Area, Realization::Maj, &opts);
+        if cut.num_gates() <= area.num_gates() {
+            wins += 1;
+        }
+        for real in Realization::ALL {
+            let (hybrid, _) = rram_mig::flow::run_algorithm(&mig, Algorithm::CutRram, real, &opts);
+            let (rram, _) = rram_mig::flow::run_algorithm(&mig, Algorithm::RramCosts, real, &opts);
+            let ch = RramCost::of(&hybrid, real);
+            let cr = RramCost::of(&rram, real);
+            assert!(
+                ch.rrams * ch.steps <= cr.rrams * cr.steps,
+                "{}/{real}: hybrid {ch} vs rram {cr}",
+                info.name
+            );
+        }
+    }
+    assert!(wins * 2 >= total, "cut beat area on only {wins}/{total}");
+}
+
+#[test]
+fn cut_pipeline_is_machine_verified() {
+    // The full pipeline (compile + machine-level verification) runs the
+    // cut algorithms exactly like Algs. 1-4.
+    for alg in [Algorithm::Cut, Algorithm::CutRram] {
+        let out = Pipeline::from_str(InputFormat::Blif, CUSTOM_BLIF, "popcmp")
+            .unwrap()
+            .algorithm(alg)
+            .effort(6)
+            .run()
+            .unwrap();
+        assert_eq!(out.report.verify, VerifyOutcome::Exhaustive, "{alg}");
+        assert!(out.report.opt.passes > 0);
+    }
+}
+
+#[test]
+fn parallel_algs_sweep_matches_sequential_at_integration_level() {
+    let opts = OptOptions::with_effort(3);
+    let seq = runner::run_algs(&opts);
+    for jobs in [2, 8] {
+        let par = runner::run_algs_jobs(&opts, jobs);
+        assert_eq!(seq, par, "jobs = {jobs}");
+    }
+}

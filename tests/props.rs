@@ -215,3 +215,56 @@ fn pipeline_handles_random_circuits() {
         assert_eq!(out.mig.truth_tables(), nl.truth_tables());
     });
 }
+
+#[test]
+fn verilog_round_trip() {
+    for_random_netlists(0xA11C_E00A, |nl| {
+        let text = rram_mig::logic::verilog::write(nl);
+        let back = rram_mig::logic::verilog::parse(&text).expect("own output parses");
+        assert_eq!(back.truth_tables(), nl.truth_tables());
+    });
+}
+
+#[test]
+fn npn_canonicalization_is_orbit_invariant_and_reconstructs() {
+    // For random 4-input truth tables: every input permutation/negation
+    // and output negation lands in the same NPN class, the reported
+    // transform maps the function to the canonical representative, and
+    // its inverse reconstructs the original function.
+    use rram_mig::cut::npn;
+    let mut rng = SplitMix64::new(0xA11C_E00B);
+    for case in 0..CASES * 8 {
+        let f = rng.next_u64() as u16;
+        let (class, t) = npn::canonicalize(f);
+        assert_eq!(npn::apply(t, f), class, "case {case}: f={f:#06x}");
+        assert_eq!(
+            npn::apply(npn::invert(t), class),
+            f,
+            "case {case}: f={f:#06x}"
+        );
+        for _ in 0..12 {
+            let u = rng.next_index(npn::NUM_TRANSFORMS);
+            let g = npn::apply(u, f);
+            let (gclass, gt) = npn::canonicalize(g);
+            assert_eq!(gclass, class, "case {case}: f={f:#06x} u={u}");
+            assert_eq!(npn::apply(gt, g), gclass, "case {case}: g={g:#06x}");
+        }
+    }
+}
+
+#[test]
+fn cut_rewriting_preserves_function() {
+    use rram_mig::mig::Algorithm;
+    for_random_netlists(0xA11C_E00C, |nl| {
+        let reference = nl.truth_tables();
+        let mig = Mig::from_netlist(nl);
+        let opts = OptOptions::with_effort(3);
+        let (round, _) = rram_mig::cut::rewrite_round(&mig, true);
+        assert_eq!(round.truth_tables(), reference, "rewrite round");
+        for alg in [Algorithm::Cut, Algorithm::CutRram] {
+            let (out, stats) = rram_mig::flow::run_algorithm(&mig, alg, Realization::Maj, &opts);
+            assert_eq!(out.truth_tables(), reference, "{alg}");
+            assert_eq!(stats.gates_after, out.num_gates() as u64, "{alg}");
+        }
+    });
+}
