@@ -249,15 +249,33 @@ pub struct AlgsMeasured {
     pub cost: [Measured; 6],
     /// Cut rewrites accepted by the `Cut` run.
     pub cut_rewrites: u64,
+    /// Verification summary over all six optimized graphs: `exhaustive`
+    /// below the truth-table cutoff, `SAT (n conflicts)` above it,
+    /// `FAILED <algorithm>` on a mismatch (which would be a bug).
+    pub verified: String,
 }
 
 /// Runs every algorithm (including the cut engine) on one benchmark
-/// under the MAJ realization.
+/// under the MAJ realization, verifying each result against the source
+/// netlist (exhaustively below the width cutoff, by SAT proof above).
 pub fn run_algs_row(info: &'static BenchmarkInfo, opts: &OptOptions) -> AlgsMeasured {
-    let mig = Mig::from_netlist(&bench_suite::build_info(info));
+    let nl = bench_suite::build_info(info);
+    let mig = Mig::from_netlist(&nl);
     let mut gates = [0u64; 6];
     let mut cost = [Measured::default(); 6];
     let mut cut_rewrites = 0;
+    let mut sat_conflicts: Option<u64> = None;
+    let mut sampled_fallback = false;
+    // First verification problem, if any: a genuine functional mismatch
+    // ("FAILED <alg>") is kept distinct from an infrastructure error
+    // ("ERROR <alg>" — e.g. an arity mismatch from a buggy exporter), so
+    // a red column points at the right subsystem.
+    let mut trouble: Option<String> = None;
+    // Below the cutoff the reference truth tables are computed once per
+    // row, not once per algorithm (the optimized graphs share the input
+    // order of their source, so a direct table compare is exact).
+    let reference =
+        (nl.num_inputs() <= rms_flow::verify::EXHAUSTIVE_VERIFY_VARS).then(|| nl.truth_tables());
     for (i, alg) in Algorithm::ALL_WITH_CUT.into_iter().enumerate() {
         let (out, stats) = rms_flow::run_algorithm(&mig, alg, Realization::Maj, opts);
         gates[i] = out.num_gates() as u64;
@@ -265,13 +283,45 @@ pub fn run_algs_row(info: &'static BenchmarkInfo, opts: &OptOptions) -> AlgsMeas
         if alg == Algorithm::Cut {
             cut_rewrites = stats.rewrites;
         }
+        if trouble.is_none() {
+            if let Some(reference) = &reference {
+                if out.truth_tables() != *reference {
+                    trouble = Some(format!("FAILED {alg}"));
+                }
+                continue;
+            }
+            match rms_flow::check_netlists(
+                &nl,
+                &out.to_netlist(),
+                rms_flow::VerifyMode::Auto,
+                rms_flow::DEFAULT_VERIFY_SEED,
+            ) {
+                Ok(rms_flow::VerifyOutcome::Proved { conflicts, .. }) => {
+                    *sat_conflicts.get_or_insert(0) += conflicts;
+                }
+                // Auto degrades to sampling when the proof budget runs
+                // out — surface that honestly instead of claiming a
+                // proof.
+                Ok(rms_flow::VerifyOutcome::Sampled { .. }) => sampled_fallback = true,
+                Ok(outcome) if outcome.passed() => {}
+                Ok(_) => trouble = Some(format!("FAILED {alg}")),
+                Err(e) => trouble = Some(format!("ERROR {alg}: {e}")),
+            }
+        }
     }
+    let verified = match (trouble, sampled_fallback, sat_conflicts) {
+        (Some(t), _, _) => t,
+        (None, true, _) => "sampled (SAT budget exceeded)".to_string(),
+        (None, false, Some(conflicts)) => format!("SAT ({conflicts} conflicts)"),
+        (None, false, None) => "exhaustive".to_string(),
+    };
     AlgsMeasured {
         info,
         initial_gates: mig.num_gates() as u64,
         gates,
         cost,
         cut_rewrites,
+        verified,
     }
 }
 

@@ -5,8 +5,9 @@
 //! flow — Boolean functions ([`rms_logic`]), majority-inverter graphs and
 //! the optimization algorithms ([`rms_core`]), the cut-based NPN
 //! rewriting engine ([`rms_cut`]), the RRAM machine and compilers
-//! ([`rms_rram`]), and the AIG/BDD baselines ([`rms_aig`],
-//! [`rms_bdd`]). This crate chains them:
+//! ([`rms_rram`]), the SAT-based equivalence checker ([`rms_sat`]), and
+//! the AIG/BDD baselines ([`rms_aig`], [`rms_bdd`]). This crate chains
+//! them:
 //!
 //! ```text
 //! BLIF / PLA / Verilog / expr / truth table   (input::load_path, parse_str)
@@ -24,7 +25,8 @@
 //!        └──► serial PLiM stream           (rms_rram::plim)
 //!        │
 //!        ▼
-//! machine-level verification + report      (text / JSON)
+//! tiered verification + report             (verify: exhaustive / SAT proof /
+//!                                           sampled; report: text / JSON)
 //! ```
 //!
 //! The `rms` command-line binary (in the workspace root package) and the
@@ -58,11 +60,13 @@ pub mod input;
 pub mod par;
 pub mod pipeline;
 pub mod report;
+pub mod verify;
 
 pub use error::FlowError;
 pub use input::InputFormat;
 pub use pipeline::{
     optimize_cost, run_algorithm, FlowOutput, FlowReport, Frontend, Pipeline, StageTimings,
-    VerifyOutcome, DEFAULT_VERIFY_SEED,
+    DEFAULT_VERIFY_SEED,
 };
-pub use report::{render_json, render_text};
+pub use report::{escape_json, render_json, render_text};
+pub use verify::{check_netlists, format_assignment, VerifyMode, VerifyOutcome};

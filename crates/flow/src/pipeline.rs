@@ -28,16 +28,16 @@
 
 use crate::error::FlowError;
 use crate::input::{self, InputFormat};
+use crate::verify::{self, format_assignment};
+pub use crate::verify::{VerifyMode, VerifyOutcome};
 use rms_aig::Aig;
 use rms_core::cost::{MigStats, Realization, RramCost};
 use rms_core::opt::{Algorithm, OptOptions, OptStats};
 use rms_core::Mig;
 use rms_logic::netlist::Netlist;
-use rms_logic::sim::random_patterns;
 use rms_logic::synth;
 use rms_logic::tt::MAX_VARS;
 use rms_rram::compile::{compile, CompiledCircuit};
-use rms_rram::machine::Machine;
 use rms_rram::plim::{compile_plim, PlimCircuit};
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -79,12 +79,6 @@ impl std::fmt::Display for Frontend {
     }
 }
 
-/// Inputs wider than this use sampled rather than exhaustive verification.
-const EXHAUSTIVE_VERIFY_VARS: usize = 14;
-
-/// Number of 64-bit pattern words for sampled verification.
-const VERIFY_SAMPLE_WORDS: usize = 64;
-
 /// Default seed of the sampled-verification pattern RNG
 /// ([`Pipeline::seed`] overrides it).
 pub const DEFAULT_VERIFY_SEED: u64 = 0x5eed;
@@ -92,40 +86,6 @@ pub const DEFAULT_VERIFY_SEED: u64 = 0x5eed;
 /// The BDD frontend materializes truth tables; cap the width so a typo
 /// cannot allocate 2^n bits.
 const BDD_FRONTEND_MAX_VARS: usize = 18;
-
-/// Outcome of the machine-level verification stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum VerifyOutcome {
-    /// Verification was disabled.
-    Skipped,
-    /// Both compiled programs matched the netlist on every minterm.
-    Exhaustive,
-    /// Both compiled programs matched the netlist on sampled patterns.
-    Sampled {
-        /// Number of 64-bit pattern words simulated.
-        words: usize,
-    },
-}
-
-impl VerifyOutcome {
-    /// Whether verification actually ran and observed no mismatch.
-    ///
-    /// `false` only for [`VerifyOutcome::Skipped`] — a mismatch never
-    /// produces an outcome at all, it aborts the pipeline with
-    /// [`FlowError::Verification`].
-    pub fn passed(&self) -> bool {
-        !matches!(self, VerifyOutcome::Skipped)
-    }
-
-    /// Short label for reports.
-    pub fn label(&self) -> String {
-        match self {
-            VerifyOutcome::Skipped => "skipped".into(),
-            VerifyOutcome::Exhaustive => "exhaustive".into(),
-            VerifyOutcome::Sampled { words } => format!("sampled ({words} words)"),
-        }
-    }
-}
 
 /// Wall-clock duration of each pipeline stage.
 #[derive(Debug, Clone, Copy, Default)]
@@ -181,6 +141,8 @@ pub struct FlowReport {
     pub plim_cells: u64,
     /// How the result was verified.
     pub verify: VerifyOutcome,
+    /// Which verification policy was requested.
+    pub verify_mode: VerifyMode,
     /// Seed of the sampled-verification pattern RNG.
     pub verify_seed: u64,
     /// Per-stage wall-clock times.
@@ -211,7 +173,7 @@ pub struct Pipeline {
     realization: Realization,
     options: OptOptions,
     frontend: Frontend,
-    verify: bool,
+    verify: VerifyMode,
     seed: u64,
     parse_time: Duration,
 }
@@ -225,7 +187,7 @@ impl Pipeline {
             realization: Realization::Maj,
             options: OptOptions::paper(),
             frontend: Frontend::Direct,
-            verify: true,
+            verify: VerifyMode::Auto,
             seed: DEFAULT_VERIFY_SEED,
             parse_time: Duration::ZERO,
         }
@@ -297,9 +259,22 @@ impl Pipeline {
         self
     }
 
-    /// Enables or disables machine-level verification (default: enabled).
+    /// Enables or disables machine-level verification (default: enabled
+    /// with the tiered [`VerifyMode::Auto`] policy).
     pub fn verify(mut self, verify: bool) -> Self {
-        self.verify = verify;
+        self.verify = if verify {
+            VerifyMode::Auto
+        } else {
+            VerifyMode::Off
+        };
+        self
+    }
+
+    /// Selects the verification policy: tiered (exhaustive below the
+    /// width cutoff, SAT proof above), forced SAT proof, sampled
+    /// (explicit opt-out of formal checking), or off.
+    pub fn verify_mode(mut self, mode: VerifyMode) -> Self {
+        self.verify = mode;
         self
     }
 
@@ -325,7 +300,7 @@ impl Pipeline {
     /// to handle a circuit too wide for truth tables, and
     /// [`FlowError::Verification`] when a compiled program disagrees with
     /// the source netlist (which would indicate a bug in the toolchain —
-    /// the error carries the first differing pattern).
+    /// the error carries a concrete counterexample input assignment).
     pub fn run(self) -> Result<FlowOutput, FlowError> {
         let Pipeline {
             netlist,
@@ -355,11 +330,18 @@ impl Pipeline {
         let compile_time = t0.elapsed();
 
         let t0 = Instant::now();
-        let verify_outcome = if verify {
-            verify_programs(&netlist, &array, &plim, seed)?
-        } else {
-            VerifyOutcome::Skipped
-        };
+        let programs = [("array", &array.program), ("plim", &plim.program)];
+        let verify_outcome = verify::verify_programs(&netlist, &programs, verify, seed)?;
+        if let VerifyOutcome::Failed {
+            what,
+            counterexample,
+        } = &verify_outcome
+        {
+            return Err(FlowError::Verification(format!(
+                "{what}; counterexample: {}",
+                format_assignment(netlist.input_names(), counterexample)
+            )));
+        }
         let verify_time = t0.elapsed();
 
         let report = FlowReport {
@@ -380,6 +362,7 @@ impl Pipeline {
             plim_instructions: plim.instructions,
             plim_cells: plim.cells,
             verify: verify_outcome,
+            verify_mode: verify,
             verify_seed: seed,
             timings: StageTimings {
                 parse: parse_time,
@@ -421,66 +404,6 @@ fn seed_mig(netlist: &Netlist, frontend: Frontend) -> Result<Mig, FlowError> {
             Ok(Mig::from_netlist(&shannon))
         }
     }
-}
-
-/// Checks both compiled programs against the netlist — exhaustively for
-/// narrow circuits, with deterministic random patterns otherwise.
-fn verify_programs(
-    netlist: &Netlist,
-    array: &CompiledCircuit,
-    plim: &PlimCircuit,
-    seed: u64,
-) -> Result<VerifyOutcome, FlowError> {
-    let n = netlist.num_inputs();
-    let programs = [("array", &array.program), ("plim", &plim.program)];
-    if n <= EXHAUSTIVE_VERIFY_VARS {
-        let reference = netlist.truth_tables();
-        for (what, program) in programs {
-            let got = Machine::truth_tables(program)
-                .map_err(|e| FlowError::Verification(format!("{what}: invalid program: {e}")))?;
-            if got != reference {
-                let (o, m) = first_diff(&got, &reference);
-                return Err(FlowError::Verification(format!(
-                    "{what} program differs from the netlist on output {o}, minterm {m}"
-                )));
-            }
-        }
-        return Ok(VerifyOutcome::Exhaustive);
-    }
-    let mut machine = Machine::new();
-    for (w, pattern) in random_patterns(n, VERIFY_SAMPLE_WORDS, seed)
-        .into_iter()
-        .enumerate()
-    {
-        let reference = netlist.simulate_words(&pattern);
-        for (what, program) in programs {
-            let got = machine
-                .run_words(program, &pattern)
-                .map_err(|e| FlowError::Verification(format!("{what}: invalid program: {e}")))?;
-            if got != reference {
-                return Err(FlowError::Verification(format!(
-                    "{what} program differs from the netlist on pattern word {w}"
-                )));
-            }
-        }
-    }
-    Ok(VerifyOutcome::Sampled {
-        words: VERIFY_SAMPLE_WORDS,
-    })
-}
-
-/// First (output, minterm) where two truth-table vectors differ.
-fn first_diff(a: &[rms_logic::TruthTable], b: &[rms_logic::TruthTable]) -> (usize, u64) {
-    for (o, (x, y)) in a.iter().zip(b).enumerate() {
-        if x != y {
-            for m in 0..x.num_bits() {
-                if x.bit(m) != y.bit(m) {
-                    return (o, m);
-                }
-            }
-        }
-    }
-    (usize::MAX, u64::MAX)
 }
 
 /// Runs an optimization algorithm with the full engine set: the paper's
@@ -582,7 +505,7 @@ mod tests {
     }
 
     #[test]
-    fn wide_circuits_verify_sampled() {
+    fn wide_circuits_get_sat_proved_by_default() {
         let mut b = rms_logic::NetlistBuilder::new("wide");
         let ins: Vec<_> = (0..20).map(|i| b.input(format!("i{i}"))).collect();
         let mut acc = ins[0];
@@ -591,7 +514,42 @@ mod tests {
         }
         b.output("o", acc);
         let out = Pipeline::new(b.build()).effort(2).run().unwrap();
+        assert!(
+            matches!(out.report.verify, VerifyOutcome::Proved { .. }),
+            "{:?}",
+            out.report.verify
+        );
+        assert!(out.report.verify.is_proof());
+    }
+
+    #[test]
+    fn sampling_survives_as_an_explicit_opt_out() {
+        let mut b = rms_logic::NetlistBuilder::new("wide");
+        let ins: Vec<_> = (0..20).map(|i| b.input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &w in &ins[1..] {
+            acc = b.maj(acc, w, ins[0]);
+        }
+        b.output("o", acc);
+        let out = Pipeline::new(b.build())
+            .effort(2)
+            .verify_mode(VerifyMode::Sampled)
+            .run()
+            .unwrap();
         assert!(matches!(out.report.verify, VerifyOutcome::Sampled { .. }));
+        assert!(!out.report.verify.is_proof());
+    }
+
+    #[test]
+    fn narrow_circuits_can_force_a_sat_proof() {
+        let out = Pipeline::from_str(InputFormat::Blif, SAMPLE_BLIF, "s")
+            .unwrap()
+            .effort(4)
+            .verify_mode(VerifyMode::Sat)
+            .run()
+            .unwrap();
+        assert!(matches!(out.report.verify, VerifyOutcome::Proved { .. }));
+        assert_eq!(out.report.verify_mode, VerifyMode::Sat);
     }
 
     #[test]
@@ -618,7 +576,12 @@ mod tests {
             acc = b.maj(acc, w, ins[0]);
         }
         b.output("o", acc);
-        let out = Pipeline::new(b.build()).effort(1).seed(42).run().unwrap();
+        let out = Pipeline::new(b.build())
+            .effort(1)
+            .seed(42)
+            .verify_mode(VerifyMode::Sampled)
+            .run()
+            .unwrap();
         assert!(matches!(out.report.verify, VerifyOutcome::Sampled { .. }));
         assert_eq!(out.report.verify_seed, 42);
         // The default seed is fixed, not time-derived.

@@ -52,7 +52,12 @@ pub fn render_text(r: &FlowReport) -> String {
         "array: {} steps, {} physical devices   plim: {} instructions, {} cells",
         r.array_steps, r.array_physical_rrams, r.plim_instructions, r.plim_cells
     );
-    let _ = writeln!(out, "verification: {}", r.verify.label());
+    let _ = writeln!(
+        out,
+        "verification: {} [policy: {}]",
+        r.verify.label(),
+        r.verify_mode
+    );
     let t = &r.timings;
     let _ = writeln!(
         out,
@@ -97,6 +102,23 @@ pub fn render_json(r: &FlowReport) -> String {
         j.num_field("gates_after", r.opt.gates_after);
     });
     j.str_field("verification", &r.verify.label());
+    j.obj_field("verify", |j| {
+        j.str_field("mode", &r.verify_mode.to_string());
+        let (method, conflicts, decisions) = match &r.verify {
+            crate::verify::VerifyOutcome::Proved {
+                conflicts,
+                decisions,
+            } => ("sat-proved", *conflicts, *decisions),
+            crate::verify::VerifyOutcome::Exhaustive => ("exhaustive", 0, 0),
+            crate::verify::VerifyOutcome::Sampled { .. } => ("sampled", 0, 0),
+            crate::verify::VerifyOutcome::Skipped => ("skipped", 0, 0),
+            crate::verify::VerifyOutcome::Failed { .. } => ("failed", 0, 0),
+        };
+        j.str_field("method", method);
+        j.bool_field("proof", r.verify.is_proof());
+        j.num_field("sat_conflicts", conflicts);
+        j.num_field("sat_decisions", decisions);
+    });
     j.num_field("verify_seed", r.verify_seed);
     j.obj_field("timings_ms", |j| timings(j, &r.timings));
     j.close();
@@ -182,6 +204,11 @@ impl Json {
         let _ = write!(self.out, "{value}");
     }
 
+    fn bool_field(&mut self, name: &str, value: bool) {
+        self.key(name);
+        let _ = write!(self.out, "{value}");
+    }
+
     fn float_field(&mut self, name: &str, value: f64) {
         self.key(name);
         let _ = write!(self.out, "{value:.3}");
@@ -200,7 +227,13 @@ impl Json {
     }
 }
 
-/// Escapes a string for inclusion in a JSON document.
+/// Escapes a string for inclusion in a JSON document (used by every
+/// hand-rolled JSON emitter in the workspace — the build is offline, so
+/// no `serde`).
+pub fn escape_json(s: &str) -> String {
+    escape(s)
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -258,6 +291,9 @@ mod tests {
         assert!(json.contains("\"algorithm\":\"RRAM costs\""));
         assert!(json.contains("\"cost\":{\"rrams\":"));
         assert!(json.contains("\"opt\":{\"cycles\":"));
+        assert!(json.contains("\"verify\":{\"mode\":\"auto\""));
+        assert!(json.contains("\"method\":\"exhaustive\""));
+        assert!(json.contains("\"proof\":true"));
         assert!(json.contains("\"verify_seed\":24301"));
         assert!(json.ends_with("}\n"));
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");

@@ -1,0 +1,601 @@
+//! Tiered machine-level verification: exhaustive, SAT-proved, or sampled.
+//!
+//! Every pipeline run checks its compiled programs against the source
+//! netlist. Three tiers exist, selected by [`VerifyMode`] and the input
+//! width:
+//!
+//! | Tier | When | Guarantee |
+//! |---|---|---|
+//! | exhaustive | `n ≤ 14` inputs (under [`VerifyMode::Auto`]) | all `2^n` minterms simulated |
+//! | SAT proof | `n > 14`, or forced with [`VerifyMode::Sat`] | miter refuted by the `rms-sat` CDCL solver — a proof at any width |
+//! | sampled | explicit [`VerifyMode::Sampled`] opt-out only | 64 random 64-bit pattern words — evidence, not proof |
+//!
+//! Historically the pipeline silently degraded to sampling above the
+//! cutoff; the SAT tier replaces that, so a "pass" now means *proved*
+//! regardless of width. Sampling survives only as an explicit opt-out
+//! (`--verify sampled`) for quick smoke runs.
+//!
+//! Every failing tier reports a concrete counterexample input assignment
+//! in [`VerifyOutcome::Failed`] — the SAT model gives it for free, the
+//! exhaustive tier decodes the differing minterm, and the sampled tier
+//! extracts the differing bit lane.
+//!
+//! [`check_netlists`] applies the same policy to two standalone circuits
+//! (the `rms verify` subcommand and the differential test harness).
+
+use crate::error::FlowError;
+use rms_logic::netlist::{Netlist, NetlistBuilder, Wire};
+use rms_logic::sim::random_patterns;
+use rms_logic::tt::MAX_VARS;
+use rms_rram::isa::Program;
+use rms_rram::machine::Machine;
+use rms_sat::{check_netlist_vs_program_limited, check_netlists_limited, MiterError, MiterOutcome};
+
+/// Inputs wider than this use the SAT tier rather than exhaustive
+/// simulation (under [`VerifyMode::Auto`]).
+pub const EXHAUSTIVE_VERIFY_VARS: usize = 14;
+
+/// Number of 64-bit pattern words for sampled verification.
+pub const VERIFY_SAMPLE_WORDS: usize = 64;
+
+/// Conflict budget per SAT miter. Every bundled benchmark proves well
+/// under this (the largest, `apex1`, needs ~17k conflicts), but
+/// user-supplied circuits can be adversarial for any SAT solver
+/// (a 32-input multiplier miter is exponentially hard), so the proof
+/// attempt is bounded: under [`VerifyMode::Auto`] an exhausted budget
+/// falls back to sampled verification; under [`VerifyMode::Sat`] it is
+/// an error (the caller explicitly demanded a proof).
+pub const SAT_CONFLICT_BUDGET: u64 = 500_000;
+
+/// How verification is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Tiered policy: exhaustive up to [`EXHAUSTIVE_VERIFY_VARS`] inputs,
+    /// SAT proof above.
+    #[default]
+    Auto,
+    /// Force a SAT proof regardless of width.
+    Sat,
+    /// Exhaustive below the cutoff, random sampling above — the explicit
+    /// opt-out of formal checking (the pre-SAT behaviour).
+    Sampled,
+    /// Skip verification entirely.
+    Off,
+}
+
+impl VerifyMode {
+    /// Parses a mode name as given on the command line.
+    pub fn from_name(name: &str) -> Option<VerifyMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" | "tiered" | "on" => Some(VerifyMode::Auto),
+            "sat" | "proof" | "formal" => Some(VerifyMode::Sat),
+            "sampled" | "sample" | "random" => Some(VerifyMode::Sampled),
+            "off" | "none" | "skip" => Some(VerifyMode::Off),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyMode::Auto => write!(f, "auto"),
+            VerifyMode::Sat => write!(f, "sat"),
+            VerifyMode::Sampled => write!(f, "sampled"),
+            VerifyMode::Off => write!(f, "off"),
+        }
+    }
+}
+
+/// Outcome of the verification stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Verification was disabled.
+    Skipped,
+    /// Every minterm was simulated and matched.
+    Exhaustive,
+    /// A SAT miter was refuted: equivalence is *proved* at full width.
+    Proved {
+        /// Conflicts over all refutations of the run.
+        conflicts: u64,
+        /// Branching decisions over all refutations of the run.
+        decisions: u64,
+    },
+    /// Random patterns matched (explicit opt-out — not a proof).
+    Sampled {
+        /// Number of 64-bit pattern words simulated.
+        words: usize,
+    },
+    /// A mismatch was found.
+    Failed {
+        /// What disagreed (which program or circuit, which tier).
+        what: String,
+        /// A disagreeing input assignment (index `i` = primary input
+        /// `i`); empty when the mismatch is structural (e.g. different
+        /// output counts).
+        counterexample: Vec<bool>,
+    },
+}
+
+impl VerifyOutcome {
+    /// Whether verification actually ran and observed no mismatch.
+    pub fn passed(&self) -> bool {
+        !matches!(self, VerifyOutcome::Skipped | VerifyOutcome::Failed { .. })
+    }
+
+    /// Whether the outcome is a *guarantee* over the full input space
+    /// (exhaustive simulation or a SAT proof).
+    pub fn is_proof(&self) -> bool {
+        matches!(
+            self,
+            VerifyOutcome::Exhaustive | VerifyOutcome::Proved { .. }
+        )
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            VerifyOutcome::Skipped => "skipped".into(),
+            VerifyOutcome::Exhaustive => "exhaustive".into(),
+            VerifyOutcome::Proved {
+                conflicts,
+                decisions,
+            } => {
+                format!("proved (SAT, {conflicts} conflicts, {decisions} decisions)")
+            }
+            VerifyOutcome::Sampled { words } => format!("sampled ({words} words)"),
+            VerifyOutcome::Failed { what, .. } => format!("FAILED ({what})"),
+        }
+    }
+}
+
+/// Renders a counterexample assignment with the circuit's input names
+/// (`x0=1 x1=0 …`).
+pub fn format_assignment(names: &[String], inputs: &[bool]) -> String {
+    if inputs.is_empty() {
+        return "(structural mismatch, no assignment)".into();
+    }
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let name = names.get(i).map(|s| s.as_str()).unwrap_or("?");
+            format!("{name}={}", b as u8)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Checks both compiled programs against the netlist under the tiered
+/// policy. Mismatches come back as [`VerifyOutcome::Failed`]; only
+/// structurally invalid programs (a toolchain bug) are hard errors.
+pub(crate) fn verify_programs(
+    netlist: &Netlist,
+    programs: &[(&str, &Program)],
+    mode: VerifyMode,
+    seed: u64,
+) -> Result<VerifyOutcome, FlowError> {
+    if mode == VerifyMode::Off {
+        return Ok(VerifyOutcome::Skipped);
+    }
+    let n = netlist.num_inputs();
+    if mode != VerifyMode::Sat && n <= EXHAUSTIVE_VERIFY_VARS.min(MAX_VARS) {
+        let reference = netlist.truth_tables();
+        for &(what, program) in programs {
+            let got = Machine::truth_tables(program)
+                .map_err(|e| FlowError::Verification(format!("{what}: invalid program: {e}")))?;
+            if got != reference {
+                let (o, m) = first_diff(&got, &reference);
+                return Ok(VerifyOutcome::Failed {
+                    what: format!("{what} program differs from the netlist on output {o}"),
+                    counterexample: minterm_bits(m, n),
+                });
+            }
+        }
+        return Ok(VerifyOutcome::Exhaustive);
+    }
+    if mode == VerifyMode::Sampled {
+        let mut machine = Machine::new();
+        for pattern in random_patterns(n, VERIFY_SAMPLE_WORDS, seed) {
+            let reference = netlist.simulate_words(&pattern);
+            for &(what, program) in programs {
+                let got = machine.run_words(program, &pattern).map_err(|e| {
+                    FlowError::Verification(format!("{what}: invalid program: {e}"))
+                })?;
+                if got != reference {
+                    let (o, lane) = first_word_diff(&got, &reference);
+                    return Ok(VerifyOutcome::Failed {
+                        what: format!(
+                            "{what} program differs from the netlist on output {o} (sampled)"
+                        ),
+                        counterexample: lane_bits(&pattern, lane),
+                    });
+                }
+            }
+        }
+        return Ok(VerifyOutcome::Sampled {
+            words: VERIFY_SAMPLE_WORDS,
+        });
+    }
+    // SAT tier: refute a miter per program, under a conflict budget.
+    let (mut conflicts, mut decisions) = (0u64, 0u64);
+    for &(what, program) in programs {
+        match check_netlist_vs_program_limited(netlist, program, Some(SAT_CONFLICT_BUDGET)) {
+            Ok(Some(MiterOutcome::Equivalent {
+                conflicts: c,
+                decisions: d,
+            })) => {
+                conflicts += c;
+                decisions += d;
+            }
+            Ok(Some(MiterOutcome::Counterexample { inputs })) => {
+                return Ok(VerifyOutcome::Failed {
+                    what: format!("{what} program differs from the netlist (SAT counterexample)"),
+                    counterexample: inputs,
+                });
+            }
+            Ok(None) if mode == VerifyMode::Auto => {
+                // Budget exhausted on an adversarial instance: degrade
+                // to sampling rather than hang (an explicit
+                // `--verify sat` would error out instead).
+                return verify_programs(netlist, programs, VerifyMode::Sampled, seed);
+            }
+            Ok(None) => {
+                return Err(FlowError::Verification(format!(
+                    "{what}: SAT proof gave up after {SAT_CONFLICT_BUDGET} conflicts; \
+                     re-run with `--verify sampled` for a non-proof check"
+                )));
+            }
+            Err(e) => {
+                return Err(FlowError::Verification(format!("{what}: {e}")));
+            }
+        }
+    }
+    Ok(VerifyOutcome::Proved {
+        conflicts,
+        decisions,
+    })
+}
+
+/// Checks two standalone circuits for functional equivalence under the
+/// tiered policy.
+///
+/// Inputs are matched by name when both circuits declare the same name
+/// set (in any order) and by position otherwise; outputs are always
+/// matched by position.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Unsupported`] when the circuits declare
+/// different input counts (nothing meaningful can be compared).
+pub fn check_netlists(
+    a: &Netlist,
+    b: &Netlist,
+    mode: VerifyMode,
+    seed: u64,
+) -> Result<VerifyOutcome, FlowError> {
+    if mode == VerifyMode::Off {
+        return Ok(VerifyOutcome::Skipped);
+    }
+    if a.num_inputs() != b.num_inputs() {
+        return Err(FlowError::Unsupported(format!(
+            "cannot compare {:?} ({} inputs) with {:?} ({} inputs)",
+            a.name(),
+            a.num_inputs(),
+            b.name(),
+            b.num_inputs()
+        )));
+    }
+    let aligned;
+    let b = match input_alignment(a, b) {
+        Some(order) => {
+            aligned = permute_inputs(b, &order);
+            &aligned
+        }
+        None => b,
+    };
+    if a.num_outputs() != b.num_outputs() {
+        return Ok(VerifyOutcome::Failed {
+            what: format!(
+                "output counts differ: {} vs {}",
+                a.num_outputs(),
+                b.num_outputs()
+            ),
+            counterexample: Vec::new(),
+        });
+    }
+    let n = a.num_inputs();
+    if mode != VerifyMode::Sat && n <= EXHAUSTIVE_VERIFY_VARS.min(MAX_VARS) {
+        let ta = a.truth_tables();
+        let tb = b.truth_tables();
+        if ta != tb {
+            let (o, m) = first_diff(&tb, &ta);
+            return Ok(VerifyOutcome::Failed {
+                what: format!("circuits differ on output {o}"),
+                counterexample: minterm_bits(m, n),
+            });
+        }
+        return Ok(VerifyOutcome::Exhaustive);
+    }
+    if mode == VerifyMode::Sampled {
+        for pattern in random_patterns(n, VERIFY_SAMPLE_WORDS, seed) {
+            let wa = a.simulate_words(&pattern);
+            let wb = b.simulate_words(&pattern);
+            if wa != wb {
+                let (o, lane) = first_word_diff(&wb, &wa);
+                return Ok(VerifyOutcome::Failed {
+                    what: format!("circuits differ on output {o} (sampled)"),
+                    counterexample: lane_bits(&pattern, lane),
+                });
+            }
+        }
+        return Ok(VerifyOutcome::Sampled {
+            words: VERIFY_SAMPLE_WORDS,
+        });
+    }
+    match check_netlists_limited(a, b, Some(SAT_CONFLICT_BUDGET)) {
+        Ok(Some(MiterOutcome::Equivalent {
+            conflicts,
+            decisions,
+        })) => Ok(VerifyOutcome::Proved {
+            conflicts,
+            decisions,
+        }),
+        Ok(Some(MiterOutcome::Counterexample { inputs })) => Ok(VerifyOutcome::Failed {
+            what: "circuits differ (SAT counterexample)".into(),
+            counterexample: inputs,
+        }),
+        Ok(None) if mode == VerifyMode::Auto => {
+            // Budget exhausted: degrade to sampling rather than hang.
+            check_netlists(a, b, VerifyMode::Sampled, seed)
+        }
+        Ok(None) => Err(FlowError::Verification(format!(
+            "SAT proof gave up after {SAT_CONFLICT_BUDGET} conflicts; \
+             re-run with `--verify sampled` for a non-proof check"
+        ))),
+        Err(MiterError::OutputCountMismatch { a, b }) => Ok(VerifyOutcome::Failed {
+            what: format!("output counts differ: {a} vs {b}"),
+            counterexample: Vec::new(),
+        }),
+        Err(e) => Err(FlowError::Verification(e.to_string())),
+    }
+}
+
+/// When both circuits declare the same input-name set in a different
+/// order, returns `order` such that `b` input `order[i]` corresponds to
+/// `a` input `i`.
+fn input_alignment(a: &Netlist, b: &Netlist) -> Option<Vec<usize>> {
+    if a.input_names() == b.input_names() {
+        return None; // already aligned
+    }
+    let order: Vec<usize> = a
+        .input_names()
+        .iter()
+        .map(|name| b.input_names().iter().position(|n| n == name))
+        .collect::<Option<Vec<_>>>()?;
+    // Must be a permutation (no duplicate names mapping to one index).
+    let mut seen = vec![false; order.len()];
+    for &i in &order {
+        if seen[i] {
+            return None;
+        }
+        seen[i] = true;
+    }
+    Some(order)
+}
+
+/// Rebuilds `nl` with its inputs permuted: new input `i` is old input
+/// `order[i]` (names preserved).
+fn permute_inputs(nl: &Netlist, order: &[usize]) -> Netlist {
+    let mut b = NetlistBuilder::new(nl.name());
+    // map[old_node] = new wire (uncomplemented).
+    let mut map: Vec<Wire> = vec![Wire::new(0, false); nl.num_nodes()];
+    let mut new_inputs: Vec<Wire> = vec![Wire::new(0, false); order.len()];
+    for &old_pos in order {
+        new_inputs[old_pos] = b.input(nl.input_names()[old_pos].clone());
+    }
+    for (old_pos, &w) in new_inputs.iter().enumerate() {
+        map[nl.input_wire(old_pos).node()] = w;
+    }
+    let remap = |map: &[Wire], w: Wire| -> Wire {
+        let base = map[w.node()];
+        if w.is_complemented() {
+            base.complement()
+        } else {
+            base
+        }
+    };
+    for (idx, gate) in nl.gates() {
+        let fanins: Vec<Wire> = gate.fanins.iter().map(|&w| remap(&map, w)).collect();
+        let new = match gate.kind {
+            rms_logic::GateKind::And => b.and(fanins[0], fanins[1]),
+            rms_logic::GateKind::Or => b.or(fanins[0], fanins[1]),
+            rms_logic::GateKind::Xor => b.xor(fanins[0], fanins[1]),
+            rms_logic::GateKind::Maj => b.maj(fanins[0], fanins[1], fanins[2]),
+            rms_logic::GateKind::Mux => b.mux(fanins[0], fanins[1], fanins[2]),
+        };
+        map[idx] = new;
+    }
+    for (name, w) in nl.outputs() {
+        b.output(name.clone(), remap(&map, *w));
+    }
+    b.build()
+}
+
+/// First (output, minterm) where two truth-table vectors differ.
+fn first_diff(a: &[rms_logic::TruthTable], b: &[rms_logic::TruthTable]) -> (usize, u64) {
+    for (o, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            for m in 0..x.num_bits() {
+                if x.bit(m) != y.bit(m) {
+                    return (o, m);
+                }
+            }
+        }
+    }
+    (usize::MAX, u64::MAX)
+}
+
+/// First (output, bit lane) where two simulation word vectors differ.
+fn first_word_diff(a: &[u64], b: &[u64]) -> (usize, usize) {
+    for (o, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            return (o, (x ^ y).trailing_zeros() as usize);
+        }
+    }
+    (usize::MAX, 0)
+}
+
+/// Decodes minterm `m` into per-input bits.
+fn minterm_bits(m: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| (m >> i) & 1 == 1).collect()
+}
+
+/// Extracts bit `lane` of every input pattern word.
+fn lane_bits(pattern: &[u64], lane: usize) -> Vec<bool> {
+    pattern.iter().map(|w| (w >> lane) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_logic::NetlistBuilder;
+
+    fn xor_chain(name: &str, names: &[&str]) -> Netlist {
+        let mut b = NetlistBuilder::new(name);
+        let ins: Vec<Wire> = names.iter().map(|n| b.input(*n)).collect();
+        let mut acc = ins[0];
+        for &w in &ins[1..] {
+            acc = b.xor(acc, w);
+        }
+        b.output("f", acc);
+        b.build()
+    }
+
+    #[test]
+    fn mode_names_parse() {
+        assert_eq!(VerifyMode::from_name("auto"), Some(VerifyMode::Auto));
+        assert_eq!(VerifyMode::from_name("SAT"), Some(VerifyMode::Sat));
+        assert_eq!(VerifyMode::from_name("sampled"), Some(VerifyMode::Sampled));
+        assert_eq!(VerifyMode::from_name("off"), Some(VerifyMode::Off));
+        assert_eq!(VerifyMode::from_name("nope"), None);
+        assert_eq!(VerifyMode::Sat.to_string(), "sat");
+    }
+
+    #[test]
+    fn equal_circuits_check_out_in_every_mode() {
+        let a = xor_chain("a", &["x", "y", "z"]);
+        let b = xor_chain("b", &["x", "y", "z"]);
+        assert_eq!(
+            check_netlists(&a, &b, VerifyMode::Auto, 1).unwrap(),
+            VerifyOutcome::Exhaustive
+        );
+        assert!(matches!(
+            check_netlists(&a, &b, VerifyMode::Sat, 1).unwrap(),
+            VerifyOutcome::Proved { .. }
+        ));
+        assert_eq!(
+            check_netlists(&a, &b, VerifyMode::Off, 1).unwrap(),
+            VerifyOutcome::Skipped
+        );
+    }
+
+    #[test]
+    fn inputs_align_by_name() {
+        let a = xor_chain("a", &["x", "y", "z"]);
+        // Same function of the same named inputs, declared in another
+        // order: must still be equivalent.
+        let mut b = NetlistBuilder::new("b");
+        let z = b.input("z");
+        let x = b.input("x");
+        let y = b.input("y");
+        let p = b.xor(x, y);
+        let q = b.xor(p, z);
+        b.output("f", q);
+        let b = b.build();
+        assert_eq!(
+            check_netlists(&a, &b, VerifyMode::Auto, 1).unwrap(),
+            VerifyOutcome::Exhaustive
+        );
+        assert!(check_netlists(&a, &b, VerifyMode::Sat, 1)
+            .unwrap()
+            .is_proof());
+    }
+
+    #[test]
+    fn counterexample_is_concrete() {
+        let a = xor_chain("a", &["x", "y", "z"]);
+        let mut b = NetlistBuilder::new("b");
+        let (x, y, z) = (b.input("x"), b.input("y"), b.input("z"));
+        let p = b.xor(x, y);
+        let q = b.or(p, z); // differs from XOR when p & z
+        b.output("f", q);
+        let bad = b.build();
+        for mode in [VerifyMode::Auto, VerifyMode::Sat] {
+            match check_netlists(&a, &bad, mode, 1).unwrap() {
+                VerifyOutcome::Failed { counterexample, .. } => {
+                    let m = counterexample
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (i, &v)| acc | ((v as u64) << i));
+                    assert_ne!(a.evaluate(m), bad.evaluate(m), "{mode}: {counterexample:?}");
+                }
+                other => panic!("{mode}: expected failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wide_circuits_get_proved_not_sampled() {
+        let names: Vec<String> = (0..20).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let a = xor_chain("a", &refs);
+        let b = xor_chain("b", &refs);
+        assert!(matches!(
+            check_netlists(&a, &b, VerifyMode::Auto, 1).unwrap(),
+            VerifyOutcome::Proved { .. }
+        ));
+        assert!(matches!(
+            check_netlists(&a, &b, VerifyMode::Sampled, 1).unwrap(),
+            VerifyOutcome::Sampled { .. }
+        ));
+    }
+
+    #[test]
+    fn output_count_mismatch_is_a_clean_failure() {
+        let a = xor_chain("a", &["x", "y"]);
+        let mut b = NetlistBuilder::new("b");
+        let (x, y) = (b.input("x"), b.input("y"));
+        let o = b.xor(x, y);
+        b.output("f", o);
+        b.output("g", x);
+        let b = b.build();
+        match check_netlists(&a, &b, VerifyMode::Auto, 1).unwrap() {
+            VerifyOutcome::Failed {
+                what,
+                counterexample,
+            } => {
+                assert!(what.contains("output counts"), "{what}");
+                assert!(counterexample.is_empty());
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn input_count_mismatch_is_an_error() {
+        let a = xor_chain("a", &["x", "y"]);
+        let b = xor_chain("b", &["x", "y", "z"]);
+        assert!(matches!(
+            check_netlists(&a, &b, VerifyMode::Auto, 1),
+            Err(FlowError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn assignment_formatting() {
+        let names: Vec<String> = vec!["a".into(), "b".into()];
+        assert_eq!(format_assignment(&names, &[true, false]), "a=1 b=0");
+        assert!(format_assignment(&names, &[]).contains("structural"));
+    }
+}

@@ -11,6 +11,8 @@
 //!   original benchmark suites (ISCAS89 / LGsynth91) are distributed in,
 //! - [`verilog`]: a structural gate-level Verilog writer and reader,
 //! - [`sim`]: bit-parallel simulation and equivalence checking,
+//! - [`random`]: seeded random netlist generation for differential
+//!   testing,
 //! - [`bench_suite`]: the embedded benchmark circuits used by the
 //!   evaluation harness, and
 //! - [`paper_data`]: the numbers reported in the paper's Tables II and III
@@ -42,6 +44,7 @@ pub mod expr;
 pub mod netlist;
 pub mod paper_data;
 pub mod pla;
+pub mod random;
 pub mod rng;
 pub mod sim;
 pub mod synth;

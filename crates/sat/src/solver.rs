@@ -1,0 +1,741 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The solver is deliberately conventional — the point of this crate is a
+//! *trustworthy* equivalence oracle, not a competition entry — and
+//! implements the standard MiniSat-family architecture:
+//!
+//! - two watched literals per clause for unit propagation,
+//! - first-UIP conflict analysis with clause learning,
+//! - VSIDS-style variable activities with an indexed max-heap,
+//! - phase saving, and
+//! - Luby-sequence restarts.
+//!
+//! It is `std`-only (the workspace builds offline) and fully
+//! deterministic: the same clause set always produces the same model,
+//! the same conflict count, and the same decision count, which is what
+//! lets the parallel differential sweeps assert bit-identical results.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_sat::{Lit, SatResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = Lit::positive(s.new_var());
+//! let b = Lit::positive(s.new_var());
+//! s.add_clause(&[a, b]);
+//! s.add_clause(&[!a, b]);
+//! s.add_clause(&[!b, a]);
+//! assert_eq!(s.solve(), SatResult::Sat);
+//! assert!(s.value(a) && s.value(b));
+//! ```
+
+use crate::lit::{Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment exists; read it with [`Solver::value`].
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+}
+
+/// Search statistics of a solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered (equals learned-clause derivations).
+    pub conflicts: u64,
+    /// Branching decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently in the database.
+    pub learned: u64,
+}
+
+/// Sentinel for "no reason clause" (decisions and root-level units).
+const NO_REASON: u32 = u32::MAX;
+
+/// Restart interval unit: the Luby sequence is scaled by this many
+/// conflicts.
+const RESTART_BASE: u64 = 128;
+
+/// Multiplicative VSIDS decay applied after every conflict.
+const ACTIVITY_DECAY: f64 = 0.95;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// The CDCL solver: a growable clause database plus search state.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// Watch lists indexed by [`Lit::code`]: clauses currently watching
+    /// the literal.
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: `0` unassigned, `1` true, `-1` false.
+    assign: Vec<i8>,
+    /// Saved phase per variable (last value it held).
+    phase: Vec<bool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause index that implied each variable ([`NO_REASON`] otherwise).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    /// Scratch marker per variable for conflict analysis.
+    seen: Vec<bool>,
+    /// Set when an empty clause was derived at the root level.
+    root_unsat: bool,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(0);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses in the database (including learned ones).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Truth value of `lit` under the current (or final) assignment.
+    ///
+    /// Unassigned variables read as `false`; after [`SatResult::Sat`]
+    /// every variable is assigned.
+    pub fn value(&self, lit: Lit) -> bool {
+        let v = self.assign[lit.var().index()];
+        (v > 0) ^ lit.is_negated()
+    }
+
+    fn lit_state(&self, lit: Lit) -> i8 {
+        lit_state_in(&self.assign, lit)
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Adds a clause.
+    ///
+    /// Callable before or between `solve` calls: the solver first
+    /// backtracks to the root level (a `Sat` answer leaves the model
+    /// assigned, and simplifying the new clause against that model
+    /// instead of the root would corrupt it — e.g. a blocking clause
+    /// over model literals would collapse to the empty clause).
+    /// Literals false at the root are removed, satisfied and
+    /// tautological clauses are dropped, and an empty clause marks the
+    /// instance unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.backtrack(0);
+        if self.root_unsat {
+            return;
+        }
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!(l.var().index() < self.num_vars(), "unknown variable");
+            match self.lit_state(l) {
+                1 => return, // satisfied at root
+                -1 => continue,
+                _ => {
+                    if c.contains(&!l) {
+                        return; // tautology
+                    }
+                    if !c.contains(&l) {
+                        c.push(l);
+                    }
+                }
+            }
+        }
+        match c.len() {
+            0 => self.root_unsat = true,
+            1 => {
+                self.enqueue(c[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.root_unsat = true;
+                }
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[c[0].code()].push(ci);
+                self.watches[c[1].code()].push(ci);
+                self.clauses.push(Clause { lits: c });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: u32) {
+        let vi = lit.var().index();
+        debug_assert_eq!(self.assign[vi], 0, "enqueue of assigned var");
+        self.assign[vi] = if lit.is_negated() { -1 } else { 1 };
+        self.phase[vi] = !lit.is_negated();
+        self.level[vi] = self.decision_level() as u32;
+        self.reason[vi] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Propagates all pending assignments; returns a conflicting clause
+    /// index on conflict.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Take the watch list; surviving entries are written back.
+            let mut list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut j = 0;
+            let mut conflict = None;
+            'clauses: while i < list.len() {
+                let ci = list[i];
+                i += 1;
+                let clause = &mut self.clauses[ci as usize];
+                // Normalize: the other watched literal sits at index 0.
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+                let first = clause.lits[0];
+                debug_assert_eq!(clause.lits[1], false_lit);
+                if lit_state_in(&self.assign, first) == 1 {
+                    list[j] = ci;
+                    j += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                for k in 2..clause.lits.len() {
+                    if lit_state_in(&self.assign, clause.lits[k]) != -1 {
+                        clause.lits.swap(1, k);
+                        let moved = clause.lits[1];
+                        self.watches[moved.code()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: the clause is unit or conflicting.
+                list[j] = ci;
+                j += 1;
+                if self.lit_state(first) == -1 {
+                    // Conflict: keep the remaining entries and stop.
+                    while i < list.len() {
+                        list[j] = list[i];
+                        i += 1;
+                        j += 1;
+                    }
+                    conflict = Some(ci);
+                } else {
+                    self.enqueue(first, ci);
+                }
+            }
+            list.truncate(j);
+            self.watches[false_lit.code()] = list;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        let a = &mut self.activity[v.index()];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bump(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the level to backtrack to.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var(0))]; // placeholder
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let mut to_clear: Vec<Var> = Vec::new();
+        let current = self.decision_level() as u32;
+        loop {
+            let clause = &self.clauses[conflict as usize];
+            // For a reason clause, lits[0] is the implied literal `p`.
+            let start = usize::from(p.is_some());
+            for k in start..clause.lits.len() {
+                let q = clause.lits[k];
+                let vi = q.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    to_clear.push(q.var());
+                    if self.level[vi] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            p = Some(pl);
+            if counter == 0 {
+                break;
+            }
+            conflict = self.reason[pl.var().index()];
+            debug_assert_ne!(conflict, NO_REASON);
+        }
+        learnt[0] = !p.expect("analyze reached the first UIP");
+        // Bump every variable involved in the conflict (the UIP included —
+        // all of them were marked, so all of them are in `to_clear`).
+        for &v in &to_clear {
+            self.bump(v);
+        }
+        let backtrack = if learnt.len() == 1 {
+            0
+        } else {
+            // Move the deepest remaining literal to the second watch slot.
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+        (learnt, backtrack)
+    }
+
+    fn backtrack(&mut self, target: usize) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let keep = self.trail_lim[target];
+        for i in (keep..self.trail.len()).rev() {
+            let vi = self.trail[i].var().index();
+            self.assign[vi] = 0;
+            self.reason[vi] = NO_REASON;
+            self.heap.insert(self.trail[i].var(), &self.activity);
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(target);
+        self.prop_head = keep;
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            self.enqueue(learnt[0], NO_REASON);
+        } else {
+            let ci = self.clauses.len() as u32;
+            self.watches[learnt[0].code()].push(ci);
+            self.watches[learnt[1].code()].push(ci);
+            let asserting = learnt[0];
+            self.clauses.push(Clause { lits: learnt });
+            self.stats.learned += 1;
+            self.enqueue(asserting, ci);
+        }
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v.index()] == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Solves the current clause set.
+    ///
+    /// On [`SatResult::Sat`] the model is readable through
+    /// [`Solver::value`] until the next `add_clause`/`solve` call; on
+    /// [`SatResult::Unsat`] the instance stays unsatisfiable forever
+    /// (clause addition is monotone).
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_limited(None)
+            .expect("unlimited solve always answers")
+    }
+
+    /// Like [`Solver::solve`] with a conflict budget: returns `None`
+    /// when `max_conflicts` conflicts were spent without an answer (the
+    /// search backtracks to the root and can be resumed by calling
+    /// again — learned clauses are kept, so progress is not lost).
+    pub fn solve_limited(&mut self, max_conflicts: Option<u64>) -> Option<SatResult> {
+        if self.root_unsat {
+            return Some(SatResult::Unsat);
+        }
+        if self.propagate().is_some() {
+            self.root_unsat = true;
+            return Some(SatResult::Unsat);
+        }
+        let mut budget = max_conflicts;
+        let mut restart_idx: u64 = 1;
+        let mut conflicts_left = RESTART_BASE * luby(restart_idx);
+        loop {
+            if let Some(conflict) = self.propagate() {
+                if self.decision_level() == 0 {
+                    self.stats.conflicts += 1;
+                    self.root_unsat = true;
+                    return Some(SatResult::Unsat);
+                }
+                // The budget is checked before counting/analyzing, so an
+                // abandoned conflict is not double-counted on resume and
+                // budgeted runs report the same stats as unbudgeted ones.
+                if let Some(b) = &mut budget {
+                    if *b == 0 {
+                        self.backtrack(0);
+                        return None;
+                    }
+                    *b -= 1;
+                }
+                self.stats.conflicts += 1;
+                let (learnt, backtrack) = self.analyze(conflict);
+                self.backtrack(backtrack);
+                self.learn(learnt);
+                self.var_inc /= ACTIVITY_DECAY;
+                conflicts_left = conflicts_left.saturating_sub(1);
+                if conflicts_left == 0 {
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    conflicts_left = RESTART_BASE * luby(restart_idx);
+                    self.backtrack(0);
+                }
+            } else if self.trail.len() == self.num_vars() {
+                return Some(SatResult::Sat);
+            } else {
+                let v = self.pick_branch().expect("unassigned variable exists");
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.enqueue(Lit::new(v, !self.phase[v.index()]), NO_REASON);
+            }
+        }
+    }
+
+    /// Backtracks to the root level, keeping learned clauses.
+    /// ([`Solver::add_clause`] does this itself; call this only to drop
+    /// a [`SatResult::Sat`] model explicitly.)
+    pub fn reset_to_root(&mut self) {
+        self.backtrack(0);
+    }
+}
+
+/// Truth state of `lit` in `assign`: `1` true, `-1` false, `0` unassigned.
+fn lit_state_in(assign: &[i8], lit: Lit) -> i8 {
+    let v = assign[lit.var().index()];
+    if lit.is_negated() {
+        -v
+    } else {
+        v
+    }
+}
+
+/// The `i`-th element (1-based) of the Luby restart sequence
+/// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+fn luby(mut i: u64) -> u64 {
+    loop {
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+/// Indexed binary max-heap over variable activities (the MiniSat order
+/// heap): supports insert, pop-max, and increase-key in `O(log n)`.
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+impl VarHeap {
+    fn contains(&self, v: Var) -> bool {
+        self.pos.get(v.index()).is_some_and(|&p| p != usize::MAX)
+    }
+
+    fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.pos.len() <= v.index() {
+            self.pos.resize(v.index() + 1, usize::MAX);
+        }
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn bump(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v.index()], activity);
+        }
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        self.pos[top.index()] = usize::MAX;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::positive(s.new_var())).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[v[0]]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.value(v[0]));
+
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[v[0]]);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn no_clauses_is_sat() {
+        let mut s = Solver::new();
+        let _ = lits(&mut s, 3);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_harmless() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], !v[0]]);
+        s.add_clause(&[v[1], v[1], v[1]]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.value(v[1]));
+    }
+
+    #[test]
+    fn chain_of_implications_propagates() {
+        // x0 and (x_{i} -> x_{i+1}) for a long chain; force x0 true.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 64);
+        s.add_clause(&[v[0]]);
+        for w in v.windows(2) {
+            s.add_clause(&[!w[0], w[1]]);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        for &l in &v {
+            assert!(s.value(l));
+        }
+        // Adding the negation of the chain's tail makes it unsat.
+        s.reset_to_root();
+        s.add_clause(&[!v[63]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i sits in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                for (&la, &lb) in p[a].iter().zip(&p[b]) {
+                    s.add_clause(&[!la, !lb]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn xor_chain_equivalence_is_unsat() {
+        // Tseitin-by-hand: z1 = a^b, z2 = b^a, assert z1 != z2.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        let (a, b, z1, z2) = (v[0], v[1], v[2], v[3]);
+        for (z, x, y) in [(z1, a, b), (z2, b, a)] {
+            s.add_clause(&[!z, x, y]);
+            s.add_clause(&[!z, !x, !y]);
+            s.add_clause(&[z, !x, y]);
+            s.add_clause(&[z, x, !y]);
+        }
+        s.add_clause(&[z1, z2]);
+        s.add_clause(&[!z1, !z2]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn blocking_clause_after_sat_enumerates_models() {
+        // Classic model enumeration: after a Sat answer, adding the
+        // blocking clause of the model must not corrupt the instance
+        // (add_clause backtracks to root before simplifying).
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        let mut models = 0;
+        while s.solve() == SatResult::Sat {
+            models += 1;
+            assert!(models <= 3, "x|y has exactly 3 models");
+            let blocking: Vec<Lit> = v.iter().map(|&l| if s.value(l) { !l } else { l }).collect();
+            s.add_clause(&blocking);
+        }
+        assert_eq!(models, 3);
+    }
+
+    #[test]
+    fn solve_limited_gives_up_and_resumes() {
+        // php(5,4) needs well over one conflict; a 1-conflict budget
+        // must come back undecided, and resuming must finish the proof.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..5)
+            .map(|_| (0..4).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                for (&la, &lb) in p[a].iter().zip(&p[b]) {
+                    s.add_clause(&[!la, !lb]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(Some(1)), None, "budget of 1 is too small");
+        assert_eq!(s.solve_limited(None), Some(SatResult::Unsat));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 8);
+        for w in v.chunks(2) {
+            s.add_clause(&[w[0], w[1]]);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.stats().decisions > 0);
+        assert!(s.stats().propagations > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Property tests for the CDCL solver: random 3-CNF instances are
+//! cross-checked against a naive DPLL reference on small variable
+//! counts, models are validated directly, and known-UNSAT families
+//! (pigeonhole, miters of equivalent circuits) must be refuted.
+
+use rms_logic::rng::SplitMix64;
+use rms_logic::NetlistBuilder;
+use rms_sat::{check_netlists, Lit, MiterOutcome, SatResult, Solver};
+
+/// A naive DPLL decision procedure with unit propagation — slow but
+/// obviously correct, used as the reference oracle.
+fn dpll(clauses: &[Vec<(usize, bool)>], assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut unit: Option<(usize, bool)> = None;
+        for clause in clauses {
+            let mut satisfied = false;
+            let mut unassigned: Option<(usize, bool)> = None;
+            let mut count = 0;
+            for &(v, neg) in clause {
+                match assign[v] {
+                    Some(val) => {
+                        if val != neg {
+                            satisfied = true;
+                            break;
+                        }
+                    }
+                    None => {
+                        unassigned = Some((v, !neg));
+                        count += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match count {
+                0 => {
+                    // Conflict: undo propagation and fail.
+                    for v in trail {
+                        assign[v] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some((v, val)) => {
+                assign[v] = Some(val);
+                trail.push(v);
+            }
+            None => break,
+        }
+    }
+    // Branch on the first unassigned variable.
+    match assign.iter().position(|a| a.is_none()) {
+        None => true, // no conflict, all assigned
+        Some(v) => {
+            for val in [false, true] {
+                assign[v] = Some(val);
+                if dpll(clauses, assign) {
+                    return true;
+                }
+            }
+            assign[v] = None;
+            for v in trail {
+                assign[v] = None;
+            }
+            false
+        }
+    }
+}
+
+/// Generates a random k-CNF instance as (num_vars, clauses).
+fn random_cnf(
+    rng: &mut SplitMix64,
+    num_vars: usize,
+    num_clauses: usize,
+) -> Vec<Vec<(usize, bool)>> {
+    (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| (rng.next_index(num_vars), rng.next_bool()))
+                .collect()
+        })
+        .collect()
+}
+
+fn solve_cdcl(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> (SatResult, Vec<bool>) {
+    let mut s = Solver::new();
+    let lits: Vec<Lit> = (0..num_vars).map(|_| Lit::positive(s.new_var())).collect();
+    for clause in clauses {
+        let c: Vec<Lit> = clause
+            .iter()
+            .map(|&(v, neg)| if neg { !lits[v] } else { lits[v] })
+            .collect();
+        s.add_clause(&c);
+    }
+    let result = s.solve();
+    let model = lits.iter().map(|&l| s.value(l)).collect();
+    (result, model)
+}
+
+fn model_satisfies(clauses: &[Vec<(usize, bool)>], model: &[bool]) -> bool {
+    clauses
+        .iter()
+        .all(|clause| clause.iter().any(|&(v, neg)| model[v] != neg))
+}
+
+#[test]
+fn random_3cnf_agrees_with_dpll_reference() {
+    let mut rng = SplitMix64::new(0x3CDF);
+    let mut sat_seen = 0;
+    let mut unsat_seen = 0;
+    for round in 0..400 {
+        // Densities around the 3-SAT threshold (~4.27 clauses/var) give a
+        // healthy mix of SAT and UNSAT answers.
+        let n = 3 + rng.next_index(10);
+        let m = n * 3 + rng.next_index(n * 3 + 1);
+        let clauses = random_cnf(&mut rng, n, m);
+        let (got, model) = solve_cdcl(n, &clauses);
+        let mut assign = vec![None; n];
+        let expect = if dpll(&clauses, &mut assign) {
+            SatResult::Sat
+        } else {
+            SatResult::Unsat
+        };
+        assert_eq!(got, expect, "round {round}: n={n} m={m} {clauses:?}");
+        if got == SatResult::Sat {
+            sat_seen += 1;
+            assert!(
+                model_satisfies(&clauses, &model),
+                "round {round}: bogus model {model:?} for {clauses:?}"
+            );
+        } else {
+            unsat_seen += 1;
+        }
+    }
+    assert!(sat_seen > 50, "want a real SAT mix, got {sat_seen}");
+    assert!(unsat_seen > 50, "want a real UNSAT mix, got {unsat_seen}");
+}
+
+#[test]
+fn wider_instances_agree_with_dpll_up_to_20_vars() {
+    let mut rng = SplitMix64::new(0x20CDF);
+    for round in 0..20 {
+        let n = 15 + rng.next_index(6); // 15..=20 variables
+        let m = (n * 43).div_ceil(10); // ~4.3 clauses per variable
+        let clauses = random_cnf(&mut rng, n, m);
+        let (got, model) = solve_cdcl(n, &clauses);
+        let mut assign = vec![None; n];
+        let expect = if dpll(&clauses, &mut assign) {
+            SatResult::Sat
+        } else {
+            SatResult::Unsat
+        };
+        assert_eq!(got, expect, "round {round}: n={n} m={m}");
+        if got == SatResult::Sat {
+            assert!(model_satisfies(&clauses, &model), "round {round}");
+        }
+    }
+}
+
+#[test]
+fn pigeonhole_instances_are_unsat() {
+    for holes in 2..5usize {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| Lit::positive(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for a in 0..pigeons {
+            for b in (a + 1)..pigeons {
+                for (&la, &lb) in p[a].iter().zip(&p[b]) {
+                    s.add_clause(&[!la, !lb]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat, "php({pigeons},{holes})");
+    }
+}
+
+/// Builds a random netlist two ways — once as written and once with every
+/// AND/OR pair rewritten through De Morgan — and requires the miter to be
+/// UNSAT (equivalent). These are exactly the UNSAT instances the
+/// verification tiers depend on.
+#[test]
+fn miters_of_equivalent_random_circuits_are_unsat() {
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9) + 7);
+        let n = 4 + rng.next_index(4);
+        let gates = 10 + rng.next_index(20);
+
+        let build = |demorgan: bool| {
+            let mut b = NetlistBuilder::new("rand");
+            let mut wires: Vec<_> = (0..n).map(|i| b.input(format!("x{i}"))).collect();
+            let mut r = SplitMix64::new(seed); // same structure choices
+            for _ in 0..gates {
+                let a = wires[r.next_index(wires.len())];
+                let c = wires[r.next_index(wires.len())];
+                let a = if r.next_bool() { b.not(a) } else { a };
+                let w = match r.next_index(3) {
+                    0 => {
+                        if demorgan {
+                            let x = b.or(b.not(a), b.not(c));
+                            b.not(x)
+                        } else {
+                            b.and(a, c)
+                        }
+                    }
+                    1 => {
+                        if demorgan {
+                            let x = b.and(b.not(a), b.not(c));
+                            b.not(x)
+                        } else {
+                            b.or(a, c)
+                        }
+                    }
+                    _ => b.xor(a, c),
+                };
+                wires.push(w);
+            }
+            let out = *wires.last().expect("gates > 0");
+            b.output("f", out);
+            b.build()
+        };
+        let plain = build(false);
+        let rewritten = build(true);
+        let outcome = check_netlists(&plain, &rewritten).expect("well-formed miter");
+        assert!(
+            matches!(outcome, MiterOutcome::Equivalent { .. }),
+            "seed {seed}: {outcome:?}"
+        );
+    }
+}

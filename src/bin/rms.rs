@@ -7,6 +7,8 @@
 //! - `rms optimize` — run an optimization algorithm and emit the
 //!   optimized circuit (`--emit blif|pla|verilog|dot`).
 //! - `rms compile` — compile to an RRAM program and print its listing.
+//! - `rms verify` — formally check two circuits for functional
+//!   equivalence (SAT miter above the exhaustive cutoff).
 //! - `rms bench` — regenerate the paper's tables over the embedded
 //!   suites, in parallel across benchmarks by default.
 //!
@@ -15,14 +17,14 @@
 use rms_bench::reports;
 use rms_core::opt::{Algorithm, OptOptions};
 use rms_core::Realization;
-use rms_flow::{FlowError, Frontend, InputFormat, Pipeline};
+use rms_flow::{FlowError, Frontend, InputFormat, Pipeline, VerifyMode, VerifyOutcome};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 rms - RRAM-aware MIG logic synthesis (DATE 2016 reproduction)
 
 USAGE:
-    rms <run|optimize|compile|bench|help> [flags]
+    rms <run|optimize|compile|verify|bench|help> [flags]
 
 INPUT (run / optimize / compile):
     --input FILE          circuit file (.blif, .pla, .v, .expr/.eqn, .tt; sniffed otherwise)
@@ -36,20 +38,31 @@ FLOW:
     --realization R       imp | maj                          (default: maj)
     --effort N            optimization cycles                (default: 40)
     --frontend F          direct | aig | bdd                 (default: direct)
-    --no-verify           skip machine-level verification
+    --verify MODE         auto | sat | sampled | off         (default: auto —
+                          exhaustive <= 14 inputs, SAT proof above; `sampled`
+                          opts out of formal checking)
+    --no-verify           alias for --verify off
     --seed N              sampled-verification RNG seed      (default: fixed)
 
 OUTPUT:
-    --json                machine-readable report (run)
+    --json                machine-readable report (run, verify)
     --emit FMT            blif | pla | verilog | dot         (optimize)
     --output FILE         write emitted circuit to FILE instead of stdout
     --plim                compile the serial PLiM stream instead of the array (compile)
     --listing             print the program listing (compile)
 
+VERIFY:
+    rms verify A B        prove A and B functionally equivalent; each side is
+                          a circuit file or `bench:NAME`. Inputs are matched
+                          by name when both sides use the same names,
+                          positionally otherwise. Prints a counterexample
+                          assignment and exits non-zero on inequivalence.
+
 BENCH:
     --table2 --table3 --summary --runtime --figures --algs
                           sections (default: summary); --algs sweeps
-                          Algs. 1-4 vs the cut engine
+                          Algs. 1-4 vs the cut engine and verifies every
+                          result (exhaustive or SAT-proved)
     --list                list embedded benchmark names
     --sequential          disable the thread pool
     --jobs N              worker threads (default: all cores; RMS_THREADS also works)
@@ -60,6 +73,8 @@ EXAMPLES:
     rms optimize --bench misex1 --opt area --emit blif --output misex1_opt.blif
     rms optimize --input design.v --opt cut-rram --emit verilog
     rms compile --expr \"f = a & b | c\" --plim --listing
+    rms verify bench:t481_d t481_optimized.blif
+    rms verify a.blif b.v --verify sat
     rms bench --table2 --algs --effort 40
 ";
 
@@ -77,6 +92,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "optimize" => cmd_optimize(rest),
         "compile" => cmd_compile(rest),
+        "verify" => cmd_verify(rest),
         "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -103,7 +119,7 @@ struct FlowArgs {
     realization: Realization,
     effort: usize,
     frontend: Frontend,
-    verify: bool,
+    verify: VerifyMode,
     seed: Option<u64>,
     json: bool,
     emit: Option<String>,
@@ -123,7 +139,7 @@ impl FlowArgs {
             realization: Realization::Maj,
             effort: OptOptions::default().effort,
             frontend: Frontend::Direct,
-            verify: true,
+            verify: VerifyMode::Auto,
             seed: None,
             json: false,
             emit: None,
@@ -180,7 +196,12 @@ impl FlowArgs {
                     a.frontend =
                         Frontend::from_name(&v).ok_or_else(|| format!("unknown frontend {v:?}"))?;
                 }
-                "--no-verify" => a.verify = false,
+                "--no-verify" => a.verify = VerifyMode::Off,
+                "--verify" => {
+                    let v = value("--verify")?;
+                    a.verify = VerifyMode::from_name(&v)
+                        .ok_or_else(|| format!("unknown verify mode {v:?}"))?;
+                }
                 "--seed" => {
                     let v = value("--seed")?;
                     a.seed = Some(
@@ -229,7 +250,7 @@ impl FlowArgs {
             .realization(self.realization)
             .effort(self.effort)
             .frontend(self.frontend)
-            .verify(self.verify);
+            .verify_mode(self.verify);
         if let Some(seed) = self.seed {
             pipeline = pipeline.seed(seed);
         }
@@ -310,6 +331,110 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         print!("{}", program.listing());
     }
     Ok(())
+}
+
+/// Loads one side of an equivalence check: a circuit file path or
+/// `bench:NAME` for an embedded benchmark.
+fn load_side(spec: &str) -> Result<rms_logic::Netlist, String> {
+    if let Some(name) = spec.strip_prefix("bench:") {
+        return rms_flow::input::load_bench(name).map_err(err_str);
+    }
+    rms_flow::input::load_path(std::path::Path::new(spec)).map_err(err_str)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let mut sides: Vec<&String> = Vec::new();
+    let mut mode = VerifyMode::Auto;
+    let mut seed = rms_flow::DEFAULT_VERIFY_SEED;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--verify" | "--mode" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{flag} requires a value"))?;
+                mode =
+                    VerifyMode::from_name(v).ok_or_else(|| format!("unknown verify mode {v:?}"))?;
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--seed requires a value".to_string())?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed expects a u64, got {v:?}"))?;
+            }
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}; try `rms help`"))
+            }
+            _ => sides.push(flag),
+        }
+    }
+    let [a_spec, b_spec] = sides.as_slice() else {
+        return Err("verify needs exactly two circuits (file path or bench:NAME)".into());
+    };
+    if mode == VerifyMode::Off {
+        return Err("--verify off makes no sense for `rms verify`".into());
+    }
+    let a = load_side(a_spec)?;
+    let b = load_side(b_spec)?;
+    let t0 = std::time::Instant::now();
+    let outcome = rms_flow::check_netlists(&a, &b, mode, seed).map_err(err_str)?;
+    let elapsed = t0.elapsed();
+    if json {
+        let (conflicts, decisions) = match &outcome {
+            VerifyOutcome::Proved {
+                conflicts,
+                decisions,
+            } => (*conflicts, *decisions),
+            _ => (0, 0),
+        };
+        let esc = rms_flow::escape_json;
+        let counterexample = match &outcome {
+            VerifyOutcome::Failed { counterexample, .. } => format!(
+                "\"{}\"",
+                esc(&rms_flow::format_assignment(
+                    a.input_names(),
+                    counterexample
+                ))
+            ),
+            _ => "null".into(),
+        };
+        println!(
+            "{{\"a\":\"{}\",\"b\":\"{}\",\"inputs\":{},\"outputs\":{},\"equivalent\":{},\"proof\":{},\"result\":\"{}\",\"counterexample\":{counterexample},\"sat_conflicts\":{conflicts},\"sat_decisions\":{decisions},\"time_ms\":{:.3}}}",
+            esc(a.name()),
+            esc(b.name()),
+            a.num_inputs(),
+            a.num_outputs(),
+            outcome.passed(),
+            outcome.is_proof(),
+            esc(&outcome.label()),
+            elapsed.as_secs_f64() * 1e3
+        );
+    } else {
+        println!(
+            "verify: {:?} vs {:?}: {} inputs, {} outputs",
+            a.name(),
+            b.name(),
+            a.num_inputs(),
+            a.num_outputs()
+        );
+        println!("result: {} in {elapsed:.2?}", outcome.label());
+    }
+    match outcome {
+        VerifyOutcome::Failed {
+            what,
+            counterexample,
+        } => {
+            let assignment = rms_flow::format_assignment(a.input_names(), &counterexample);
+            Err(format!(
+                "NOT equivalent: {what}; counterexample: {assignment}"
+            ))
+        }
+        _ => Ok(()),
+    }
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {

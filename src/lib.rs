@@ -14,7 +14,8 @@
 //! | [`rram`]  | `rms-rram`  | RRAM device model, micro-op ISA, level-parallel and PLiM compilers, machine |
 //! | [`aig`]   | `rms-aig`   | and-inverter graphs and the node-serial baseline of Table III |
 //! | [`bdd`]   | `rms-bdd`   | ROBDDs and the mux-per-node baseline of Table III |
-//! | [`flow`]  | `rms-flow`  | the end-to-end pipeline, input loading, reports, thread pool |
+//! | [`sat`]   | `rms-sat`   | CDCL SAT solver, Tseitin encoder, equivalence miters |
+//! | [`flow`]  | `rms-flow`  | the end-to-end pipeline, tiered verification, reports, thread pool |
 //!
 //! The `rms` binary in this package drives [`flow::Pipeline`] from the
 //! command line; the reproduction harness lives in the `rms-bench` crate.
@@ -44,3 +45,4 @@ pub use rms_cut as cut;
 pub use rms_flow as flow;
 pub use rms_logic as logic;
 pub use rms_rram as rram;
+pub use rms_sat as sat;

@@ -2,10 +2,21 @@
 //! benchmark, the netlist, the MIG (before and after every optimization
 //! algorithm), the compiled RRAM programs, the BDD, and the AIG must all
 //! compute the same function.
+//!
+//! The second half is the **differential SAT harness**: seeded random
+//! netlists drive all five optimization algorithms (Algs. 1–4 + cut
+//! rewriting) through the pipeline, and every result — plus the compiled
+//! array and PLiM programs — is *proved* equivalent by the `rms-sat`
+//! miter engine, turning the optimizer stack into its own oracle. The
+//! sweep runs sequentially and on a thread pool and must be
+//! bit-identical (same gate counts, same proof statistics).
 
 use rram_mig::aig::Aig;
 use rram_mig::bdd::build as bdd_build;
+use rram_mig::flow::par::par_map_threads;
+use rram_mig::flow::{check_netlists, Pipeline, VerifyMode, VerifyOutcome};
 use rram_mig::logic::bench_suite;
+use rram_mig::logic::random::random_netlist;
 use rram_mig::logic::sim::{check_equivalence, random_patterns};
 use rram_mig::mig::cost::Realization;
 use rram_mig::mig::opt::{Algorithm, OptOptions};
@@ -122,6 +133,185 @@ fn baseline_rram_programs_compute_the_right_functions() {
             Machine::truth_tables(&aig_circ.program).expect("valid"),
             reference,
             "{name}: AIG baseline program"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential SAT harness
+// ---------------------------------------------------------------------------
+
+/// The five optimization algorithms of the differential sweep: the
+/// paper's Algs. 1–4 plus the cut-rewriting engine.
+const FIVE_ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Area,
+    Algorithm::Depth,
+    Algorithm::RramCosts,
+    Algorithm::Steps,
+    Algorithm::Cut,
+];
+
+/// Everything one differential seed produces; compared across worker
+/// counts, so it must be fully deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DiffRow {
+    seed: u64,
+    gates: Vec<u64>,
+    /// (conflicts, decisions) of the SAT proof `algorithm result ≡
+    /// source netlist`, per algorithm.
+    proofs: Vec<(u64, u64)>,
+    /// (conflicts, decisions) of the pipeline's own SAT verification of
+    /// the compiled array + PLiM programs (one algorithm per seed).
+    program_proof: (u64, u64),
+}
+
+/// Shapes a seed into a circuit spec: 4–8 inputs, 1–3 outputs, 10–30
+/// gates over all gate kinds.
+fn diff_netlist(seed: u64) -> rram_mig::logic::Netlist {
+    let inputs = 4 + (seed % 5) as usize;
+    let outputs = 1 + (seed % 3) as usize;
+    let gates = 10 + (seed % 21) as usize;
+    random_netlist("diff", seed, inputs, outputs, gates)
+}
+
+fn diff_row(seed: u64) -> DiffRow {
+    let nl = diff_netlist(seed);
+    let mut gates = Vec::with_capacity(FIVE_ALGORITHMS.len());
+    let mut proofs = Vec::with_capacity(FIVE_ALGORITHMS.len());
+    let mut optimized = Vec::with_capacity(FIVE_ALGORITHMS.len());
+    for alg in FIVE_ALGORITHMS {
+        let out = Pipeline::new(nl.clone())
+            .algorithm(alg)
+            .effort(4)
+            .verify(false)
+            .run()
+            .unwrap_or_else(|e| panic!("seed {seed}, {alg}: {e}"));
+        gates.push(out.mig.num_gates() as u64);
+        let opt_nl = out.mig.to_netlist();
+        // Force the SAT tier even below the exhaustive cutoff: this
+        // harness is the solver's workout.
+        match check_netlists(&nl, &opt_nl, VerifyMode::Sat, seed).unwrap() {
+            VerifyOutcome::Proved {
+                conflicts,
+                decisions,
+            } => proofs.push((conflicts, decisions)),
+            other => panic!("seed {seed}, {alg}: expected proof, got {other:?}"),
+        }
+        optimized.push(opt_nl);
+    }
+    // Every pair of algorithm results must also miter to UNSAT (implied
+    // by the proofs above, but the pairwise miters exercise different
+    // sharing in the encoder).
+    for i in 0..optimized.len() {
+        for j in (i + 1)..optimized.len() {
+            let outcome = rram_mig::sat::check_netlists(&optimized[i], &optimized[j]).unwrap();
+            assert!(
+                outcome.is_equivalent(),
+                "seed {seed}: {} vs {}: {outcome:?}",
+                FIVE_ALGORITHMS[i],
+                FIVE_ALGORITHMS[j]
+            );
+        }
+    }
+    // One full pipeline run per seed with SAT-proved program verification
+    // (netlist vs array and netlist vs PLiM miters).
+    let out = Pipeline::new(nl)
+        .algorithm(Algorithm::RramCosts)
+        .effort(4)
+        .verify_mode(VerifyMode::Sat)
+        .run()
+        .unwrap_or_else(|e| panic!("seed {seed}, program proof: {e}"));
+    let program_proof = match out.report.verify {
+        VerifyOutcome::Proved {
+            conflicts,
+            decisions,
+        } => (conflicts, decisions),
+        ref other => panic!("seed {seed}: expected program proof, got {other:?}"),
+    };
+    DiffRow {
+        seed,
+        gates,
+        proofs,
+        program_proof,
+    }
+}
+
+#[test]
+fn differential_five_algorithms_sat_proved_on_50_random_netlists() {
+    let seeds: Vec<u64> = (0..50).collect();
+    // Sequential reference, then the thread pool — the sweep must be
+    // bit-identical under `--jobs` parallelism.
+    let sequential = par_map_threads(&seeds, 1, |&seed| diff_row(seed));
+    let parallel = par_map_threads(&seeds, 4, |&seed| diff_row(seed));
+    assert_eq!(sequential, parallel, "parallel sweep must be bit-identical");
+    for row in &sequential {
+        assert_eq!(row.gates.len(), 5);
+        assert_eq!(row.proofs.len(), 5);
+    }
+    // The sweep must include real solver work, not just folded miters.
+    let total_decisions: u64 = sequential
+        .iter()
+        .flat_map(|r| r.proofs.iter().map(|&(_, d)| d))
+        .sum();
+    assert!(total_decisions > 0, "miters should require search");
+}
+
+#[test]
+fn roundtrip_blif_and_verilog_sat_proved() {
+    use rram_mig::logic::{blif, verilog};
+    for seed in 0..12u64 {
+        let nl = diff_netlist(seed.wrapping_mul(31).wrapping_add(5));
+        let blif_back = blif::parse(&blif::write(&nl)).expect("BLIF round trip parses");
+        assert!(
+            check_netlists(&nl, &blif_back, VerifyMode::Sat, seed)
+                .unwrap()
+                .is_proof(),
+            "seed {seed}: BLIF round trip must be SAT-proved"
+        );
+        let v_back = verilog::parse(&verilog::write(&nl)).expect("Verilog round trip parses");
+        assert!(
+            check_netlists(&nl, &v_back, VerifyMode::Sat, seed)
+                .unwrap()
+                .is_proof(),
+            "seed {seed}: Verilog round trip must be SAT-proved"
+        );
+    }
+}
+
+#[test]
+fn above_cutoff_benchmarks_are_proved_not_sampled() {
+    // Every small-suite benchmark wider than the exhaustive cutoff must
+    // come back *proved* from a default pipeline run.
+    let mut above_cutoff = 0;
+    for info in bench_suite::SMALL_SUITE
+        .iter()
+        .filter(|i| i.inputs > rram_mig::flow::verify::EXHAUSTIVE_VERIFY_VARS)
+    {
+        let out = Pipeline::from_bench(info.name)
+            .unwrap()
+            .effort(6)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+        assert!(
+            matches!(out.report.verify, VerifyOutcome::Proved { .. }),
+            "{}: {:?}",
+            info.name,
+            out.report.verify
+        );
+        above_cutoff += 1;
+    }
+    assert!(above_cutoff >= 1, "t481_d is above the cutoff");
+    // And a spread of wide large-suite circuits for good measure.
+    for name in ["cm150a", "parity", "cordic"] {
+        let out = Pipeline::from_bench(name)
+            .unwrap()
+            .effort(6)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            out.report.verify.is_proof(),
+            "{name}: {:?}",
+            out.report.verify
         );
     }
 }
