@@ -96,6 +96,68 @@ pub fn table2_report(opts: &OptOptions, jobs: usize) -> String {
     out
 }
 
+/// The engine performance profile behind `rms bench --profile`: rebuild
+/// baseline vs the incremental in-place engine over the small suite,
+/// with the differential (bit-identity) and verification columns.
+pub fn profile_report(report: &crate::timing::ProfileReport) -> String {
+    let mut table = TextTable::new(&[
+        "benchmark",
+        "in",
+        "gates",
+        "rebuild",
+        "incremental",
+        "speedup",
+        "cycles",
+        "rewrites",
+        "peak",
+        "identical",
+        "verified",
+    ]);
+    for r in &report.rows {
+        table.row(vec![
+            r.name.to_string(),
+            r.inputs.to_string(),
+            format!("{} -> {}", r.initial_gates, r.gates),
+            format!("{:.2}ms", r.baseline_ms),
+            format!("{:.2}ms", r.incremental_ms),
+            format!("{:.2}x", r.speedup()),
+            r.cycles.to_string(),
+            r.rewrites.to_string(),
+            r.peak_nodes.to_string(),
+            if r.identical { "yes" } else { "NO" }.to_string(),
+            r.verified.clone(),
+        ]);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Cut-engine performance profile (effort {}, min of {} runs; baseline = pre-incremental rebuild engine)",
+        report.effort, report.iters
+    );
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\ntotal: rebuild {:.2}ms | incremental {:.2}ms | speedup {:.2}x",
+        report.total_baseline_ms(),
+        report.total_incremental_ms(),
+        report.speedup()
+    );
+    let _ = writeln!(
+        out,
+        "differential: {}/{} rows bit-identical (incremental vs from-scratch); --jobs sweep consistent: {}",
+        report.rows.iter().filter(|r| r.identical).count(),
+        report.rows.len(),
+        report.jobs_consistent
+    );
+    let _ = writeln!(
+        out,
+        "verified rows: {}/{}",
+        report.rows.iter().filter(|r| r.is_verified()).count(),
+        report.rows.len()
+    );
+    out
+}
+
 /// The algorithm-comparison sweep: Algs. 1–4 vs. the cut-rewriting
 /// engine (node counts and MAJ-realization R/S over the small suite).
 pub fn algs_report(opts: &OptOptions, jobs: usize) -> String {

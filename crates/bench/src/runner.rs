@@ -7,12 +7,13 @@
 //! preserve row order, so they return bit-identical results to the
 //! sequential ones — a property the integration tests assert.
 
+use crate::timing::{time_min, ProfileReport, ProfileRow};
 use rms_aig::Aig;
 use rms_bdd::{build as bdd_build, rram_synth as bdd_rram, BddSynthOptions};
 use rms_core::cost::{Realization, RramCost};
 use rms_core::opt::{Algorithm, OptOptions};
 use rms_core::Mig;
-use rms_flow::{optimize_cost, par};
+use rms_flow::{optimize_cost, par, Engine};
 use rms_logic::bench_suite::{self, BenchmarkInfo};
 use rms_logic::paper_data;
 
@@ -339,6 +340,109 @@ pub fn run_algs(opts: &OptOptions) -> Vec<AlgsMeasured> {
 pub fn run_algs_jobs(opts: &OptOptions, jobs: usize) -> Vec<AlgsMeasured> {
     let infos: Vec<&'static BenchmarkInfo> = bench_suite::SMALL_SUITE.iter().collect();
     par::par_map_threads(&infos, workers(jobs), |info| run_algs_row(info, opts))
+}
+
+/// Structural bit-identity of two graphs: node-for-node and
+/// output-for-output.
+fn bit_identical(a: &Mig, b: &Mig) -> bool {
+    a.len() == b.len() && a.outputs() == b.outputs() && (0..a.len()).all(|i| a.node(i) == b.node(i))
+}
+
+/// Profiles the cut algorithm on one benchmark: rebuild baseline vs the
+/// incremental engine (minimum of `iters` runs each), the
+/// incremental-vs-from-scratch differential check, and verification of
+/// the optimized result against the source netlist.
+///
+/// The below-cutoff reference truth tables are computed **once** per
+/// benchmark and shared across all three engine runs (they are a
+/// property of the source netlist alone); every engine's output is
+/// asserted against the same tables.
+pub fn run_profile_row(
+    info: &'static BenchmarkInfo,
+    opts: &OptOptions,
+    iters: usize,
+) -> ProfileRow {
+    let nl = bench_suite::build_info(info);
+    let mig = Mig::from_netlist(&nl);
+    // Hoisted once per benchmark, not once per engine run.
+    let reference =
+        (nl.num_inputs() <= rms_flow::verify::EXHAUSTIVE_VERIFY_VARS).then(|| nl.truth_tables());
+    let (baseline, (reb, _)) = time_min(iters, || {
+        rms_cut::optimize_cut_stats_engine(&mig, opts, Engine::Rebuild)
+    });
+    let (incremental, (inc, stats)) = time_min(iters, || {
+        rms_cut::optimize_cut_stats_engine(&mig, opts, Engine::Incremental)
+    });
+    let (scratch, _) = rms_cut::optimize_cut_stats_engine(&mig, opts, Engine::FromScratch);
+    let identical = bit_identical(&inc, &scratch);
+    let verified = match &reference {
+        Some(reference) => {
+            let mut trouble = None;
+            for (what, out) in [
+                ("incremental", &inc),
+                ("rebuild", &reb),
+                ("from-scratch", &scratch),
+            ] {
+                if out.truth_tables() != *reference {
+                    trouble = Some(format!("FAILED {what}"));
+                    break;
+                }
+            }
+            trouble.unwrap_or_else(|| "exhaustive".to_string())
+        }
+        None => match rms_flow::check_netlists(
+            &nl,
+            &inc.to_netlist(),
+            rms_flow::VerifyMode::Auto,
+            rms_flow::DEFAULT_VERIFY_SEED,
+        ) {
+            Ok(rms_flow::VerifyOutcome::Proved { conflicts, .. }) => {
+                format!("SAT proved ({conflicts} conflicts)")
+            }
+            Ok(outcome) if outcome.passed() => outcome.label(),
+            Ok(outcome) => format!("FAILED {}", outcome.label()),
+            Err(e) => format!("ERROR {e}"),
+        },
+    };
+    ProfileRow {
+        name: info.name,
+        inputs: info.inputs as u32,
+        initial_gates: mig.num_gates() as u64,
+        gates: inc.num_gates() as u64,
+        baseline_gates: reb.num_gates() as u64,
+        baseline_ms: baseline.as_secs_f64() * 1e3,
+        incremental_ms: incremental.as_secs_f64() * 1e3,
+        cycles: stats.cycles as u64,
+        passes: stats.passes,
+        rewrites: stats.rewrites,
+        peak_nodes: stats.peak_nodes,
+        identical,
+        verified,
+    }
+}
+
+/// Runs the whole performance profile over the small suite: per-row
+/// engine timings and checks, plus a parallel-sweep consistency check
+/// (the incremental engine must return bit-identical gate counts under
+/// any `--jobs` worker count).
+pub fn run_profile(opts: &OptOptions, iters: usize) -> ProfileReport {
+    let rows: Vec<ProfileRow> = bench_suite::SMALL_SUITE
+        .iter()
+        .map(|info| run_profile_row(info, opts, iters))
+        .collect();
+    let infos: Vec<&'static BenchmarkInfo> = bench_suite::SMALL_SUITE.iter().collect();
+    let par_gates: Vec<u64> = par::par_map_threads(&infos, 3, |info| {
+        let mig = Mig::from_netlist(&bench_suite::build_info(info));
+        let (out, _) = rms_cut::optimize_cut_stats_engine(&mig, opts, Engine::Incremental);
+        out.num_gates() as u64
+    });
+    let jobs_consistent = rows.iter().zip(&par_gates).all(|(r, &g)| r.gates == g);
+    ProfileReport {
+        rows,
+        effort: opts.effort,
+        iters,
+        jobs_consistent,
+    }
 }
 
 /// Sum of a column over rows.

@@ -1,9 +1,28 @@
-//! A minimal stopwatch harness for the `benches/` targets.
+//! A minimal stopwatch harness for the `benches/` targets, plus the
+//! machine-readable performance profile behind `rms bench --profile`.
 //!
 //! The build environment is offline, so the workspace cannot depend on
 //! Criterion; the bench targets instead use this module with
 //! `harness = false`. Results print as `name  min/avg over N iters`.
+//!
+//! # The `BENCH_5.json` profile format
+//!
+//! [`ProfileReport::to_json`] emits one flat document (schema
+//! `rms-bench-profile-v1`) recording, per small-suite benchmark, the
+//! wall time of the cut algorithm on the pre-incremental **rebuild**
+//! engine and on the **incremental** in-place engine (minimum over
+//! `iters` runs), the speedup, the optimizer counters (cycles, passes,
+//! rewrites, peak node count), whether the incremental and from-scratch
+//! engines produced bit-identical graphs, and how the result was
+//! verified against the source netlist (exhaustively below the width
+//! cutoff, by SAT proof above). A `total` object aggregates the suite.
+//! The committed `BENCH_5.json` at the repository root is the recorded
+//! perf baseline this PR was measured at; CI's `perf-smoke` step
+//! regenerates the profile and fails on any verification or
+//! differential regression.
 
+use rms_flow::escape_json;
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -30,6 +49,161 @@ pub fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
 /// Prints a section header so grouped benches read like Criterion groups.
 pub fn group(name: &str) {
     println!("\n== {name} ==");
+}
+
+/// Times `f` and returns the minimum wall-clock duration over `iters`
+/// runs (after one warm-up call), together with the last result.
+pub fn time_min<R>(iters: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    assert!(iters > 0);
+    black_box(f());
+    let mut min = Duration::MAX;
+    let mut last = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = black_box(f());
+        min = min.min(t0.elapsed());
+        last = Some(r);
+    }
+    (min, last.expect("at least one iteration"))
+}
+
+/// One benchmark's measurements in the performance profile.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Primary input count.
+    pub inputs: u32,
+    /// Majority gates of the unoptimized MIG.
+    pub initial_gates: u64,
+    /// Gates after the cut algorithm (incremental engine).
+    pub gates: u64,
+    /// Gates after the cut algorithm on the rebuild baseline.
+    pub baseline_gates: u64,
+    /// Wall time of the rebuild (pre-incremental) engine, milliseconds.
+    pub baseline_ms: f64,
+    /// Wall time of the incremental engine, milliseconds.
+    pub incremental_ms: f64,
+    /// Optimization cycles executed (incremental engine).
+    pub cycles: u64,
+    /// Rewrite passes executed.
+    pub passes: u64,
+    /// Cut rewrites accepted.
+    pub rewrites: u64,
+    /// High-water mark of the node array.
+    pub peak_nodes: u64,
+    /// Whether incremental and from-scratch produced bit-identical graphs.
+    pub identical: bool,
+    /// How the incremental result was verified against the source
+    /// netlist (`exhaustive`, `SAT proved`, or `FAILED …`).
+    pub verified: String,
+}
+
+impl ProfileRow {
+    /// Baseline time divided by incremental time.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ms / self.incremental_ms.max(1e-9)
+    }
+
+    /// Whether the row's verification column is green (independent of
+    /// the incremental/from-scratch differential check).
+    pub fn is_verified(&self) -> bool {
+        !self.verified.starts_with("FAILED") && !self.verified.starts_with("ERROR")
+    }
+
+    /// Whether the row shows no regression: verified and differential
+    /// check both green.
+    pub fn passed(&self) -> bool {
+        self.identical && self.is_verified()
+    }
+}
+
+/// The whole performance profile (see module docs for the format).
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Per-benchmark rows, suite order.
+    pub rows: Vec<ProfileRow>,
+    /// Optimization effort used.
+    pub effort: usize,
+    /// Timing iterations per engine (minimum is recorded).
+    pub iters: usize,
+    /// Whether a parallel (`--jobs`) sweep reproduced the sequential
+    /// gate counts bit-identically.
+    pub jobs_consistent: bool,
+}
+
+impl ProfileReport {
+    /// Total baseline milliseconds.
+    pub fn total_baseline_ms(&self) -> f64 {
+        self.rows.iter().map(|r| r.baseline_ms).sum()
+    }
+
+    /// Total incremental milliseconds.
+    pub fn total_incremental_ms(&self) -> f64 {
+        self.rows.iter().map(|r| r.incremental_ms).sum()
+    }
+
+    /// Suite-level speedup (total baseline over total incremental).
+    pub fn speedup(&self) -> f64 {
+        self.total_baseline_ms() / self.total_incremental_ms().max(1e-9)
+    }
+
+    /// Whether every row passed and the parallel sweep was consistent.
+    pub fn all_passed(&self) -> bool {
+        self.jobs_consistent && self.rows.iter().all(|r| r.passed())
+    }
+
+    /// The machine-readable profile document (`rms-bench-profile-v1`).
+    pub fn to_json(&self) -> String {
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"schema\": \"rms-bench-profile-v1\",");
+        let _ = writeln!(j, "  \"suite\": \"small\",");
+        let _ = writeln!(j, "  \"effort\": {},", self.effort);
+        let _ = writeln!(j, "  \"iters\": {},", self.iters);
+        let _ = writeln!(j, "  \"engine_baseline\": \"rebuild\",");
+        let _ = writeln!(j, "  \"engine\": \"incremental\",");
+        let _ = writeln!(j, "  \"benchmarks\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "    {{\"name\": \"{}\", \"inputs\": {}, \"initial_gates\": {}, \"gates\": {}, \
+                 \"baseline_gates\": {}, \"baseline_ms\": {:.3}, \"incremental_ms\": {:.3}, \
+                 \"speedup\": {:.2}, \"cycles\": {}, \"passes\": {}, \"rewrites\": {}, \
+                 \"peak_nodes\": {}, \"identical\": {}, \"verified\": \"{}\"}}{comma}",
+                escape_json(r.name),
+                r.inputs,
+                r.initial_gates,
+                r.gates,
+                r.baseline_gates,
+                r.baseline_ms,
+                r.incremental_ms,
+                r.speedup(),
+                r.cycles,
+                r.passes,
+                r.rewrites,
+                r.peak_nodes,
+                r.identical,
+                escape_json(&r.verified),
+            );
+        }
+        let _ = writeln!(j, "  ],");
+        let _ = writeln!(
+            j,
+            "  \"total\": {{\"rows\": {}, \"baseline_ms\": {:.3}, \"incremental_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"identical_rows\": {}, \"verified_rows\": {}, \
+             \"jobs_consistent\": {}}}",
+            self.rows.len(),
+            self.total_baseline_ms(),
+            self.total_incremental_ms(),
+            self.speedup(),
+            self.rows.iter().filter(|r| r.identical).count(),
+            self.rows.iter().filter(|r| r.is_verified()).count(),
+            self.jobs_consistent,
+        );
+        j.push_str("}\n");
+        j
+    }
 }
 
 #[cfg(test)]

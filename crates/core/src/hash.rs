@@ -1,0 +1,161 @@
+//! A zero-dependency FxHash-style hasher for the synthesis hot paths.
+//!
+//! The standard library's default `HashMap` hasher is SipHash-1-3 — a
+//! keyed, DoS-resistant function that costs tens of cycles per small key.
+//! Every majority-node construction performs a structural-hash lookup on
+//! a 12-byte key, so the optimizer's inner loops are dominated by hashing
+//! overhead, not collision handling. None of these maps are exposed to
+//! attacker-chosen keys (they hold node triples, 16-bit truth tables, and
+//! Tseitin gate keys), so the DoS resistance buys nothing here.
+//!
+//! [`FxHasher`] is the multiply-xor hash used by rustc (`rustc-hash`),
+//! reimplemented locally because the build environment is offline: each
+//! machine word of input is folded in with one rotate, one xor, and one
+//! multiplication by a constant derived from the golden ratio. It is not
+//! cryptographic and must never be used for untrusted input.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_core::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<[u32; 3], u32> = FxHashMap::default();
+//! m.insert([1, 2, 3], 7);
+//! assert_eq!(m[&[1, 2, 3]], 7);
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 64-bit multiplication constant (the golden ratio, as used by rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc multiply-xor hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// One round of the mixer as a standalone function, for signature-style
+/// fingerprints outside a `HashMap` (cut leaf-set signatures and the
+/// simulation word seeds).
+#[inline]
+pub fn mix64(word: u64) -> u64 {
+    let h = word.wrapping_mul(SEED);
+    h ^ (h >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&37], 37 * 37);
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert!(s.contains(&99));
+        assert!(!s.contains(&100));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        // Unlike SipHash with `RandomState`, the hash must be stable so
+        // parallel sweeps stay bit-identical to sequential ones.
+        let h = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(h(b"majority"), h(b"majority"));
+        assert_ne!(h(b"majority"), h(b"minority"));
+    }
+
+    #[test]
+    fn unaligned_tails_differ() {
+        let h = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_ne!(h(&[1, 2, 3]), h(&[1, 2, 4]));
+        let mut nine = [0u8; 9];
+        nine[8] = 1;
+        assert_ne!(h(&nine), h(&[0; 9]));
+    }
+
+    #[test]
+    fn mix64_spreads_low_bits() {
+        // Consecutive integers must land in different high bits, or the
+        // cut signatures would collide structurally.
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a >> 48, b >> 48);
+        assert_ne!(mix64(0x0000_0001), mix64(0x0001_0000));
+    }
+}

@@ -36,12 +36,15 @@
 //! that drives it.
 
 pub mod cost;
+pub mod fanout;
+pub mod hash;
 pub mod mig;
 pub mod opt;
 pub mod rewrite;
 pub mod signal;
 
 pub use cost::{LevelProfile, MigStats, Realization, RramCost};
-pub use mig::{Mig, MigNode};
+pub use fanout::IncrementalMig;
+pub use mig::{MajBuilder, Mig, MigNode};
 pub use opt::{Algorithm, OptOptions, OptStats};
 pub use signal::MigSignal;

@@ -15,11 +15,50 @@
 //! complement placement, so the data structure must faithfully keep edges
 //! where the algorithms put them.
 
+use crate::hash::FxHashMap;
 use crate::signal::MigSignal;
 use rms_logic::netlist::{GateKind, Netlist, NetlistBuilder, Wire};
 use rms_logic::tt::{TruthTable, MAX_VARS};
-use std::collections::HashMap;
 use std::fmt::Write as _;
+
+/// Sorts majority children and applies the Ω.M collapse rules.
+///
+/// Returns `Err(sig)` when the gate degenerates to an existing signal
+/// (duplicated or complementary children), `Ok(sorted)` otherwise. Both
+/// [`Mig::maj`] and the in-place engine in [`crate::fanout`] normalize
+/// through this single function so their structural invariants cannot
+/// drift apart.
+pub(crate) fn normalize_maj(
+    a: MigSignal,
+    b: MigSignal,
+    c: MigSignal,
+) -> Result<[MigSignal; 3], MigSignal> {
+    let mut kids = [a, b, c];
+    kids.sort();
+    // Ω.M: duplicate or complementary children. Sorting puts equal
+    // signals and complement pairs adjacent.
+    if kids[0] == kids[1] {
+        return Err(kids[0]);
+    }
+    if kids[1] == kids[2] {
+        return Err(kids[1]);
+    }
+    if kids[0] == !kids[1] {
+        return Err(kids[2]);
+    }
+    if kids[1] == !kids[2] {
+        return Err(kids[0]);
+    }
+    Ok(kids)
+}
+
+/// A sink for majority-node construction: anything a database entry can
+/// be instantiated into ([`Mig`] and the in-place engine of
+/// [`crate::fanout`] both implement it).
+pub trait MajBuilder {
+    /// Creates (or re-finds) a majority node over the given signals.
+    fn maj(&mut self, a: MigSignal, b: MigSignal, c: MigSignal) -> MigSignal;
+}
 
 /// A node of the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +92,7 @@ pub struct Mig {
     nodes: Vec<MigNode>,
     levels: Vec<u32>,
     outputs: Vec<(String, MigSignal)>,
-    strash: HashMap<[MigSignal; 3], u32>,
+    strash: FxHashMap<[MigSignal; 3], u32>,
 }
 
 impl Mig {
@@ -70,7 +109,7 @@ impl Mig {
             levels: vec![0; nodes.len()],
             nodes,
             outputs: Vec::new(),
-            strash: HashMap::new(),
+            strash: FxHashMap::default(),
         }
     }
 
@@ -210,22 +249,10 @@ impl Mig {
             a.node() < n && b.node() < n && c.node() < n,
             "child signal out of range"
         );
-        let mut kids = [a, b, c];
-        kids.sort();
-        // Ω.M: duplicate or complementary children. Sorting puts equal
-        // signals and complement pairs adjacent.
-        if kids[0] == kids[1] {
-            return kids[0];
-        }
-        if kids[1] == kids[2] {
-            return kids[1];
-        }
-        if kids[0] == !kids[1] {
-            return kids[2];
-        }
-        if kids[1] == !kids[2] {
-            return kids[0];
-        }
+        let kids = match normalize_maj(a, b, c) {
+            Ok(kids) => kids,
+            Err(sig) => return sig,
+        };
         if let Some(&idx) = self.strash.get(&kids) {
             return MigSignal::new(idx as usize, false);
         }
@@ -279,6 +306,22 @@ impl Mig {
             refs[s.node()] += 1;
         }
         refs
+    }
+
+    /// Fanout lists: for every node, the indices of the majority nodes
+    /// that reference it (outputs are counted in [`Mig::fanout_counts`]
+    /// but carry no node index). Each parent appears at most once per
+    /// child — the constructor collapses duplicate children.
+    pub fn fanout_lists(&self) -> Vec<Vec<u32>> {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let MigNode::Maj(kids) = node {
+                for k in kids {
+                    lists[k.node()].push(i as u32);
+                }
+            }
+        }
+        lists
     }
 
     /// Rebuilds the graph keeping only nodes reachable from the outputs.
@@ -529,6 +572,12 @@ impl Mig {
         }
         s.push_str("}\n");
         s
+    }
+}
+
+impl MajBuilder for Mig {
+    fn maj(&mut self, a: MigSignal, b: MigSignal, c: MigSignal) -> MigSignal {
+        Mig::maj(self, a, b, c)
     }
 }
 

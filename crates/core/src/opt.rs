@@ -83,6 +83,9 @@ pub struct OptStats {
     pub gates_before: u64,
     /// Majority-gate count after optimization.
     pub gates_after: u64,
+    /// High-water mark of the node array during optimization (0 when the
+    /// engine does not track it; the in-place cut engine does).
+    pub peak_nodes: u64,
 }
 
 /// Generic driver: runs `cycle` up to `effort` times, tracking the iterate
@@ -97,8 +100,9 @@ fn drive<S: PartialOrd + Copy>(
     let mut best = current.clone();
     let mut best_score = score(&best);
     let mut cycles = 0;
+    // One fingerprint per cycle, carried over — not two.
+    let mut fp = fingerprint(&current);
     for c in 0..opts.effort {
-        let before = fingerprint(&current);
         current = cycle(&current, c);
         cycles = c + 1;
         let s = score(&current);
@@ -106,9 +110,11 @@ fn drive<S: PartialOrd + Copy>(
             best_score = s;
             best = current.clone();
         }
-        if opts.early_exit && fingerprint(&current) == before {
+        let new_fp = fingerprint(&current);
+        if opts.early_exit && new_fp == fp {
             break;
         }
+        fp = new_fp;
     }
     (best, cycles)
 }
@@ -128,6 +134,7 @@ fn stats_of(
         rewrites,
         gates_before: before.num_gates() as u64,
         gates_after: after.num_gates() as u64,
+        peak_nodes: 0,
     }
 }
 

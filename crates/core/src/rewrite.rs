@@ -104,14 +104,53 @@ fn transform(mig: &Mig, mut hook: impl FnMut(&mut Mig, &NodeCtx) -> MigSignal) -
     out.compact()
 }
 
-/// Removes one occurrence of `x` from the multiset `v`.
-fn remove_one(v: &mut Vec<MigSignal>, x: MigSignal) -> bool {
-    if let Some(p) = v.iter().position(|&s| s == x) {
-        v.remove(p);
-        true
+/// Removes one occurrence of `x` from a 3-child set, returning the two
+/// remaining children in order. Allocation-free (this runs for every
+/// node of every pass).
+pub(crate) fn remove_child(v: [MigSignal; 3], x: MigSignal) -> Option<[MigSignal; 2]> {
+    if v[0] == x {
+        Some([v[1], v[2]])
+    } else if v[1] == x {
+        Some([v[0], v[2]])
+    } else if v[2] == x {
+        Some([v[0], v[1]])
     } else {
-        false
+        None
     }
+}
+
+/// Multiset intersection of two 3-child sets for the Ω.D R→L pattern:
+/// when the sets share at least two children, returns `(x, y, u, v)` —
+/// the shared pair and the leftover child of each set (for a triple
+/// match the third shared child doubles as both leftovers).
+pub(crate) fn shared_pair(
+    ca: [MigSignal; 3],
+    cb: [MigSignal; 3],
+) -> Option<(MigSignal, MigSignal, MigSignal, MigSignal)> {
+    let mut rb = cb;
+    let mut rb_len = 3usize;
+    let mut common = [MigSignal::FALSE; 3];
+    let mut nc = 0usize;
+    let mut ra = [MigSignal::FALSE; 3];
+    let mut na = 0usize;
+    for s in ca {
+        if let Some(p) = rb[..rb_len].iter().position(|&x| x == s) {
+            rb[p] = rb[rb_len - 1];
+            rb_len -= 1;
+            common[nc] = s;
+            nc += 1;
+        } else {
+            ra[na] = s;
+            na += 1;
+        }
+    }
+    if nc < 2 {
+        return None;
+    }
+    let (x, y) = (common[0], common[1]);
+    let u = if nc == 3 { common[2] } else { ra[0] };
+    let v = if nc == 3 { common[2] } else { rb[0] };
+    Some((x, y, u, v))
 }
 
 /// `Ω.M; Ω.D R→L` — the *eliminate* pass of Alg. 1.
@@ -129,22 +168,8 @@ pub fn eliminate(mig: &Mig) -> Mig {
             let (Some(ca), Some(cb)) = (out.children_through(a), out.children_through(b)) else {
                 continue;
             };
-            // Multiset intersection of the two child sets.
-            let mut rb: Vec<MigSignal> = cb.to_vec();
-            let mut common: Vec<MigSignal> = Vec::new();
-            let mut ra: Vec<MigSignal> = Vec::new();
-            for s in ca {
-                if remove_one(&mut rb, s) {
-                    common.push(s);
-                } else {
-                    ra.push(s);
-                }
-            }
-            if common.len() >= 2 {
-                // Shared pair (x, y); leftovers u (from a), v (from b).
-                let (x, y) = (common[0], common[1]);
-                let u = if common.len() == 3 { common[2] } else { ra[0] };
-                let v = if common.len() == 3 { common[2] } else { rb[0] };
+            // Shared pair (x, y); leftovers u (from a), v (from b).
+            if let Some((x, y, u, v)) = shared_pair(ca, cb) {
                 let k = 3 - i - j; // remaining child position
                 let z = ctx.kids[k];
                 let inner = out.maj(u, v, z);
@@ -173,11 +198,9 @@ pub fn reshape(mig: &Mig, deeper: bool) -> Mig {
             }
             let others = [ctx.kids[(g_pos + 1) % 3], ctx.kids[(g_pos + 2) % 3]];
             for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
-                let mut rest = inner.to_vec();
-                if !remove_one(&mut rest, u) {
+                let Some([y, z]) = remove_child(inner, u) else {
                     continue;
-                }
-                let (y, z) = (rest[0], rest[1]);
+                };
                 // Swap x with z when that moves a variable in the requested
                 // direction.
                 let (lx, lz) = (out.signal_level(x), out.signal_level(z));
@@ -199,9 +222,8 @@ pub fn reshape(mig: &Mig, deeper: bool) -> Mig {
             }
             let others = [ctx.kids[(g_pos + 1) % 3], ctx.kids[(g_pos + 2) % 3]];
             for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
-                let mut rest = inner.to_vec();
-                if remove_one(&mut rest, !u) {
-                    let new_inner = out.maj(rest[0], rest[1], x);
+                if let Some([r0, r1]) = remove_child(inner, !u) {
+                    let new_inner = out.maj(r0, r1, x);
                     return out.maj(x, u, new_inner);
                 }
             }
@@ -265,10 +287,9 @@ pub fn push_up(mig: &Mig) -> Mig {
 
             // Ω.A: M(x, u, M(y, u, z)) = M(z, u, M(y, u, x)).
             for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
-                let mut rest = inner.to_vec();
-                if !remove_one(&mut rest, u) {
+                let Some(rest) = remove_child(inner, u) else {
                     continue;
-                }
+                };
                 // Swap x with the deeper leftover.
                 let (y, z) = if lv(out, rest[0]) >= lv(out, rest[1]) {
                     (rest[1], rest[0])
@@ -286,11 +307,9 @@ pub fn push_up(mig: &Mig) -> Mig {
             // Ψ.C: M(x, u, M(y, ū, z)) = M(x, u, M(y, x, z)); profitable
             // when the substitution collapses or re-shares the inner node.
             for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
-                let mut rest = inner.to_vec();
-                if !remove_one(&mut rest, !u) {
+                let Some([y, z]) = remove_child(inner, !u) else {
                     continue;
-                }
-                let (y, z) = (rest[0], rest[1]);
+                };
                 let new_inner = out.maj(y, x, z);
                 let cand = out.maj(x, u, new_inner);
                 if lv(out, cand) < best_lv {
@@ -324,9 +343,8 @@ pub fn relevance(mig: &Mig) -> Mig {
                 if out.signal_level(y) > out.signal_level(x) {
                     continue;
                 }
-                let mut rest = inner.to_vec();
-                if remove_one(&mut rest, x) {
-                    let new_z = out.maj(rest[0], rest[1], !y);
+                if let Some([r0, r1]) = remove_child(inner, x) {
+                    let new_z = out.maj(r0, r1, !y);
                     return out.maj(x, y, new_z);
                 }
             }

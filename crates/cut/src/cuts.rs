@@ -13,6 +13,13 @@
 //! [`MAX_CUTS_PER_NODE`] cuts, preferring small leaf sets — the standard
 //! *priority cuts* bound that keeps enumeration linear in practice.
 //!
+//! The representation is allocation-free on the hot path: a [`Cut`] is a
+//! `Copy` value holding its leaves inline, and a node's cut set is a
+//! fixed-capacity [`CutList`]. The incremental engine
+//! ([`crate::incremental`]) caches `CutList`s per node and recomputes
+//! them only in the transitive fanout of a rewrite; this module's
+//! [`enumerate`] is the from-scratch sweep over a plain [`Mig`].
+//!
 //! # Example
 //!
 //! ```
@@ -29,7 +36,7 @@
 //! ```
 
 use crate::npn::VAR_TT;
-use rms_core::{Mig, MigNode};
+use rms_core::{Mig, MigNode, MigSignal};
 
 /// Maximum number of leaves of an enumerated cut (the database covers
 /// 4-input functions).
@@ -38,23 +45,88 @@ pub const MAX_CUT_INPUTS: usize = 4;
 /// Default bound on the number of cuts kept per node.
 pub const MAX_CUTS_PER_NODE: usize = 8;
 
-/// One cut of a node: sorted leaf node indices plus the node's function
-/// over them.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One cut of a node: sorted leaf node indices (held inline) plus the
+/// node's function over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cut {
-    /// Leaf node indices, sorted ascending. Leaf `j` is truth-table
-    /// variable `j`; the constant node never appears as a leaf.
-    pub leaves: Vec<u32>,
+    /// Leaf node indices, sorted ascending; only the first `len` entries
+    /// are meaningful.
+    leaves: [u32; MAX_CUT_INPUTS],
+    len: u8,
     /// Function of the (uncomplemented) node over the leaves, extended
-    /// to a full 4-variable table (variables `leaves.len()..4` are
-    /// irrelevant).
+    /// to a full 4-variable table (variables `len..4` are irrelevant).
     pub tt: u16,
 }
 
 impl Cut {
+    /// A cut from a sorted leaf slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_CUT_INPUTS`] leaves are given.
+    pub fn new(leaves: &[u32], tt: u16) -> Cut {
+        assert!(leaves.len() <= MAX_CUT_INPUTS, "too many leaves");
+        let mut a = [0u32; MAX_CUT_INPUTS];
+        a[..leaves.len()].copy_from_slice(leaves);
+        Cut {
+            leaves: a,
+            len: leaves.len() as u8,
+            tt,
+        }
+    }
+
+    /// The leaf node indices, sorted ascending.
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+
     /// Whether this is the trivial single-leaf cut `{node}` of `node`.
     pub fn is_trivial(&self, node: usize) -> bool {
-        self.leaves.len() == 1 && self.leaves[0] as usize == node
+        self.len == 1 && self.leaves[0] as usize == node
+    }
+}
+
+/// A node's cut set: at most [`MAX_CUTS_PER_NODE`] cuts, inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutList {
+    cuts: [Cut; MAX_CUTS_PER_NODE],
+    len: u8,
+}
+
+impl Default for CutList {
+    fn default() -> Self {
+        CutList {
+            cuts: [Cut::new(&[], 0); MAX_CUTS_PER_NODE],
+            len: 0,
+        }
+    }
+}
+
+impl CutList {
+    /// The cuts as a slice.
+    pub fn as_slice(&self) -> &[Cut] {
+        &self.cuts[..self.len as usize]
+    }
+
+    /// Iterates over the cuts.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cut> {
+        self.as_slice().iter()
+    }
+
+    /// Number of cuts held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list holds no cuts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, cut: Cut) {
+        debug_assert!((self.len as usize) < MAX_CUTS_PER_NODE);
+        self.cuts[self.len as usize] = cut;
+        self.len += 1;
     }
 }
 
@@ -84,21 +156,86 @@ fn expand(tt: u16, from: &[u32], to: &[u32]) -> u16 {
     r
 }
 
-/// Sorted union of up to three sorted leaf lists; `None` when the union
-/// exceeds [`MAX_CUT_INPUTS`].
-fn merge_leaves(a: &[u32], b: &[u32], c: &[u32]) -> Option<Vec<u32>> {
-    let mut out: Vec<u32> = Vec::with_capacity(MAX_CUT_INPUTS);
+/// Sorted union of up to three sorted leaf slices into an inline array;
+/// `None` when the union exceeds [`MAX_CUT_INPUTS`].
+fn merge_leaves(a: &[u32], b: &[u32], c: &[u32]) -> Option<([u32; MAX_CUT_INPUTS], usize)> {
+    let mut out = [0u32; MAX_CUT_INPUTS];
+    let mut n = 0usize;
     for src in [a, b, c] {
         for &l in src {
-            if let Err(i) = out.binary_search(&l) {
-                if out.len() == MAX_CUT_INPUTS {
-                    return None;
+            match out[..n].binary_search(&l) {
+                Ok(_) => {}
+                Err(i) => {
+                    if n == MAX_CUT_INPUTS {
+                        return None;
+                    }
+                    out.copy_within(i..n, i + 1);
+                    out[i] = l;
+                    n += 1;
                 }
-                out.insert(i, l);
             }
         }
     }
-    Some(out)
+    Some((out, n))
+}
+
+/// The cut set of one majority node, merged from its children's cut
+/// sets. `scratch` is a caller-provided buffer reused across nodes so
+/// the merge allocates nothing in steady state.
+pub(crate) fn compute_maj_cuts(
+    node: usize,
+    kids: [MigSignal; 3],
+    c0: &[Cut],
+    c1: &[Cut],
+    c2: &[Cut],
+    max_cuts: usize,
+    scratch: &mut Vec<Cut>,
+) -> CutList {
+    scratch.clear();
+    for a in c0 {
+        for b in c1 {
+            for c in c2 {
+                let Some((leaves, n)) = merge_leaves(a.leaves(), b.leaves(), c.leaves()) else {
+                    continue;
+                };
+                let leaves = &leaves[..n];
+                if scratch.iter().any(|m| m.leaves() == leaves) {
+                    continue;
+                }
+                let mut tts = [0u16; 3];
+                for (slot, (cut, sig)) in
+                    tts.iter_mut()
+                        .zip([(a, kids[0]), (b, kids[1]), (c, kids[2])])
+                {
+                    let t = expand(cut.tt, cut.leaves(), leaves);
+                    *slot = if sig.is_complemented() { !t } else { t };
+                }
+                let tt = (tts[0] & tts[1]) | (tts[0] & tts[2]) | (tts[1] & tts[2]);
+                scratch.push(Cut::new(leaves, tt));
+            }
+        }
+    }
+    scratch.sort_by_key(|x| (x.len, x.leaves));
+    scratch.truncate(max_cuts.saturating_sub(1).min(MAX_CUTS_PER_NODE - 1));
+    // The trivial cut last: parents can always merge through the node
+    // itself, and the rewriter skips it cheaply.
+    let mut list = CutList::default();
+    for &c in scratch.iter() {
+        list.push(c);
+    }
+    list.push(Cut::new(&[node as u32], VAR_TT[0]));
+    list
+}
+
+/// The cut set of an input or constant node.
+pub(crate) fn leaf_cuts(node: usize, is_const: bool) -> CutList {
+    let mut list = CutList::default();
+    if is_const {
+        list.push(Cut::new(&[], 0));
+    } else {
+        list.push(Cut::new(&[node as u32], VAR_TT[0]));
+    }
+    list
 }
 
 /// Enumerates up to `max_cuts` k-feasible cuts (k = 4) for every node.
@@ -106,57 +243,38 @@ fn merge_leaves(a: &[u32], b: &[u32], c: &[u32]) -> Option<Vec<u32>> {
 /// The result is indexed by node; each node's list is deterministic,
 /// sorted by leaf count (then lexicographically by leaves), and always
 /// ends with the node's trivial cut.
-pub fn enumerate(mig: &Mig, max_cuts: usize) -> Vec<Vec<Cut>> {
-    let mut sets: Vec<Vec<Cut>> = Vec::with_capacity(mig.len());
+///
+/// # Panics
+///
+/// Panics if `max_cuts` exceeds [`MAX_CUTS_PER_NODE`] — cut sets are
+/// stored inline with that capacity.
+pub fn enumerate(mig: &Mig, max_cuts: usize) -> Vec<CutList> {
+    assert!(
+        max_cuts <= MAX_CUTS_PER_NODE,
+        "max_cuts {max_cuts} exceeds the inline capacity {MAX_CUTS_PER_NODE}"
+    );
+    let mut sets: Vec<CutList> = Vec::with_capacity(mig.len());
+    let mut scratch: Vec<Cut> = Vec::new();
     for idx in 0..mig.len() {
         let cuts = match mig.node(idx) {
-            MigNode::Const0 => vec![Cut {
-                leaves: Vec::new(),
-                tt: 0,
-            }],
-            MigNode::Input(_) => vec![Cut {
-                leaves: vec![idx as u32],
-                tt: VAR_TT[0],
-            }],
+            MigNode::Const0 => leaf_cuts(idx, true),
+            MigNode::Input(_) => leaf_cuts(idx, false),
             MigNode::Maj(kids) => {
-                let mut merged: Vec<Cut> = Vec::new();
+                // Split borrows: children always precede the node.
                 let (c0, c1, c2) = (
-                    &sets[kids[0].node()],
-                    &sets[kids[1].node()],
-                    &sets[kids[2].node()],
+                    sets[kids[0].node()],
+                    sets[kids[1].node()],
+                    sets[kids[2].node()],
                 );
-                for a in c0 {
-                    for b in c1 {
-                        for c in c2 {
-                            let Some(leaves) = merge_leaves(&a.leaves, &b.leaves, &c.leaves) else {
-                                continue;
-                            };
-                            if merged.iter().any(|m| m.leaves == leaves) {
-                                continue;
-                            }
-                            let mut tts = [0u16; 3];
-                            for (slot, (cut, sig)) in
-                                tts.iter_mut()
-                                    .zip([(a, kids[0]), (b, kids[1]), (c, kids[2])])
-                            {
-                                let t = expand(cut.tt, &cut.leaves, &leaves);
-                                *slot = if sig.is_complemented() { !t } else { t };
-                            }
-                            let tt = (tts[0] & tts[1]) | (tts[0] & tts[2]) | (tts[1] & tts[2]);
-                            merged.push(Cut { leaves, tt });
-                        }
-                    }
-                }
-                merged
-                    .sort_by(|x, y| (x.leaves.len(), &x.leaves).cmp(&(y.leaves.len(), &y.leaves)));
-                merged.truncate(max_cuts.saturating_sub(1));
-                // The trivial cut last: parents can always merge through
-                // the node itself, and the rewriter skips it cheaply.
-                merged.push(Cut {
-                    leaves: vec![idx as u32],
-                    tt: VAR_TT[0],
-                });
-                merged
+                compute_maj_cuts(
+                    idx,
+                    kids,
+                    c0.as_slice(),
+                    c1.as_slice(),
+                    c2.as_slice(),
+                    max_cuts,
+                    &mut scratch,
+                )
             }
         };
         sets.push(cuts);
@@ -218,15 +336,15 @@ mod tests {
         let sets = enumerate(&mig, MAX_CUTS_PER_NODE);
         assert_eq!(sets.len(), mig.len());
         for (node, cuts) in sets.iter().enumerate() {
-            for cut in cuts {
-                if cut.leaves.is_empty() {
+            for cut in cuts.iter() {
+                if cut.leaves().is_empty() {
                     continue; // constant node
                 }
-                for values in 0..(1u16 << cut.leaves.len()) {
+                for values in 0..(1u16 << cut.leaves().len()) {
                     let mut memo = HashMap::new();
-                    let want = eval_node(&mig, node, &cut.leaves, values, &mut memo);
+                    let want = eval_node(&mig, node, cut.leaves(), values, &mut memo);
                     let got = (cut.tt >> values) & 1 == 1;
-                    assert_eq!(got, want, "node {node} cut {:?} m={values}", cut.leaves);
+                    assert_eq!(got, want, "node {node} cut {:?} m={values}", cut.leaves());
                 }
             }
         }
@@ -240,7 +358,7 @@ mod tests {
             for (node, cuts) in sets.iter().enumerate() {
                 assert!(cuts.len() <= max_cuts.max(1), "node {node}");
                 if mig.maj_children(node).is_some() {
-                    assert!(cuts.last().unwrap().is_trivial(node));
+                    assert!(cuts.as_slice().last().unwrap().is_trivial(node));
                 }
             }
         }
@@ -250,9 +368,9 @@ mod tests {
     fn leaves_are_sorted_and_feasible() {
         let mig = sample_mig();
         for cuts in enumerate(&mig, MAX_CUTS_PER_NODE) {
-            for cut in cuts {
-                assert!(cut.leaves.len() <= MAX_CUT_INPUTS);
-                assert!(cut.leaves.windows(2).all(|w| w[0] < w[1]));
+            for cut in cuts.iter() {
+                assert!(cut.leaves().len() <= MAX_CUT_INPUTS);
+                assert!(cut.leaves().windows(2).all(|w| w[0] < w[1]));
             }
         }
     }
@@ -264,5 +382,15 @@ mod tests {
         let tt = VAR_TT[0] & VAR_TT[1];
         let e = expand(tt, &[7, 9], &[3, 7, 9]);
         assert_eq!(e, VAR_TT[1] & VAR_TT[2]);
+    }
+
+    #[test]
+    fn cut_accessors() {
+        let c = Cut::new(&[3, 7], 0x8888);
+        assert_eq!(c.leaves(), &[3, 7]);
+        assert!(!c.is_trivial(3));
+        let t = Cut::new(&[5], VAR_TT[0]);
+        assert!(t.is_trivial(5));
+        assert!(!t.is_trivial(4));
     }
 }

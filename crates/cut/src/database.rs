@@ -26,8 +26,9 @@
 //! tests re-simulate all 222 entries against their class representatives.
 
 use crate::npn;
+use rms_core::hash::FxHashMap;
 use rms_core::opt::{optimize_area, OptOptions};
-use rms_core::{Mig, MigNode, MigSignal};
+use rms_core::{MajBuilder, Mig, MigNode, MigSignal};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -56,12 +57,13 @@ impl DbEntry {
         &self.mig
     }
 
-    /// Copies the implementation into `out`, substituting `inputs[i]` for
+    /// Copies the implementation into `out` (any [`MajBuilder`]: a plain
+    /// [`Mig`] or the in-place engine), substituting `inputs[i]` for
     /// database input `i`; returns the output signal.
     ///
     /// Structural hashing and the eager majority axiom of `out` apply, so
     /// instantiation may add fewer nodes than [`DbEntry::gates`] (or none).
-    pub fn instantiate(&self, out: &mut Mig, inputs: [MigSignal; 4]) -> MigSignal {
+    pub fn instantiate<B: MajBuilder>(&self, out: &mut B, inputs: [MigSignal; 4]) -> MigSignal {
         let mut map: Vec<MigSignal> = Vec::with_capacity(self.mig.len());
         for idx in 0..self.mig.len() {
             let sig = match self.mig.node(idx) {
@@ -83,7 +85,7 @@ impl DbEntry {
 /// The database: one entry per canonical NPN class.
 #[derive(Debug)]
 pub struct Database {
-    entries: HashMap<u16, DbEntry>,
+    entries: FxHashMap<u16, DbEntry>,
 }
 
 impl Database {
@@ -413,7 +415,8 @@ fn synth_candidate(
 fn build() -> Database {
     let exact = enumerate_exact();
     let opts = OptOptions::with_effort(12);
-    let mut entries = HashMap::with_capacity(npn::NUM_CLASSES);
+    let mut entries = FxHashMap::default();
+    entries.reserve(npn::NUM_CLASSES);
     for &class in npn::classes() {
         let mig = match exact.get(&class) {
             Some(e) => exact_to_mig(class, e),

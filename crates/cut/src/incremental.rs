@@ -1,0 +1,513 @@
+//! The incremental (in-place) cut-rewriting engine.
+//!
+//! The from-scratch driver in [`crate::rewrite`] re-enumerates every cut
+//! of the whole graph and rebuilds the graph into a fresh [`Mig`] on
+//! every rewrite round. This module runs the same NPN-database round on
+//! a persistent [`IncrementalMig`] instead:
+//!
+//! - accepted rewrites **splice** the database structure into the graph
+//!   ([`IncrementalMig::replace`]) — the MFFC of the replaced node is
+//!   garbage-collected through the live reference counts, and levels and
+//!   simulation signatures are repaired only in the transitive fanout,
+//! - enumerated cuts are **cached** per node in a [`CutStore`] and
+//!   invalidated only in the transitive fanout of a rewrite — a node
+//!   whose transitive fanin did not change keeps its cuts across rounds
+//!   *and across the interleaved Ω passes of the whole script*, and
+//! - the node's cached 64-lane simulation signature vetoes any candidate
+//!   whose instantiated structure does not match the node it replaces —
+//!   a constant-time functional spot-check in front of the structural
+//!   argument (and of any later SAT verification).
+//!
+//! The **from-scratch mode** ([`EngineMode::FromScratch`]) runs the
+//! identical decision procedure but drops the entire cut cache at every
+//! round. Cached cuts of a clean node are bit-identical to recomputed
+//! ones (that is exactly the cache invariant), so the two modes produce
+//! bit-identical graphs — the differential harness in
+//! `tests/incremental.rs` asserts this over random netlists, which
+//! pins the invalidation rule down as *the* correctness argument of the
+//! incremental engine.
+
+use crate::cuts::{self, compute_maj_cuts, leaf_cuts, Cut, CutList};
+use crate::database::{database, Database};
+use crate::npn;
+use crate::rewrite::RoundStats;
+use rms_core::fanout::{eliminate_inplace, reshape_inplace};
+use rms_core::opt::{OptOptions, OptStats};
+use rms_core::rewrite::eliminate;
+use rms_core::{IncrementalMig, Mig, MigNode, MigSignal};
+
+/// Whether the in-place engine reuses cached cuts across rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Reuse cuts outside the transitive fanout of rewrites (fast path).
+    #[default]
+    Incremental,
+    /// Recompute every cut at every round (reference for the
+    /// differential guarantee; same decisions, same results).
+    FromScratch,
+}
+
+/// Per-node cut cache over an [`IncrementalMig`].
+///
+/// The cache invariant: `valid[n]` implies the stored [`CutList`] equals
+/// what [`CutStore::ensure`] would recompute from the node's current
+/// transitive fanin. The engine maintains it by invalidating the
+/// transitive fanout of every structural change
+/// ([`CutStore::invalidate_tfo`]).
+#[derive(Debug, Default)]
+pub struct CutStore {
+    lists: Vec<CutList>,
+    valid: Vec<bool>,
+    /// Cut sets recomputed (cache misses).
+    pub recomputed: u64,
+    /// Cut sets served from cache at a rewrite root.
+    pub reused: u64,
+    scratch: Vec<Cut>,
+}
+
+impl CutStore {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CutStore::default()
+    }
+
+    /// Grows or shrinks the cache to the graph's node-array length
+    /// (undone tentative nodes shrink it; new entries start invalid).
+    fn sync(&mut self, len: usize) {
+        if self.lists.len() > len {
+            self.lists.truncate(len);
+            self.valid.truncate(len);
+        } else {
+            self.lists.resize(len, CutList::default());
+            self.valid.resize(len, false);
+        }
+    }
+
+    /// Drops every cached cut set (the from-scratch mode's round entry).
+    pub fn invalidate_all(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+    }
+
+    /// Invalidates the changed nodes and their transitive fanout.
+    ///
+    /// Stopping at an already-invalid node is sound because the cache
+    /// invariant guarantees its fanout was invalidated when it became
+    /// invalid.
+    pub fn invalidate_tfo(&mut self, g: &IncrementalMig, changed: &[u32]) {
+        self.sync(g.len());
+        let mut stack: Vec<u32> = Vec::new();
+        for &c in changed {
+            if (c as usize) < self.valid.len() && self.valid[c as usize] {
+                self.valid[c as usize] = false;
+                stack.push(c);
+            } else if (c as usize) < self.valid.len() {
+                // Newly created nodes are already invalid, but their
+                // fanout may have been valid before they were spliced in.
+                stack.push(c);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            for &p in g.fanouts(i as usize) {
+                if self.valid[p as usize] {
+                    self.valid[p as usize] = false;
+                    stack.push(p);
+                }
+            }
+        }
+    }
+
+    /// The (valid) cut set of `idx`, recomputing stale sets in its
+    /// transitive fanin first. Deterministic.
+    pub fn ensure(&mut self, g: &IncrementalMig, idx: usize) -> CutList {
+        self.sync(g.len());
+        if self.valid[idx] {
+            self.reused += 1;
+            return self.lists[idx];
+        }
+        let mut stack: Vec<u32> = vec![idx as u32];
+        while let Some(&top) = stack.last() {
+            let i = top as usize;
+            if self.valid[i] {
+                stack.pop();
+                continue;
+            }
+            match g.node(i) {
+                MigNode::Const0 => {
+                    self.lists[i] = leaf_cuts(i, true);
+                    self.valid[i] = true;
+                    stack.pop();
+                }
+                MigNode::Input(_) => {
+                    self.lists[i] = leaf_cuts(i, false);
+                    self.valid[i] = true;
+                    stack.pop();
+                }
+                MigNode::Maj(kids) => {
+                    let mut ready = true;
+                    for k in kids {
+                        if !self.valid[k.node()] {
+                            ready = false;
+                            stack.push(k.node() as u32);
+                        }
+                    }
+                    if ready {
+                        let (c0, c1, c2) = (
+                            self.lists[kids[0].node()],
+                            self.lists[kids[1].node()],
+                            self.lists[kids[2].node()],
+                        );
+                        self.lists[i] = compute_maj_cuts(
+                            i,
+                            kids,
+                            c0.as_slice(),
+                            c1.as_slice(),
+                            c2.as_slice(),
+                            cuts::MAX_CUTS_PER_NODE,
+                            &mut self.scratch,
+                        );
+                        self.valid[i] = true;
+                        self.recomputed += 1;
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        self.lists[idx]
+    }
+
+    /// The cached cut set of `idx` without recomputation — only valid
+    /// between a round's pre-pass and its end (the mapped sweep works on
+    /// round-start cuts by design).
+    pub fn cached(&self, idx: usize) -> CutList {
+        debug_assert!(self.valid[idx], "cut cache miss outside the pre-pass");
+        self.lists[idx]
+    }
+}
+
+/// One in-place rewrite round over a persistent graph, following the
+/// same decision procedure as [`crate::rewrite::rewrite_round`]:
+///
+/// 1. a **pre-pass** validates the cut cache against the round-start
+///    graph (recomputing only what previous rewrites invalidated —
+///    this is the incremental saving) and takes the MFFC size of every
+///    candidate cut on the still-pristine graph, exactly as the rebuild
+///    engine measures gains against its immutable source graph,
+/// 2. a topological **sweep** carries an old-signal → image map, exactly
+///    like the rebuild engine's `map` into its fresh graph: every node
+///    is turned into its image in place ([`IncrementalMig::rechild_to`],
+///    free when nothing moved), candidates are evaluated against the
+///    round-start cuts with their leaves mapped through `map`, and an
+///    accepted replacement only updates the map — parents pick the image
+///    up at their own turn. The strash is rebuilt image-by-image
+///    ([`IncrementalMig::begin_mapped_round`]), so candidate
+///    instantiation shares with exactly the structures a from-scratch
+///    rebuild would offer — no more (stale cones), no fewer,
+/// 3. [`IncrementalMig::finish_mapped_round`] rewires the outputs,
+///    collects everything unreachable, and repairs the deferred derived
+///    structures in one linear, hash-free pass.
+pub fn round_inplace(
+    g: &mut IncrementalMig,
+    cuts: &mut CutStore,
+    db: &Database,
+    accept_zero_gain: bool,
+    mode: EngineMode,
+) -> RoundStats {
+    // Absorb structural changes from the interleaved Ω passes.
+    let changed = g.take_changed();
+    cuts.invalidate_tfo(g, &changed);
+    if mode == EngineMode::FromScratch {
+        cuts.invalidate_all();
+    }
+    let mut stats = RoundStats::default();
+    let order = g.topo_order();
+    // Pre-pass on the pristine round-start graph: cut sets (cached) and
+    // per-cut MFFC sizes (recomputed every round — they depend on
+    // reference counts, which the cut invalidation rule does not track).
+    let mut mffcs: Vec<[u32; cuts::MAX_CUTS_PER_NODE]> =
+        vec![[0; cuts::MAX_CUTS_PER_NODE]; order.len()];
+    for (pos, &idx) in order.iter().enumerate() {
+        let idx = idx as usize;
+        let list = cuts.ensure(g, idx);
+        for (ci, &cut) in list.iter().enumerate() {
+            if !cut.is_trivial(idx) && !cut.leaves().is_empty() {
+                mffcs[pos][ci] = g.mffc_size(idx, cut.leaves());
+            }
+        }
+    }
+    g.begin_mapped_round();
+    let mut map: Vec<MigSignal> = (0..g.len()).map(|i| MigSignal::new(i, false)).collect();
+    for (pos, &idx) in order.iter().enumerate() {
+        let idx = idx as usize;
+        let MigNode::Maj(kids) = g.node(idx) else {
+            continue;
+        };
+        let conv = kids.map(|k| map[k.node()].complement_if(k.is_complemented()));
+        let image = match g.rechild_to(idx, conv) {
+            rms_core::fanout::Rechild::Superseded(s) => s,
+            _ => MigSignal::new(idx, false),
+        };
+        map[idx] = image;
+        // Evaluate the round-start cuts with the pristine MFFC sizes.
+        let list = cuts.cached(idx);
+        let mut best: Option<(i64, Cut, usize, u16, i64)> = None;
+        for (ci, &cut) in list.iter().enumerate() {
+            if cut.is_trivial(idx) || cut.leaves().is_empty() {
+                continue;
+            }
+            stats.cuts += 1;
+            let (class, t) = npn::canonicalize(cut.tt);
+            let entry = db.entry(class);
+            let mffc = mffcs[pos][ci] as i64;
+            let gain = mffc - entry.gates() as i64;
+            if gain < 0 || (gain == 0 && !accept_zero_gain) {
+                continue;
+            }
+            stats.candidates += 1;
+            if best.is_none_or(|(bg, ..)| gain > bg) {
+                best = Some((gain, cut, t, class, mffc));
+            }
+        }
+        let Some((_, cut, t, class, freed)) = best else {
+            continue;
+        };
+        // Instantiate tentatively; the nodes actually added (after
+        // structural hashing against the whole graph, replaced
+        // structures included) decide acceptance.
+        let inv = npn::invert(t);
+        let tr = npn::transform(inv);
+        let mut inputs = [MigSignal::FALSE; 4];
+        for (i, slot) in inputs.iter_mut().enumerate() {
+            let li = tr.perm[i] as usize;
+            let base = match cut.leaves().get(li) {
+                Some(&leaf) => map[leaf as usize],
+                None => MigSignal::FALSE,
+            };
+            *slot = base.complement_if((tr.flips >> i) & 1 == 1);
+        }
+        let len_before = g.len();
+        let cand = db
+            .entry(class)
+            .instantiate(g, inputs)
+            .complement_if(tr.negate_output);
+        let added = (g.len() - len_before) as i64;
+        // Word-parallel signature spot-check: the candidate must agree
+        // with the node on all 64 cached simulation lanes. This never
+        // fires for a correct database — it is a constant-time guard in
+        // front of the map update (and of any SAT verification later).
+        if g.sig_of(cand) != g.sig_of(MigSignal::new(idx, false)) {
+            stats.sig_vetoes += 1;
+            g.undo_tail(len_before);
+            continue;
+        }
+        let real_gain = freed - added;
+        if real_gain > 0 || (real_gain == 0 && accept_zero_gain) {
+            stats.rewrites += 1;
+            if real_gain == 0 {
+                stats.zero_gain += 1;
+            }
+            map[idx] = cand;
+        } else {
+            g.undo_tail(len_before);
+        }
+    }
+    g.finish_mapped_round(&map);
+    stats.cut_sets_recomputed = cuts.recomputed;
+    stats.cut_sets_reused = cuts.reused;
+    cuts.recomputed = 0;
+    cuts.reused = 0;
+    stats
+}
+
+/// Cycles without a new best iterate after which the in-place script
+/// stops (under [`OptOptions::early_exit`]). The reshape pass alternates
+/// its push direction every cycle, so the raw fingerprint oscillates
+/// with period 2 and the fixpoint check of the rebuild script almost
+/// never fires — that script always burns its whole effort budget
+/// ping-ponging between the same states. Stagnation of the *best
+/// iterate* is the meaningful convergence signal; on the bundled suite
+/// every best is found within 8 cycles.
+pub const STAGNATION_WINDOW: usize = 8;
+
+/// Algorithm 5 on the in-place engine: the same cycle structure as
+/// [`rms_core::opt::cut_script`] (eliminate; rewrite round with zero-gain
+/// hops on odd cycles; eliminate; reshape; eliminate; best iterate by
+/// `(gates, depth)`), but every pass splices one persistent graph, so
+/// cuts survive across passes *and* cycles in incremental mode — and
+/// the cycle loop stops after [`STAGNATION_WINDOW`] cycles without
+/// improvement instead of burning the full effort budget.
+pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mig, OptStats) {
+    let db = database();
+    let compacted = mig.compact();
+    let mut g = IncrementalMig::from_mig(&compacted);
+    let mut cuts = CutStore::new();
+    let mut best = compacted;
+    let mut best_score = (best.num_gates(), best.depth());
+    let mut cycles = 0usize;
+    let mut rewrites = 0u64;
+    let mut stale = 0usize;
+    for c in 0..opts.effort {
+        let before = g.fingerprint();
+        eliminate_inplace(&mut g);
+        let st = round_inplace(&mut g, &mut cuts, db, c % 2 == 1, mode);
+        rewrites += st.rewrites;
+        eliminate_inplace(&mut g);
+        reshape_inplace(&mut g, c % 2 == 0);
+        eliminate_inplace(&mut g);
+        cycles = c + 1;
+        let score = (g.num_gates(), g.depth());
+        if score < best_score {
+            best_score = score;
+            best = g.to_mig();
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+        if opts.early_exit && (g.fingerprint() == before || stale >= STAGNATION_WINDOW) {
+            break;
+        }
+    }
+    let out = eliminate(&best);
+    let stats = OptStats {
+        cycles,
+        passes: cycles as u64 * 5 + 1,
+        rewrites,
+        gates_before: mig.num_gates() as u64,
+        gates_after: out.num_gates() as u64,
+        peak_nodes: g.peak_len() as u64,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_logic::bench_suite;
+    use rms_logic::sim::check_equivalence;
+
+    fn bench_mig(name: &str) -> Mig {
+        Mig::from_netlist(&bench_suite::build(name).unwrap())
+    }
+
+    fn assert_equiv(a: &Mig, b: &Mig, what: &str) {
+        let res = check_equivalence(&a.to_netlist(), &b.to_netlist());
+        assert!(res.holds(), "{what}: {res:?}");
+    }
+
+    const SAMPLES: &[&str] = &["rd53_f2", "9sym_d", "con1_f1", "sao2_f4", "exam3_d"];
+
+    /// Exact structural equality of two graphs: node-for-node after a
+    /// canonical rebuild.
+    fn assert_bit_identical(a: &Mig, b: &Mig, what: &str) {
+        assert_eq!(a.num_gates(), b.num_gates(), "{what}: gate counts");
+        assert_eq!(a.depth(), b.depth(), "{what}: depths");
+        assert_eq!(a.len(), b.len(), "{what}: node counts");
+        for idx in 0..a.len() {
+            assert_eq!(a.node(idx), b.node(idx), "{what}: node {idx}");
+        }
+        assert_eq!(a.outputs(), b.outputs(), "{what}: outputs");
+    }
+
+    #[test]
+    fn inplace_round_preserves_function() {
+        let db = database();
+        for name in SAMPLES {
+            let m = bench_mig(name).compact();
+            for zero_gain in [false, true] {
+                let mut g = IncrementalMig::from_mig(&m);
+                let mut cuts = CutStore::new();
+                let st = round_inplace(&mut g, &mut cuts, db, zero_gain, EngineMode::Incremental);
+                g.assert_consistent();
+                assert_eq!(st.sig_vetoes, 0, "{name}: database produced a veto");
+                let r = g.to_mig();
+                assert_equiv(&m, &r, name);
+                if !zero_gain {
+                    assert!(r.num_gates() <= m.num_gates(), "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inplace_round_finds_the_majority_gate() {
+        // Same canary as the rebuild engine: a 5-gate majority
+        // sum-of-products collapses to one node.
+        let mut m = Mig::with_inputs("maj_sop", 3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let bc = m.and(b, c);
+        let o1 = m.or(ab, ac);
+        let o2 = m.or(o1, bc);
+        m.add_output("f", o2);
+        let mut g = IncrementalMig::from_mig(&m.compact());
+        let mut cuts = CutStore::new();
+        let st = round_inplace(
+            &mut g,
+            &mut cuts,
+            database(),
+            false,
+            EngineMode::Incremental,
+        );
+        assert!(st.rewrites >= 1, "{st:?}");
+        assert_eq!(g.num_gates(), 1, "{st:?}");
+        assert_equiv(&m, &g.to_mig(), "maj_sop");
+    }
+
+    #[test]
+    fn incremental_and_from_scratch_are_bit_identical() {
+        let opts = OptOptions::with_effort(6);
+        for name in SAMPLES {
+            let m = bench_mig(name);
+            let (inc, _) = cut_script_inplace(&m, &opts, EngineMode::Incremental);
+            let (scr, _) = cut_script_inplace(&m, &opts, EngineMode::FromScratch);
+            assert_bit_identical(&inc, &scr, name);
+            assert_equiv(&m, &inc, name);
+        }
+    }
+
+    #[test]
+    fn incremental_reuses_cuts() {
+        let m = bench_mig("9sym_d");
+        let mut g = IncrementalMig::from_mig(&m.compact());
+        let mut cuts = CutStore::new();
+        let db = database();
+        let st1 = round_inplace(&mut g, &mut cuts, db, false, EngineMode::Incremental);
+        // Round one sees an empty cache and computes every cut set; a
+        // second round recomputes only the transitive fanout of round
+        // one's rewrites and serves the rest from the cache.
+        let st2 = round_inplace(&mut g, &mut cuts, db, false, EngineMode::Incremental);
+        assert!(st1.cut_sets_recomputed > 0);
+        assert_eq!(st1.cut_sets_reused, 0);
+        assert!(st2.cut_sets_reused > 0, "{st2:?}");
+        assert!(
+            st2.cut_sets_recomputed < st1.cut_sets_recomputed,
+            "round 2 recomputed no less than round 1: {st1:?} vs {st2:?}"
+        );
+    }
+
+    #[test]
+    fn script_quality_not_worse_than_rebuild_engine() {
+        // At the paper's effort the in-place script (same rounds, plus
+        // the stagnation cutoff) must not lose to the rebuild engine in
+        // aggregate.
+        let opts = OptOptions::with_effort(40);
+        let mut inplace_total = 0u64;
+        let mut rebuild_total = 0u64;
+        for name in SAMPLES {
+            let m = bench_mig(name);
+            let (inc, _) = cut_script_inplace(&m, &opts, EngineMode::Incremental);
+            let mut round = |m: &Mig, zg: bool| {
+                let (out, st) = crate::rewrite::rewrite_round(m, zg);
+                (out, st.rewrites)
+            };
+            let (reb, _) = rms_core::opt::cut_script(&m, &opts, &mut round);
+            assert_equiv(&m, &inc, name);
+            inplace_total += inc.num_gates() as u64;
+            rebuild_total += reb.num_gates() as u64;
+        }
+        assert!(
+            inplace_total <= rebuild_total,
+            "in-place {inplace_total} gates vs rebuild {rebuild_total}"
+        );
+    }
+}

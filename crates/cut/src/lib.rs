@@ -19,6 +19,14 @@
 //!    [`optimize_cut`] (node-count objective) and [`optimize_cut_rram`]
 //!    (interleaved with the paper's Alg. 3, scored by `R·S`).
 //!
+//! Two engines implement the round. The default **incremental engine**
+//! ([`incremental`]) splices rewrites into a persistent
+//! [`rms_core::IncrementalMig`] and recomputes cuts only in the
+//! transitive fanout of a rewrite; the **rebuild engine**
+//! ([`rewrite_round`]) re-enumerates everything per round and is kept as
+//! the measured perf baseline (`rms bench --profile`). Select with
+//! [`Engine`] / `rms … --engine`.
+//!
 //! The cycle scripts live in [`rms_core::opt`] so that `rms-core` remains
 //! the single home of algorithm definitions; this crate supplies the
 //! database round, and `rms-flow` wires it into the pipeline (CLI:
@@ -43,12 +51,14 @@
 
 pub mod cuts;
 pub mod database;
+pub mod incremental;
 pub mod npn;
 pub mod rewrite;
 
-pub use cuts::{Cut, MAX_CUTS_PER_NODE, MAX_CUT_INPUTS};
+pub use cuts::{Cut, CutList, MAX_CUTS_PER_NODE, MAX_CUT_INPUTS};
 pub use database::{database, Database, DbEntry};
+pub use incremental::{cut_script_inplace, CutStore, EngineMode};
 pub use rewrite::{
-    optimize_cut, optimize_cut_rram, optimize_cut_rram_stats, optimize_cut_stats, rewrite_round,
-    RoundStats,
+    optimize_cut, optimize_cut_rram, optimize_cut_rram_stats, optimize_cut_stats,
+    optimize_cut_stats_engine, rewrite_round, Engine, RoundStats,
 };

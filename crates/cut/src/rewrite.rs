@@ -21,9 +21,50 @@
 
 use crate::cuts;
 use crate::database::database;
+use crate::incremental::{cut_script_inplace, EngineMode};
 use crate::npn;
 use rms_core::opt::{cut_rram_script, cut_script, OptOptions, OptStats};
 use rms_core::{Mig, MigNode, MigSignal, Realization};
+
+/// Which cut-rewriting engine runs the optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The in-place engine with incremental cut maintenance (default):
+    /// rewrites splice the persistent graph, cuts are invalidated only
+    /// in the transitive fanout of a rewrite.
+    #[default]
+    Incremental,
+    /// The in-place engine with full cut recomputation at every round —
+    /// bit-identical results to [`Engine::Incremental`] by construction
+    /// (the differential reference).
+    FromScratch,
+    /// The pre-incremental engine: every round re-enumerates all cuts
+    /// and rebuilds the graph into a fresh [`Mig`]. Kept as the measured
+    /// performance baseline of `rms bench --profile`.
+    Rebuild,
+}
+
+impl Engine {
+    /// Parses an engine name as given on the command line.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name.to_ascii_lowercase().as_str() {
+            "incremental" | "inc" | "inplace" | "in-place" => Some(Engine::Incremental),
+            "from-scratch" | "fromscratch" | "scratch" => Some(Engine::FromScratch),
+            "rebuild" | "legacy" | "baseline" => Some(Engine::Rebuild),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Incremental => write!(f, "incremental"),
+            Engine::FromScratch => write!(f, "from-scratch"),
+            Engine::Rebuild => write!(f, "rebuild"),
+        }
+    }
+}
 
 /// Counters of one rewrite round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,6 +77,13 @@ pub struct RoundStats {
     pub rewrites: u64,
     /// Accepted replacements with zero net gain.
     pub zero_gain: u64,
+    /// Candidates rejected by the simulation-signature spot-check
+    /// (always 0 for a correct database; in-place engine only).
+    pub sig_vetoes: u64,
+    /// Cut sets recomputed this round (in-place engine only).
+    pub cut_sets_recomputed: u64,
+    /// Cut sets served from the incremental cache (in-place engine only).
+    pub cut_sets_reused: u64,
 }
 
 /// Size of the maximum fanout-free cone of `root` with respect to
@@ -121,15 +169,15 @@ pub(crate) fn rewrite_round_with(
                     continue;
                 }
                 // Best candidate by estimated gain (MFFC vs database size).
-                let mut best: Option<(i64, &cuts::Cut, usize, u16, i64)> = None;
-                for cut in &cut_sets[idx] {
-                    if cut.is_trivial(idx) || cut.leaves.is_empty() {
+                let mut best: Option<(i64, cuts::Cut, usize, u16, i64)> = None;
+                for &cut in cut_sets[idx].iter() {
+                    if cut.is_trivial(idx) || cut.leaves().is_empty() {
                         continue;
                     }
                     stats.cuts += 1;
                     let (class, t) = npn::canonicalize(cut.tt);
                     let entry = db.entry(class);
-                    let mffc = mffc_size(mig, &mut refs, idx, &cut.leaves) as i64;
+                    let mffc = mffc_size(mig, &mut refs, idx, cut.leaves()) as i64;
                     let gain = mffc - entry.gates() as i64;
                     if gain < 0 || (gain == 0 && !accept_zero_gain) {
                         continue;
@@ -151,7 +199,7 @@ pub(crate) fn rewrite_round_with(
                             let li = tr.perm[i] as usize;
                             // Transform slots beyond the leaf count are
                             // irrelevant variables; any constant works.
-                            let base = match cut.leaves.get(li) {
+                            let base = match cut.leaves().get(li) {
                                 Some(&leaf) => map[leaf as usize],
                                 None => MigSignal::FALSE,
                             };
@@ -188,20 +236,35 @@ pub(crate) fn rewrite_round_with(
     (out.compact(), stats)
 }
 
-/// Algorithm 5 — cut-based rewriting with the node-count objective.
-///
-/// Runs [`rms_core::opt::cut_script`] with the NPN-database round.
+/// Algorithm 5 — cut-based rewriting with the node-count objective,
+/// on the default in-place incremental engine.
 pub fn optimize_cut(mig: &Mig, opts: &OptOptions) -> Mig {
     optimize_cut_stats(mig, opts).0
 }
 
 /// [`optimize_cut`] with run statistics.
 pub fn optimize_cut_stats(mig: &Mig, opts: &OptOptions) -> (Mig, OptStats) {
-    let mut round = |m: &Mig, zero_gain: bool| {
-        let (out, st) = rewrite_round(m, zero_gain);
-        (out, st.rewrites)
-    };
-    cut_script(mig, opts, &mut round)
+    optimize_cut_stats_engine(mig, opts, Engine::default())
+}
+
+/// [`optimize_cut_stats`] on an explicit engine.
+///
+/// [`Engine::Incremental`] and [`Engine::FromScratch`] produce
+/// bit-identical graphs; [`Engine::Rebuild`] is the pre-incremental
+/// driver ([`rms_core::opt::cut_script`] over [`rewrite_round`]) kept as
+/// the measured perf baseline.
+pub fn optimize_cut_stats_engine(mig: &Mig, opts: &OptOptions, engine: Engine) -> (Mig, OptStats) {
+    match engine {
+        Engine::Incremental => cut_script_inplace(mig, opts, EngineMode::Incremental),
+        Engine::FromScratch => cut_script_inplace(mig, opts, EngineMode::FromScratch),
+        Engine::Rebuild => {
+            let mut round = |m: &Mig, zero_gain: bool| {
+                let (out, st) = rewrite_round(m, zero_gain);
+                (out, st.rewrites)
+            };
+            cut_script(mig, opts, &mut round)
+        }
+    }
 }
 
 /// The hybrid script: cut rewriting interleaved with the paper's Alg. 3

@@ -34,6 +34,7 @@ use rms_aig::Aig;
 use rms_core::cost::{MigStats, Realization, RramCost};
 use rms_core::opt::{Algorithm, OptOptions, OptStats};
 use rms_core::Mig;
+use rms_cut::Engine;
 use rms_logic::netlist::Netlist;
 use rms_logic::synth;
 use rms_logic::tt::MAX_VARS;
@@ -145,6 +146,12 @@ pub struct FlowReport {
     pub verify_mode: VerifyMode,
     /// Seed of the sampled-verification pattern RNG.
     pub verify_seed: u64,
+    /// Which cut-rewriting engine actually ran. [`Algorithm::Cut`]
+    /// dispatches on the requested engine; [`Algorithm::CutRram`]'s
+    /// hybrid round is implemented on the rebuild driver only (reported
+    /// as [`Engine::Rebuild`] here regardless of the request), and the
+    /// paper's Algs. 1–4 are engine-independent.
+    pub engine: Engine,
     /// Per-stage wall-clock times.
     pub timings: StageTimings,
 }
@@ -175,6 +182,7 @@ pub struct Pipeline {
     frontend: Frontend,
     verify: VerifyMode,
     seed: u64,
+    engine: Engine,
     parse_time: Duration,
 }
 
@@ -189,6 +197,7 @@ impl Pipeline {
             frontend: Frontend::Direct,
             verify: VerifyMode::Auto,
             seed: DEFAULT_VERIFY_SEED,
+            engine: Engine::default(),
             parse_time: Duration::ZERO,
         }
     }
@@ -287,6 +296,15 @@ impl Pipeline {
         self
     }
 
+    /// Selects the cut-rewriting engine (default: the in-place
+    /// incremental engine). [`Engine::Rebuild`] is the pre-incremental
+    /// baseline, [`Engine::FromScratch`] the differential reference —
+    /// both produce functionally identical circuits.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// A read-only view of the source netlist.
     pub fn netlist(&self) -> &Netlist {
         &self.netlist
@@ -310,6 +328,7 @@ impl Pipeline {
             frontend,
             verify,
             seed,
+            engine,
             parse_time,
         } = self;
 
@@ -319,8 +338,16 @@ impl Pipeline {
         let initial = MigStats::of(&initial_mig);
 
         let t0 = Instant::now();
-        let (mig, opt_stats) = run_algorithm(&initial_mig, algorithm, realization, &options);
+        let (mig, opt_stats) =
+            run_algorithm_engine(&initial_mig, algorithm, realization, &options, engine);
         let optimize = t0.elapsed();
+        // Report the engine that actually ran, not the one requested:
+        // the hybrid cut+RRAM script only exists on the rebuild driver.
+        let engine = if algorithm == Algorithm::CutRram {
+            Engine::Rebuild
+        } else {
+            engine
+        };
         let optimized = MigStats::of(&mig);
         let cost = RramCost::of(&mig, realization);
 
@@ -364,6 +391,7 @@ impl Pipeline {
             verify: verify_outcome,
             verify_mode: verify,
             verify_seed: seed,
+            engine,
             timings: StageTimings {
                 parse: parse_time,
                 construct,
@@ -416,8 +444,22 @@ pub fn run_algorithm(
     realization: Realization,
     options: &OptOptions,
 ) -> (Mig, OptStats) {
+    run_algorithm_engine(mig, algorithm, realization, options, Engine::default())
+}
+
+/// [`run_algorithm`] on an explicit cut-rewriting engine. The paper's
+/// Algs. 1–4 are engine-independent; [`Algorithm::Cut`] dispatches on
+/// it (see [`Engine`]); [`Algorithm::CutRram`]'s hybrid round is
+/// implemented on the rebuild driver only and ignores the request.
+pub fn run_algorithm_engine(
+    mig: &Mig,
+    algorithm: Algorithm,
+    realization: Realization,
+    options: &OptOptions,
+    engine: Engine,
+) -> (Mig, OptStats) {
     match algorithm {
-        Algorithm::Cut => rms_cut::optimize_cut_stats(mig, options),
+        Algorithm::Cut => rms_cut::optimize_cut_stats_engine(mig, options, engine),
         Algorithm::CutRram => rms_cut::optimize_cut_rram_stats(mig, realization, options),
         other => other.run_stats(mig, realization, options),
     }

@@ -20,8 +20,8 @@ pub fn render_text(r: &FlowReport) -> String {
     );
     let _ = writeln!(
         out,
-        "flow: frontend={} algorithm={} realization={} effort={}",
-        r.frontend, r.algorithm, r.realization, r.effort
+        "flow: frontend={} algorithm={} realization={} effort={} engine={}",
+        r.frontend, r.algorithm, r.realization, r.effort, r.engine
     );
     let _ = writeln!(
         out,
@@ -35,8 +35,8 @@ pub fn render_text(r: &FlowReport) -> String {
     );
     let _ = writeln!(
         out,
-        "opt:  {} cycles, {} passes, {} cut rewrites",
-        r.opt.cycles, r.opt.passes, r.opt.rewrites
+        "opt:  {} cycles, {} passes, {} cut rewrites, peak {} nodes",
+        r.opt.cycles, r.opt.passes, r.opt.rewrites, r.opt.peak_nodes
     );
     let _ = writeln!(
         out,
@@ -83,6 +83,7 @@ pub fn render_json(r: &FlowReport) -> String {
     j.str_field("realization", &r.realization.to_string());
     j.num_field("effort", r.effort as u64);
     j.str_field("frontend", &r.frontend.to_string());
+    j.str_field("engine", &r.engine.to_string());
     j.obj_field("initial", |j| mig_stats(j, &r.initial));
     j.obj_field("optimized", |j| mig_stats(j, &r.optimized));
     j.obj_field("cost", |j| rram_cost(j, &r.cost));
@@ -100,6 +101,7 @@ pub fn render_json(r: &FlowReport) -> String {
         j.num_field("rewrites", r.opt.rewrites);
         j.num_field("gates_before", r.opt.gates_before);
         j.num_field("gates_after", r.opt.gates_after);
+        j.num_field("peak_nodes", r.opt.peak_nodes);
     });
     j.str_field("verification", &r.verify.label());
     j.obj_field("verify", |j| {

@@ -38,6 +38,14 @@ pub const EXHAUSTIVE_VERIFY_VARS: usize = 14;
 /// Number of 64-bit pattern words for sampled verification.
 pub const VERIFY_SAMPLE_WORDS: usize = 64;
 
+/// Number of 64-bit pattern words simulated **before** any SAT proof is
+/// attempted: a miter for inequivalent circuits usually has abundant
+/// counterexamples, and word-parallel simulation finds one in
+/// microseconds where the solver would spend conflicts. Equivalent
+/// circuits pass through to the proof unchanged — the spot-check can
+/// only fail fast, never claim equivalence.
+pub const PRE_SAT_SPOT_WORDS: usize = 4;
+
 /// Conflict budget per SAT miter. Every bundled benchmark proves well
 /// under this (the largest, `apex1`, needs ~17k conflicts), but
 /// user-supplied circuits can be adversarial for any SAT solver
@@ -217,6 +225,27 @@ pub(crate) fn verify_programs(
             words: VERIFY_SAMPLE_WORDS,
         });
     }
+    // Word-parallel spot-check in front of the SAT tier: a buggy
+    // program almost always differs on random words, which is far
+    // cheaper to find by simulation than by refutation.
+    let mut machine = Machine::new();
+    for pattern in random_patterns(n, PRE_SAT_SPOT_WORDS, seed) {
+        let reference = netlist.simulate_words(&pattern);
+        for &(what, program) in programs {
+            let got = machine
+                .run_words(program, &pattern)
+                .map_err(|e| FlowError::Verification(format!("{what}: invalid program: {e}")))?;
+            if got != reference {
+                let (o, lane) = first_word_diff(&got, &reference);
+                return Ok(VerifyOutcome::Failed {
+                    what: format!(
+                        "{what} program differs from the netlist on output {o} (pre-SAT spot-check)"
+                    ),
+                    counterexample: lane_bits(&pattern, lane),
+                });
+            }
+        }
+    }
     // SAT tier: refute a miter per program, under a conflict budget.
     let (mut conflicts, mut decisions) = (0u64, 0u64);
     for &(what, program) in programs {
@@ -332,6 +361,20 @@ pub fn check_netlists(
         return Ok(VerifyOutcome::Sampled {
             words: VERIFY_SAMPLE_WORDS,
         });
+    }
+    // Word-parallel spot-check in front of the SAT tier (fail fast on
+    // random-word disagreement; agreement proves nothing and falls
+    // through to the miter).
+    for pattern in random_patterns(n, PRE_SAT_SPOT_WORDS, seed) {
+        let wa = a.simulate_words(&pattern);
+        let wb = b.simulate_words(&pattern);
+        if wa != wb {
+            let (o, lane) = first_word_diff(&wb, &wa);
+            return Ok(VerifyOutcome::Failed {
+                what: format!("circuits differ on output {o} (pre-SAT spot-check)"),
+                counterexample: lane_bits(&pattern, lane),
+            });
+        }
     }
     match check_netlists_limited(a, b, Some(SAT_CONFLICT_BUDGET)) {
         Ok(Some(MiterOutcome::Equivalent {

@@ -38,7 +38,7 @@
 
 use crate::lit::Lit;
 use crate::solver::{SatResult, Solver, SolverStats};
-use std::collections::HashMap;
+use rms_core::hash::FxHashMap;
 
 /// A structurally-hashed gate key (operands already canonicalized).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,7 +54,7 @@ enum GateKey {
 pub struct Encoder {
     solver: Solver,
     true_lit: Lit,
-    cache: HashMap<GateKey, Lit>,
+    cache: FxHashMap<GateKey, Lit>,
 }
 
 impl Default for Encoder {
@@ -72,7 +72,7 @@ impl Encoder {
         Encoder {
             solver,
             true_lit,
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
         }
     }
 

@@ -17,7 +17,7 @@
 use rms_bench::reports;
 use rms_core::opt::{Algorithm, OptOptions};
 use rms_core::Realization;
-use rms_flow::{FlowError, Frontend, InputFormat, Pipeline, VerifyMode, VerifyOutcome};
+use rms_flow::{Engine, FlowError, Frontend, InputFormat, Pipeline, VerifyMode, VerifyOutcome};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,6 +37,10 @@ FLOW:
                                                              (default: rram, Alg. 3)
     --realization R       imp | maj                          (default: maj)
     --effort N            optimization cycles                (default: 40)
+    --engine E            incremental | from-scratch | rebuild (--opt cut;
+                          default: incremental — the in-place engine with
+                          cached cuts; rebuild is the pre-incremental
+                          baseline, and the only driver of --opt cut-rram)
     --frontend F          direct | aig | bdd                 (default: direct)
     --verify MODE         auto | sat | sampled | off         (default: auto —
                           exhaustive <= 14 inputs, SAT proof above; `sampled`
@@ -63,6 +67,12 @@ BENCH:
                           sections (default: summary); --algs sweeps
                           Algs. 1-4 vs the cut engine and verifies every
                           result (exhaustive or SAT-proved)
+    --profile             profile the cut engines over the small suite and
+                          write the machine-readable BENCH_5.json (rebuild
+                          baseline vs incremental engine; exits non-zero on
+                          any verification or differential regression)
+    --out FILE            where --profile writes its JSON (default: BENCH_5.json)
+    --iters N             timing iterations per engine for --profile (default: 3)
     --list                list embedded benchmark names
     --sequential          disable the thread pool
     --jobs N              worker threads (default: all cores; RMS_THREADS also works)
@@ -118,6 +128,7 @@ struct FlowArgs {
     algorithm: Algorithm,
     realization: Realization,
     effort: usize,
+    engine: Engine,
     frontend: Frontend,
     verify: VerifyMode,
     seed: Option<u64>,
@@ -138,6 +149,7 @@ impl FlowArgs {
             algorithm: Algorithm::RramCosts,
             realization: Realization::Maj,
             effort: OptOptions::default().effort,
+            engine: Engine::default(),
             frontend: Frontend::Direct,
             verify: VerifyMode::Auto,
             seed: None,
@@ -190,6 +202,11 @@ impl FlowArgs {
                     a.effort = v
                         .parse()
                         .map_err(|_| format!("--effort expects a number, got {v:?}"))?;
+                }
+                "--engine" => {
+                    let v = value("--engine")?;
+                    a.engine =
+                        Engine::from_name(&v).ok_or_else(|| format!("unknown engine {v:?}"))?;
                 }
                 "--frontend" => {
                     let v = value("--frontend")?;
@@ -249,6 +266,7 @@ impl FlowArgs {
             .algorithm(self.algorithm)
             .realization(self.realization)
             .effort(self.effort)
+            .engine(self.engine)
             .frontend(self.frontend)
             .verify_mode(self.verify);
         if let Some(seed) = self.seed {
@@ -441,6 +459,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut sections: Vec<&str> = Vec::new();
     let mut effort = OptOptions::default().effort;
     let mut jobs = 0usize; // 0 = default thread pool
+    let mut out_path = "BENCH_5.json".to_string();
+    let mut iters = 3usize;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -450,6 +470,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--summary" => sections.push("summary"),
             "--runtime" => sections.push("runtime"),
             "--figures" => sections.push("figures"),
+            "--profile" => sections.push("profile"),
+            "--out" => {
+                out_path = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--out requires a value".to_string())?;
+            }
+            "--iters" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--iters requires a value".to_string())?;
+                iters = v
+                    .parse()
+                    .map_err(|_| format!("--iters expects a number, got {v:?}"))?;
+                if iters == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+            }
             "--list" => {
                 for info in rms_logic::bench_suite::LARGE_SUITE {
                     println!("{:<12} {} inputs (large suite)", info.name, info.inputs);
@@ -497,6 +535,18 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "summary" => print!("{}", reports::summary_report(&opts, jobs)),
             "runtime" => print!("{}", reports::runtime_report(&opts)),
             "figures" => print!("{}", reports::figures_report()),
+            "profile" => {
+                let report = rms_bench::runner::run_profile(&opts, iters);
+                print!("{}", reports::profile_report(&report));
+                std::fs::write(&out_path, report.to_json())
+                    .map_err(|e| format!("{out_path}: {e}"))?;
+                println!("wrote {out_path}");
+                if !report.all_passed() {
+                    return Err(
+                        "profile regression: a verification or differential check failed".into(),
+                    );
+                }
+            }
             _ => unreachable!(),
         }
     }

@@ -1,0 +1,112 @@
+//! Differential property tests of the incremental rewrite engine.
+//!
+//! Over seeded random netlists ([`rms_logic::random::random_netlist`]),
+//! every optimization algorithm must produce **bit-identical** graphs on
+//! the in-place incremental engine and on the from-scratch reference
+//! (full cut recomputation every round): same nodes, same levels, same
+//! RRAM costs, same truth tables. For the cut algorithm this pins the
+//! cut-cache invalidation rule down as the engine's correctness
+//! argument — a cached cut set that diverged from a recomputation would
+//! change a rewrite decision and break node-for-node equality. The
+//! paper's Algs. 1–4 are engine-independent and double as determinism
+//! checks.
+
+use rms_core::cost::{LevelProfile, Realization, RramCost};
+use rms_core::opt::{Algorithm, OptOptions};
+use rms_core::Mig;
+use rms_flow::{run_algorithm_engine, Engine};
+use rms_logic::random::random_netlist;
+
+/// Node-for-node structural equality (indices, children, complement
+/// attributes, outputs, levels).
+fn assert_bit_identical(a: &Mig, b: &Mig, what: &str) {
+    assert_eq!(a.num_gates(), b.num_gates(), "{what}: gate counts");
+    assert_eq!(a.depth(), b.depth(), "{what}: depths");
+    assert_eq!(a.len(), b.len(), "{what}: node counts");
+    for i in 0..a.len() {
+        assert_eq!(a.node(i), b.node(i), "{what}: node {i}");
+        assert_eq!(a.level(i), b.level(i), "{what}: level of node {i}");
+    }
+    assert_eq!(a.outputs(), b.outputs(), "{what}: outputs");
+}
+
+#[test]
+fn incremental_engine_is_bit_identical_to_from_scratch() {
+    let opts = OptOptions::with_effort(6);
+    for seed in 0..10u64 {
+        let nl = random_netlist("inc_prop", seed, 6, 2, 28);
+        let mig = Mig::from_netlist(&nl);
+        let reference = nl.truth_tables();
+        for alg in Algorithm::ALL_WITH_CUT {
+            let what = format!("seed {seed} / {alg}");
+            let (inc, inc_stats) =
+                run_algorithm_engine(&mig, alg, Realization::Maj, &opts, Engine::Incremental);
+            let (scr, _) =
+                run_algorithm_engine(&mig, alg, Realization::Maj, &opts, Engine::FromScratch);
+            assert_bit_identical(&inc, &scr, &what);
+            assert_eq!(
+                LevelProfile::of(&inc),
+                LevelProfile::of(&scr),
+                "{what}: level profiles"
+            );
+            for real in Realization::ALL {
+                assert_eq!(
+                    RramCost::of(&inc, real),
+                    RramCost::of(&scr, real),
+                    "{what}: {real} cost"
+                );
+            }
+            assert_eq!(
+                inc.truth_tables(),
+                reference,
+                "{what}: function not preserved"
+            );
+            if alg == Algorithm::Cut {
+                assert!(inc_stats.peak_nodes > 0, "{what}: peak nodes untracked");
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_engine_is_deterministic_across_runs() {
+    let opts = OptOptions::with_effort(6);
+    for seed in [3u64, 7] {
+        let nl = random_netlist("inc_det", seed, 7, 3, 40);
+        let mig = Mig::from_netlist(&nl);
+        let (a, sa) = run_algorithm_engine(
+            &mig,
+            Algorithm::Cut,
+            Realization::Maj,
+            &opts,
+            Engine::Incremental,
+        );
+        let (b, sb) = run_algorithm_engine(
+            &mig,
+            Algorithm::Cut,
+            Realization::Maj,
+            &opts,
+            Engine::Incremental,
+        );
+        assert_bit_identical(&a, &b, &format!("seed {seed}"));
+        assert_eq!(sa, sb, "seed {seed}: stats diverged");
+    }
+}
+
+#[test]
+fn rebuild_engine_stays_available_as_baseline() {
+    // The pre-incremental engine remains selectable (it is the measured
+    // baseline of `rms bench --profile`) and functionally correct.
+    let opts = OptOptions::with_effort(4);
+    let nl = random_netlist("inc_base", 11, 6, 2, 24);
+    let mig = Mig::from_netlist(&nl);
+    let (out, _) = run_algorithm_engine(
+        &mig,
+        Algorithm::Cut,
+        Realization::Maj,
+        &opts,
+        Engine::Rebuild,
+    );
+    assert_eq!(out.truth_tables(), nl.truth_tables());
+    assert!(out.num_gates() <= mig.compact().num_gates());
+}
