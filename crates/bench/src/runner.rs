@@ -348,6 +348,151 @@ fn bit_identical(a: &Mig, b: &Mig) -> bool {
     a.len() == b.len() && a.outputs() == b.outputs() && (0..a.len()).all(|i| a.node(i) == b.node(i))
 }
 
+/// One row of the sweep+resub-vs-cut comparison (`rms bench --sweep`).
+#[derive(Debug, Clone)]
+pub struct SweepMeasured {
+    /// Benchmark descriptor.
+    pub info: &'static BenchmarkInfo,
+    /// Majority-gate count of the unoptimized MIG.
+    pub initial_gates: u64,
+    /// Gate count after the cut script (the baseline).
+    pub cut_gates: u64,
+    /// Gate count after the sweep+resub script.
+    pub sweep_gates: u64,
+    /// Fraig merges proved and committed.
+    pub fraig_merges: u64,
+    /// Resubstitutions proved and accepted.
+    pub resubs: u64,
+    /// SAT conflicts spent by the post passes.
+    pub sat_conflicts: u64,
+    /// Whether the incremental and from-scratch engines produced
+    /// bit-identical sweep results.
+    pub engines_identical: bool,
+    /// Verification of the sweep result against the source netlist
+    /// (`exhaustive` / `SAT (n conflicts)` / `FAILED` / `ERROR ...`).
+    pub verified: String,
+}
+
+impl SweepMeasured {
+    /// Whether this row meets every acceptance condition: verified,
+    /// never worse than the cut baseline, deterministic across engines.
+    pub fn passed(&self) -> bool {
+        self.sweep_gates <= self.cut_gates
+            && self.engines_identical
+            && (self.verified.starts_with("exhaustive") || self.verified.starts_with("SAT"))
+    }
+}
+
+/// The full sweep comparison: per-benchmark rows plus the cross-worker
+/// determinism check.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One row per small-suite benchmark, in suite order.
+    pub rows: Vec<SweepMeasured>,
+    /// Whether a re-run on a different worker count produced the same
+    /// gate counts (bit-identity across `--jobs`).
+    pub jobs_identical: bool,
+}
+
+impl SweepReport {
+    /// Whether every row and the determinism check passed.
+    pub fn all_passed(&self) -> bool {
+        self.jobs_identical && self.rows.iter().all(SweepMeasured::passed)
+    }
+
+    /// Rows where sweep+resub strictly beats the cut baseline.
+    pub fn strict_wins(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.sweep_gates < r.cut_gates)
+            .count()
+    }
+}
+
+/// Runs the cut baseline and the sweep+resub script on one benchmark,
+/// verifying the sweep result and checking engine bit-identity.
+pub fn run_sweep_row(info: &'static BenchmarkInfo, opts: &OptOptions) -> SweepMeasured {
+    let nl = bench_suite::build_info(info);
+    let mig = Mig::from_netlist(&nl);
+    let (cut, _) = rms_cut::optimize_cut_stats_engine(&mig, opts, rms_cut::Engine::Incremental);
+    let (sweep, stats) = rms_cut::optimize_sweep_stats(
+        &mig,
+        opts,
+        rms_cut::Engine::Incremental,
+        rms_cut::SweepPasses::BOTH,
+    );
+    let (scratch, _) = rms_cut::optimize_sweep_stats(
+        &mig,
+        opts,
+        rms_cut::Engine::FromScratch,
+        rms_cut::SweepPasses::BOTH,
+    );
+    let engines_identical = bit_identical(&sweep, &scratch);
+    let verified = if nl.num_inputs() <= rms_flow::verify::EXHAUSTIVE_VERIFY_VARS {
+        if sweep.truth_tables() == nl.truth_tables() {
+            "exhaustive".to_string()
+        } else {
+            "FAILED".to_string()
+        }
+    } else {
+        match rms_flow::check_netlists(
+            &nl,
+            &sweep.to_netlist(),
+            rms_flow::VerifyMode::Auto,
+            rms_flow::DEFAULT_VERIFY_SEED,
+        ) {
+            Ok(rms_flow::VerifyOutcome::Proved { conflicts, .. }) => {
+                format!("SAT ({conflicts} conflicts)")
+            }
+            Ok(rms_flow::VerifyOutcome::Sampled { .. }) => {
+                "sampled (SAT budget exceeded)".to_string()
+            }
+            Ok(outcome) if outcome.passed() => "exhaustive".to_string(),
+            Ok(_) => "FAILED".to_string(),
+            Err(e) => format!("ERROR: {e}"),
+        }
+    };
+    SweepMeasured {
+        info,
+        initial_gates: mig.num_gates() as u64,
+        cut_gates: cut.num_gates() as u64,
+        sweep_gates: sweep.num_gates() as u64,
+        fraig_merges: stats.fraig_merges,
+        resubs: stats.resubs,
+        sat_conflicts: stats.sat_conflicts,
+        engines_identical,
+        verified,
+    }
+}
+
+/// Runs the sweep comparison over the small suite on `jobs` workers,
+/// then re-runs the sweep gate counts on a different worker count to
+/// check `--jobs` bit-identity.
+pub fn run_sweep(opts: &OptOptions, jobs: usize) -> SweepReport {
+    let infos: Vec<&'static BenchmarkInfo> = bench_suite::SMALL_SUITE.iter().collect();
+    let rows = par::par_map_threads(&infos, workers(jobs), |info| run_sweep_row(info, opts));
+    let alt_workers = if workers(jobs) == 1 { 3 } else { 1 };
+    let alt_gates: Vec<u64> = par::par_map_threads(&infos, alt_workers, |info| {
+        let mig = Mig::from_netlist(&bench_suite::build_info(info));
+        rms_cut::optimize_sweep_stats(
+            &mig,
+            opts,
+            rms_cut::Engine::Incremental,
+            rms_cut::SweepPasses::BOTH,
+        )
+        .0
+        .num_gates() as u64
+    });
+    let jobs_identical = rows
+        .iter()
+        .zip(&alt_gates)
+        .all(|(row, &gates)| row.sweep_gates == gates);
+    SweepReport {
+        rows,
+        jobs_identical,
+    }
+}
+
 /// Profiles the cut algorithm on one benchmark: rebuild baseline vs the
 /// incremental engine (minimum of `iters` runs each), the
 /// incremental-vs-from-scratch differential check, and verification of

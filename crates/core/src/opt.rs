@@ -86,6 +86,18 @@ pub struct OptStats {
     /// High-water mark of the node array during optimization (0 when the
     /// engine does not track it; the in-place cut engine does).
     pub peak_nodes: u64,
+    /// Candidate equivalence classes examined by the fraig pass (0 for
+    /// algorithms without a SAT-sweeping stage).
+    pub fraig_classes: u64,
+    /// Node merges proved by SAT and committed by the fraig pass.
+    pub fraig_merges: u64,
+    /// Windowed resubstitutions proved by SAT and accepted.
+    pub resubs: u64,
+    /// Total SAT conflicts spent across fraig/resub proof calls.
+    pub sat_conflicts: u64,
+    /// Proof attempts abandoned at the conflict budget (candidates kept
+    /// unmerged — the engine never merges unproven).
+    pub sat_budget_exhausted: u64,
 }
 
 /// Generic driver: runs `cycle` up to `effort` times, tracking the iterate
@@ -134,7 +146,7 @@ fn stats_of(
         rewrites,
         gates_before: before.num_gates() as u64,
         gates_after: after.num_gates() as u64,
-        peak_nodes: 0,
+        ..OptStats::default()
     }
 }
 
@@ -367,6 +379,18 @@ pub enum Algorithm {
     /// The hybrid script: cut rewriting interleaved with Alg. 3 passes,
     /// scored by the `R·S` product (same caveat as [`Algorithm::Cut`]).
     CutRram,
+    /// SAT sweeping (fraiging): the cut script followed by
+    /// simulation-guided, SAT-proved global node merging. The engine
+    /// lives in `rms-cut`; plain [`Algorithm::run`] degrades to the cut
+    /// script with identity rounds.
+    Sweep,
+    /// Windowed Boolean resubstitution: the cut script followed by
+    /// SAT-validated 0/1-resubstitution over divisor windows (same
+    /// degradation caveat as [`Algorithm::Sweep`]).
+    Resub,
+    /// Both post passes: cut script, then alternating fraig + resub
+    /// rounds until a fixpoint (same degradation caveat).
+    SweepResub,
 }
 
 impl Algorithm {
@@ -386,6 +410,20 @@ impl Algorithm {
         Algorithm::Steps,
         Algorithm::Cut,
         Algorithm::CutRram,
+    ];
+
+    /// Every optimization mode, including the SAT-sweeping and
+    /// resubstitution scripts layered on the cut engine.
+    pub const ALL_MODES: [Algorithm; 9] = [
+        Algorithm::Area,
+        Algorithm::Depth,
+        Algorithm::RramCosts,
+        Algorithm::Steps,
+        Algorithm::Cut,
+        Algorithm::CutRram,
+        Algorithm::Sweep,
+        Algorithm::Resub,
+        Algorithm::SweepResub,
     ];
 
     /// Runs the selected algorithm.
@@ -414,6 +452,12 @@ impl Algorithm {
             Algorithm::Steps => optimize_steps_stats(mig, realization, opts),
             Algorithm::Cut => cut_script(mig, opts, &mut identity),
             Algorithm::CutRram => cut_rram_script(mig, realization, opts, &mut identity),
+            // The SAT-backed post passes live in `rms-cut`; from plain
+            // rms-core these modes degrade to the cut script (itself with
+            // identity rounds), which is their common base.
+            Algorithm::Sweep | Algorithm::Resub | Algorithm::SweepResub => {
+                cut_script(mig, opts, &mut identity)
+            }
         }
     }
 }
@@ -427,6 +471,9 @@ impl std::fmt::Display for Algorithm {
             Algorithm::Steps => write!(f, "Step"),
             Algorithm::Cut => write!(f, "Cut rewriting"),
             Algorithm::CutRram => write!(f, "Cut+RRAM"),
+            Algorithm::Sweep => write!(f, "SAT sweep"),
+            Algorithm::Resub => write!(f, "Resub"),
+            Algorithm::SweepResub => write!(f, "Sweep+Resub"),
         }
     }
 }

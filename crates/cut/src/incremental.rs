@@ -374,6 +374,7 @@ pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mi
         gates_before: mig.num_gates() as u64,
         gates_after: out.num_gates() as u64,
         peak_nodes: g.peak_len() as u64,
+        ..OptStats::default()
     };
     (out, stats)
 }

@@ -51,14 +51,20 @@
 
 pub mod cuts;
 pub mod database;
+pub mod fraig;
 pub mod incremental;
 pub mod npn;
+pub mod resub;
 pub mod rewrite;
+pub mod sweep;
 
 pub use cuts::{Cut, CutList, MAX_CUTS_PER_NODE, MAX_CUT_INPUTS};
 pub use database::{database, Database, DbEntry};
+pub use fraig::{fraig_pass, prove_signals, FraigOptions, FraigOutcome, FraigStats, ProveOutcome};
 pub use incremental::{cut_script_inplace, CutStore, EngineMode};
+pub use resub::{resub_pass, ResubOptions, ResubStats};
 pub use rewrite::{
     optimize_cut, optimize_cut_rram, optimize_cut_rram_stats, optimize_cut_stats,
     optimize_cut_stats_engine, rewrite_round, Engine, RoundStats,
 };
+pub use sweep::{optimize_sweep_stats, SweepPasses};

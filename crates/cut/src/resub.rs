@@ -1,0 +1,413 @@
+//! Windowed Boolean resubstitution: re-express a node over existing
+//! divisors, proved by SAT before anything is touched.
+//!
+//! For every gate `n` the pass collects a fanout-bounded **window** of
+//! divisor candidates around `n`: its transitive fanin up to a size cap,
+//! plus reconvergent siblings (fanouts of window nodes at a level no
+//! greater than `n`'s, which therefore cannot lie in `n`'s transitive
+//! fanout). The don't-cares of the window come from its inputs: two
+//! window functions only need to agree on value combinations the window
+//! inputs can actually produce — which is exactly what both the
+//! word-parallel simulation filter (patterns are reachable by
+//! construction) and the global cone miter check. Because every divisor
+//! is itself a function of the primary inputs, a proved window
+//! substitution is a proved global equivalence.
+//!
+//! Two substitution shapes are tried, mirroring mockturtle's 0/1-resub:
+//!
+//! * **0-resub** — replace `n` with an existing divisor (possibly
+//!   complemented), freeing `n`'s MFFC;
+//! * **1-resub** — replace `n` with a single new majority over three
+//!   divisors (the constant divisor makes this cover AND/OR shapes),
+//!   accepted only when the freed MFFC strictly outweighs the one added
+//!   node.
+//!
+//! Candidates must pass the simulation filter on every lane (lane 0 is
+//! the engine's signature cache, so this subsumes the incremental
+//! engine's signature veto), then a bounded-conflict SAT proof; budget
+//! exhaustion rejects the substitution. Counterexamples from refuted
+//! candidates are fed back as new simulation lanes, sharpening the
+//! filter for later nodes. The pass is fully deterministic.
+
+use crate::fraig::{append_cex_lane, init_sim, prove_signals, ProveOutcome};
+use rms_core::{IncrementalMig, MajBuilder, MigNode, MigSignal};
+
+/// Options of the resubstitution pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResubOptions {
+    /// Divisor window size cap per node.
+    pub max_divisors: usize,
+    /// Random simulation lanes beyond the engine's signature lane.
+    pub extra_words: usize,
+    /// Conflict budget per substitution proof.
+    pub conflict_budget: u64,
+}
+
+impl Default for ResubOptions {
+    fn default() -> Self {
+        ResubOptions {
+            max_divisors: 24,
+            extra_words: 7,
+            conflict_budget: 10_000,
+        }
+    }
+}
+
+/// Counters of one resubstitution pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResubStats {
+    /// Substitution proofs attempted.
+    pub candidates: u64,
+    /// Substitutions proved by SAT and committed.
+    pub accepted: u64,
+    /// Candidates whose engine signature disagreed (vetoed pre-SAT).
+    pub sig_vetoes: u64,
+    /// Candidates refuted by a counterexample.
+    pub refuted: u64,
+    /// Proofs abandoned at the conflict budget (substitution rejected).
+    pub budget_exhausted: u64,
+    /// Total SAT conflicts spent.
+    pub sat_conflicts: u64,
+}
+
+/// Collects the divisor window of `n`: constant, bounded transitive
+/// fanin, and reconvergent siblings, all at level <= `n`'s (so none can
+/// be in `n`'s transitive fanout and substitution stays acyclic).
+fn collect_divisors(g: &IncrementalMig, n: usize, cap: usize) -> Vec<usize> {
+    let level_n = g.level(n);
+    let mut divisors = vec![0usize];
+    let mut seen = vec![0u8; g.len()];
+    seen[0] = 1;
+    seen[n] = 1;
+    let mut queue: Vec<usize> = Vec::new();
+    if let Some(kids) = g.maj_children(n) {
+        for kid in kids {
+            if seen[kid.node()] == 0 {
+                seen[kid.node()] = 1;
+                queue.push(kid.node());
+            }
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() && divisors.len() < cap {
+        let d = queue[head];
+        head += 1;
+        if g.is_dead(d) || g.level(d) > level_n {
+            continue;
+        }
+        divisors.push(d);
+        // Deeper fanin of the window.
+        if let Some(kids) = g.maj_children(d) {
+            for kid in kids {
+                if seen[kid.node()] == 0 {
+                    seen[kid.node()] = 1;
+                    queue.push(kid.node());
+                }
+            }
+        }
+        // Reconvergent siblings: fanouts of the window node that are no
+        // deeper than `n` itself.
+        for &p in g.fanouts(d) {
+            let p = p as usize;
+            if seen[p] == 0 && !g.is_dead(p) && g.level(p) <= level_n {
+                seen[p] = 1;
+                queue.push(p);
+            }
+        }
+    }
+    divisors
+}
+
+/// The simulation vector of a divisor signal on all lanes, compared
+/// lazily; returns true when `sig`'s vector equals `target` on every
+/// lane, with `phase` complementing.
+fn lanes_match(sim: &[Vec<u64>], sig: usize, phase: bool, target: &[u64]) -> bool {
+    let row = &sim[sig];
+    let mask = if phase { !0u64 } else { 0 };
+    row.iter().zip(target).all(|(&w, &t)| w ^ mask == t)
+}
+
+/// Runs one windowed resubstitution pass over `g`.
+pub fn resub_pass(g: &mut IncrementalMig, opts: &ResubOptions) -> ResubStats {
+    let mut stats = ResubStats::default();
+    if g.num_gates() == 0 {
+        return stats;
+    }
+    let topo = g.topo_order();
+    let mut sim = init_sim(g, &topo, opts.extra_words);
+    let mut cexes: Vec<Vec<bool>> = Vec::new();
+
+    for &nu in &topo {
+        let n = nu as usize;
+        if g.is_dead(n) || !matches!(g.node(n), MigNode::Maj(_)) {
+            continue;
+        }
+        let divisors = collect_divisors(g, n, opts.max_divisors);
+        let target = sim[n].clone();
+
+        // 0-resub: an existing divisor already computes n (mod phase).
+        let mut done = false;
+        for &d in &divisors {
+            if d == n || g.is_dead(d) {
+                continue;
+            }
+            for phase in [false, true] {
+                if !lanes_match(&sim, d, phase, &target) {
+                    continue;
+                }
+                let cand = MigSignal::new(d, phase);
+                stats.candidates += 1;
+                match try_substitute(g, n, cand, opts, &mut stats) {
+                    Verdict::Accepted => {
+                        done = true;
+                    }
+                    Verdict::Refuted(cex) => {
+                        if cexes.len() < 64 {
+                            cexes.push(cex);
+                        }
+                    }
+                    Verdict::Rejected => {}
+                }
+                break;
+            }
+            if done {
+                break;
+            }
+        }
+        if done {
+            continue;
+        }
+
+        // 1-resub: one new majority over three divisors. Needs the MFFC
+        // to free at least two nodes so the net gain is >= 1. Input
+        // phase combinations with two or three complements are covered
+        // by the output phase (¬M(a,b,c) = M(¬a,¬b,¬c)), so only the
+        // four 0/1-complement shapes are enumerated.
+        'outer: for i in 0..divisors.len() {
+            for j in (i + 1)..divisors.len() {
+                for k in (j + 1)..divisors.len() {
+                    let (da, db, dc) = (divisors[i], divisors[j], divisors[k]);
+                    if g.is_dead(da) || g.is_dead(db) || g.is_dead(dc) {
+                        continue;
+                    }
+                    for combo in 0..4u8 {
+                        let pa = combo == 1;
+                        let pb = combo == 2;
+                        let pc = combo == 3;
+                        // Fast lane-0 filter before the full compare.
+                        let m0 = maj_lane(&sim, (da, pa), (db, pb), (dc, pc), 0);
+                        let out_phase = if m0 == target[0] {
+                            false
+                        } else if m0 == !target[0] {
+                            true
+                        } else {
+                            continue;
+                        };
+                        let lanes = sim[n].len();
+                        let full = (1..lanes).all(|l| {
+                            let w = maj_lane(&sim, (da, pa), (db, pb), (dc, pc), l);
+                            (w ^ if out_phase { !0 } else { 0 }) == target[l]
+                        });
+                        if !full {
+                            continue;
+                        }
+                        // Gain check on the pristine graph: the MFFC of n
+                        // with the three divisors as boundary must free
+                        // more than the one node we are about to add.
+                        let freed = g.mffc_size(n, &[da as u32, db as u32, dc as u32]);
+                        if freed < 2 {
+                            continue;
+                        }
+                        let len_before = g.len();
+                        let m = g.maj(
+                            MigSignal::new(da, pa),
+                            MigSignal::new(db, pb),
+                            MigSignal::new(dc, pc),
+                        );
+                        if m.node() == n {
+                            // Strashing found n itself — not a substitution.
+                            g.undo_tail(len_before);
+                            continue;
+                        }
+                        let cand = m.complement_if(out_phase);
+                        stats.candidates += 1;
+                        match try_substitute_built(g, n, cand, len_before, opts, &mut stats) {
+                            Verdict::Accepted => {
+                                // Record the new node's lanes so later
+                                // windows can use it as a divisor.
+                                if m.node() >= sim.len() {
+                                    let mut row = Vec::with_capacity(sim[n].len());
+                                    for l in 0..sim[n].len() {
+                                        row.push(maj_lane(&sim, (da, pa), (db, pb), (dc, pc), l));
+                                    }
+                                    sim.push(row);
+                                }
+                                break 'outer;
+                            }
+                            Verdict::Refuted(cex) => {
+                                if cexes.len() < 64 {
+                                    cexes.push(cex);
+                                }
+                            }
+                            Verdict::Rejected => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        // Periodically fold counterexamples back into the filter.
+        if cexes.len() >= 64 {
+            append_cex_lane(g, &topo, &mut sim, &cexes, stats.candidates);
+            cexes.clear();
+        }
+    }
+    stats
+}
+
+/// Majority of three divisor signals on one simulation lane.
+fn maj_lane(
+    sim: &[Vec<u64>],
+    (a, pa): (usize, bool),
+    (b, pb): (usize, bool),
+    (c, pc): (usize, bool),
+    lane: usize,
+) -> u64 {
+    let wa = sim[a][lane] ^ if pa { !0 } else { 0 };
+    let wb = sim[b][lane] ^ if pb { !0 } else { 0 };
+    let wc = sim[c][lane] ^ if pc { !0 } else { 0 };
+    (wa & wb) | (wa & wc) | (wb & wc)
+}
+
+enum Verdict {
+    Accepted,
+    Refuted(Vec<bool>),
+    Rejected,
+}
+
+/// Proves and commits `n := cand` for an already-existing candidate.
+fn try_substitute(
+    g: &mut IncrementalMig,
+    n: usize,
+    cand: MigSignal,
+    opts: &ResubOptions,
+    stats: &mut ResubStats,
+) -> Verdict {
+    // Engine signature veto (lane 0 subsumes this, but keep the veto as
+    // defense in depth — it is what the cut engine itself trusts).
+    if g.sig_of(cand) != g.sig_of(MigSignal::new(n, false)) {
+        stats.sig_vetoes += 1;
+        return Verdict::Rejected;
+    }
+    match prove_signals(
+        g,
+        MigSignal::new(n, false),
+        cand,
+        Some(opts.conflict_budget),
+    ) {
+        ProveOutcome::Equal { conflicts } => {
+            stats.sat_conflicts += conflicts;
+            g.replace(n, cand);
+            stats.accepted += 1;
+            Verdict::Accepted
+        }
+        ProveOutcome::Differ { cex, conflicts } => {
+            stats.sat_conflicts += conflicts;
+            stats.refuted += 1;
+            Verdict::Refuted(cex)
+        }
+        ProveOutcome::Unknown { conflicts } => {
+            stats.sat_conflicts += conflicts;
+            stats.budget_exhausted += 1;
+            Verdict::Rejected
+        }
+    }
+}
+
+/// Like [`try_substitute`], but for a freshly built candidate node that
+/// must be rolled back with `undo_tail` unless the proof succeeds.
+fn try_substitute_built(
+    g: &mut IncrementalMig,
+    n: usize,
+    cand: MigSignal,
+    len_before: usize,
+    opts: &ResubOptions,
+    stats: &mut ResubStats,
+) -> Verdict {
+    if g.sig_of(cand) != g.sig_of(MigSignal::new(n, false)) {
+        stats.sig_vetoes += 1;
+        g.undo_tail(len_before);
+        return Verdict::Rejected;
+    }
+    match prove_signals(
+        g,
+        MigSignal::new(n, false),
+        cand,
+        Some(opts.conflict_budget),
+    ) {
+        ProveOutcome::Equal { conflicts } => {
+            stats.sat_conflicts += conflicts;
+            g.replace(n, cand);
+            stats.accepted += 1;
+            Verdict::Accepted
+        }
+        ProveOutcome::Differ { cex, conflicts } => {
+            stats.sat_conflicts += conflicts;
+            stats.refuted += 1;
+            g.undo_tail(len_before);
+            Verdict::Refuted(cex)
+        }
+        ProveOutcome::Unknown { conflicts } => {
+            stats.sat_conflicts += conflicts;
+            stats.budget_exhausted += 1;
+            g.undo_tail(len_before);
+            Verdict::Rejected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_core::Mig;
+    use rms_logic::bench_suite;
+    use rms_logic::sim::check_equivalence;
+
+    fn bench_inc(name: &str) -> IncrementalMig {
+        let mig = Mig::from_netlist(&bench_suite::build(name).unwrap()).compact();
+        IncrementalMig::from_mig(&mig)
+    }
+
+    #[test]
+    fn resub_preserves_functions_and_never_grows() {
+        for name in ["rd53_f2", "con1_f1", "sao2_f4", "exam3_d"] {
+            let mut g = bench_inc(name);
+            let before = g.to_mig();
+            let gates_before = g.num_gates();
+            let stats = resub_pass(&mut g, &ResubOptions::default());
+            g.assert_consistent();
+            assert!(
+                g.num_gates() <= gates_before,
+                "{name}: {} > {gates_before}",
+                g.num_gates()
+            );
+            let res = check_equivalence(&before.to_netlist(), &g.to_mig().to_netlist());
+            assert!(res.holds(), "{name}: {res:?} ({stats:?})");
+        }
+    }
+
+    #[test]
+    fn divisor_windows_are_bounded_and_shallow() {
+        let g = bench_inc("9sym_d");
+        let topo = g.topo_order();
+        for &nu in &topo {
+            let n = nu as usize;
+            let divisors = collect_divisors(&g, n, 16);
+            assert!(divisors.len() <= 16);
+            for &d in &divisors {
+                assert!(d == 0 || g.level(d) <= g.level(n), "divisor above the node");
+                assert_ne!(d, n);
+            }
+        }
+    }
+}

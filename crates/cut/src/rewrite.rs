@@ -284,7 +284,16 @@ pub fn optimize_cut_rram_stats(
         let (out, st) = rewrite_round(m, zero_gain);
         (out, st.rewrites)
     };
-    cut_rram_script(mig, realization, opts, &mut round)
+    let (best, mut stats) = cut_rram_script(mig, realization, opts, &mut round);
+    if opts.effort == 0 {
+        return (best, stats);
+    }
+    // Final stage: fraig + resub polish, kept only when the R·S product
+    // improves — the hybrid stays never-worse than plain Alg. 3.
+    match crate::sweep::rram_polish(&best, realization, &mut stats) {
+        Some(polished) => (polished, stats),
+        None => (best, stats),
+    }
 }
 
 #[cfg(test)]

@@ -342,9 +342,17 @@ impl Pipeline {
             run_algorithm_engine(&initial_mig, algorithm, realization, &options, engine);
         let optimize = t0.elapsed();
         // Report the engine that actually ran, not the one requested:
-        // the hybrid cut+RRAM script only exists on the rebuild driver.
+        // the hybrid cut+RRAM script only exists on the rebuild driver,
+        // and the sweep/resub scripts only exist in-place (a rebuild
+        // request falls back to the incremental base).
         let engine = if algorithm == Algorithm::CutRram {
             Engine::Rebuild
+        } else if matches!(
+            algorithm,
+            Algorithm::Sweep | Algorithm::Resub | Algorithm::SweepResub
+        ) && engine == Engine::Rebuild
+        {
+            Engine::Incremental
         } else {
             engine
         };
@@ -461,6 +469,15 @@ pub fn run_algorithm_engine(
     match algorithm {
         Algorithm::Cut => rms_cut::optimize_cut_stats_engine(mig, options, engine),
         Algorithm::CutRram => rms_cut::optimize_cut_rram_stats(mig, realization, options),
+        Algorithm::Sweep => {
+            rms_cut::optimize_sweep_stats(mig, options, engine, rms_cut::SweepPasses::FRAIG)
+        }
+        Algorithm::Resub => {
+            rms_cut::optimize_sweep_stats(mig, options, engine, rms_cut::SweepPasses::RESUB)
+        }
+        Algorithm::SweepResub => {
+            rms_cut::optimize_sweep_stats(mig, options, engine, rms_cut::SweepPasses::BOTH)
+        }
         other => other.run_stats(mig, realization, options),
     }
 }

@@ -40,6 +40,15 @@ pub fn render_text(r: &FlowReport) -> String {
     );
     let _ = writeln!(
         out,
+        "sweep: {} classes, {} merges proved, {} resubs accepted, {} SAT conflicts ({} budget-exhausted)",
+        r.opt.fraig_classes,
+        r.opt.fraig_merges,
+        r.opt.resubs,
+        r.opt.sat_conflicts,
+        r.opt.sat_budget_exhausted
+    );
+    let _ = writeln!(
+        out,
         "cost ({}): R = {} devices, S = {} steps   (before optimization: R = {}, S = {})",
         r.realization,
         r.cost.rrams,
@@ -102,6 +111,11 @@ pub fn render_json(r: &FlowReport) -> String {
         j.num_field("gates_before", r.opt.gates_before);
         j.num_field("gates_after", r.opt.gates_after);
         j.num_field("peak_nodes", r.opt.peak_nodes);
+        j.num_field("fraig_classes", r.opt.fraig_classes);
+        j.num_field("fraig_merges", r.opt.fraig_merges);
+        j.num_field("resubs", r.opt.resubs);
+        j.num_field("sat_conflicts", r.opt.sat_conflicts);
+        j.num_field("sat_budget_exhausted", r.opt.sat_budget_exhausted);
     });
     j.str_field("verification", &r.verify.label());
     j.obj_field("verify", |j| {

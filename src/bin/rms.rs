@@ -33,8 +33,10 @@ INPUT (run / optimize / compile):
     --format FMT          override input format detection (blif|pla|verilog|expr|tt)
 
 FLOW:
-    --opt ALG             area | depth | rram | steps | cut | cut-rram
-                                                             (default: rram, Alg. 3)
+    --opt ALG             area | depth | rram | steps | cut | cut-rram |
+                          sweep | resub | sweep-resub        (default: rram, Alg. 3;
+                          sweep/resub layer SAT sweeping and windowed
+                          resubstitution on top of the cut script)
     --realization R       imp | maj                          (default: maj)
     --effort N            optimization cycles                (default: 40)
     --engine E            incremental | from-scratch | rebuild (--opt cut;
@@ -71,6 +73,10 @@ BENCH:
                           write the machine-readable BENCH_5.json (rebuild
                           baseline vs incremental engine; exits non-zero on
                           any verification or differential regression)
+    --sweep               run sweep+resub vs the cut baseline over the small
+                          suite: verifies every row, checks gate count <= cut
+                          on every benchmark and bit-identity across engines
+                          and worker counts; exits non-zero on any regression
     --out FILE            where --profile writes its JSON (default: BENCH_5.json)
     --iters N             timing iterations per engine for --profile (default: 3)
     --list                list embedded benchmark names
@@ -186,6 +192,11 @@ impl FlowArgs {
                         "steps" | "step" => Algorithm::Steps,
                         "cut" | "rewrite" => Algorithm::Cut,
                         "cut-rram" | "cut_rram" | "cutrram" => Algorithm::CutRram,
+                        "sweep" | "fraig" => Algorithm::Sweep,
+                        "resub" => Algorithm::Resub,
+                        "sweep-resub" | "sweep_resub" | "sweepresub" | "deep" => {
+                            Algorithm::SweepResub
+                        }
                         _ => return Err(format!("unknown algorithm {v:?}")),
                     };
                 }
@@ -471,6 +482,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--runtime" => sections.push("runtime"),
             "--figures" => sections.push("figures"),
             "--profile" => sections.push("profile"),
+            "--sweep" => sections.push("sweep"),
             "--out" => {
                 out_path = it
                     .next()
@@ -535,6 +547,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "summary" => print!("{}", reports::summary_report(&opts, jobs)),
             "runtime" => print!("{}", reports::runtime_report(&opts)),
             "figures" => print!("{}", reports::figures_report()),
+            "sweep" => {
+                let report = rms_bench::runner::run_sweep(&opts, jobs);
+                print!("{}", reports::sweep_report(&report));
+                if !report.all_passed() {
+                    return Err(
+                        "sweep regression: a verification, baseline, or determinism check failed"
+                            .into(),
+                    );
+                }
+            }
             "profile" => {
                 let report = rms_bench::runner::run_profile(&opts, iters);
                 print!("{}", reports::profile_report(&report));

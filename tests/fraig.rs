@@ -1,0 +1,111 @@
+//! Property tests of the fraig (SAT-sweeping) pass, from the outside:
+//! every merge the pass commits is re-proved here by an *independent,
+//! unbounded* SAT miter over a snapshot of the graph taken before the
+//! pass ran — the pass's own bounded proofs are not trusted. Conversely,
+//! every budget-exhausted candidate pair must be left unmerged: "the
+//! solver ran out of budget" is never allowed to count as "equal".
+
+use rram_mig::cut::{fraig_pass, prove_signals, FraigOptions, ProveOutcome};
+use rram_mig::logic::random::random_netlist;
+use rram_mig::mig::{IncrementalMig, Mig, MigSignal};
+
+/// Builds a seeded random circuit dense enough to contain mergeable
+/// structure (tight input counts force reconvergence).
+fn fraig_subject(seed: u64) -> Mig {
+    let inputs = 4 + (seed % 4) as usize;
+    let outputs = 1 + (seed % 3) as usize;
+    let gates = 15 + (seed % 26) as usize;
+    let nl = random_netlist("fraig", seed, inputs, outputs, gates);
+    Mig::from_netlist(&nl).compact()
+}
+
+#[test]
+fn every_fraig_merge_is_reproved_by_an_unbounded_independent_miter() {
+    let mut total_merges = 0u64;
+    for seed in 0..30u64 {
+        let mig = fraig_subject(seed);
+        let reference = mig.truth_tables();
+        let mut g = IncrementalMig::from_mig(&mig);
+        // The pre-pass snapshot: merge log entries are (node, target)
+        // pairs in the stable numbering, so they stay meaningful here.
+        let snapshot = g.clone();
+        let outcome = fraig_pass(&mut g, &FraigOptions::default());
+        g.assert_consistent();
+        for &(node, target) in &outcome.merges {
+            match prove_signals(&snapshot, MigSignal::new(node, false), target, None) {
+                ProveOutcome::Equal { .. } => {}
+                other => panic!(
+                    "seed {seed}: merge {node} -> {target:?} not independently provable: {other:?}"
+                ),
+            }
+        }
+        total_merges += outcome.merges.len() as u64;
+        assert_eq!(
+            outcome.stats.merges,
+            outcome.merges.len() as u64,
+            "seed {seed}"
+        );
+        // The merged graph must still compute the source function.
+        assert_eq!(g.to_mig().truth_tables(), reference, "seed {seed}");
+    }
+    // The property is vacuous if the pass never merges anything.
+    assert!(total_merges > 0, "no merges across 30 seeds");
+}
+
+#[test]
+fn budget_exhausted_candidates_are_left_unmerged() {
+    // A one-conflict budget forces Unknown outcomes on any pair whose
+    // miter needs real search; the pass must retire those pairs, not
+    // merge them.
+    let opts = FraigOptions {
+        conflict_budget: 1,
+        ..FraigOptions::default()
+    };
+    let mut total_gave_up = 0u64;
+    for seed in 0..30u64 {
+        let mig = fraig_subject(seed);
+        let reference = mig.truth_tables();
+        let mut g = IncrementalMig::from_mig(&mig);
+        let snapshot = g.clone();
+        let outcome = fraig_pass(&mut g, &opts);
+        assert_eq!(
+            outcome.stats.budget_exhausted,
+            outcome.gave_up.len() as u64,
+            "seed {seed}"
+        );
+        for &(rep, member) in &outcome.gave_up {
+            // Not merged: the member never appears in the merge log.
+            assert!(
+                outcome.merges.iter().all(|&(n, _)| n != member),
+                "seed {seed}: budget-exhausted member {member} was merged"
+            );
+            // And the retired pair really was beyond a 1-conflict budget
+            // (or at least well-formed): both ends exist in the snapshot.
+            assert!(
+                rep < snapshot.len() && member < snapshot.len(),
+                "seed {seed}"
+            );
+        }
+        total_gave_up += outcome.gave_up.len() as u64;
+        // Starved of budget, the pass must still be sound.
+        assert_eq!(g.to_mig().truth_tables(), reference, "seed {seed}");
+    }
+    assert!(
+        total_gave_up > 0,
+        "a 1-conflict budget should exhaust on some pair across 30 seeds"
+    );
+}
+
+#[test]
+fn fraig_is_deterministic_across_repeated_runs() {
+    for seed in [3u64, 17, 29] {
+        let mig = fraig_subject(seed);
+        let mut a = IncrementalMig::from_mig(&mig);
+        let mut b = IncrementalMig::from_mig(&mig);
+        let oa = fraig_pass(&mut a, &FraigOptions::default());
+        let ob = fraig_pass(&mut b, &FraigOptions::default());
+        assert_eq!(oa.merges, ob.merges, "seed {seed}");
+        assert_eq!(oa.stats, ob.stats, "seed {seed}");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "seed {seed}");
+    }
+}
