@@ -106,6 +106,90 @@ pub fn mix64(word: u64) -> u64 {
     h ^ (h >> 32)
 }
 
+/// Domain-separation tags of [`netlist_structural_hash`].
+const TAG_CONST0: u64 = 0x6f0d_9c2b_0000_0001;
+const TAG_INPUT: u64 = 0x6f0d_9c2b_0000_0002;
+const TAG_COMPL: u64 = 0x6f0d_9c2b_0000_0003;
+const TAG_OUTPUT: u64 = 0x6f0d_9c2b_0000_0004;
+
+/// Content address of a netlist's *structure*: a 64-bit hash that is
+/// identical for structurally identical circuits and independent of node
+/// numbering, circuit/signal names, and source format.
+///
+/// This is the cache key primitive of the `rms serve` result cache: two
+/// requests whose circuits parse to the same DAG — whether they arrived
+/// as BLIF, structural Verilog, or with permuted node ids — address the
+/// same cache entry.
+///
+/// Properties:
+///
+/// - **Node-id free.** Every node's hash is computed bottom-up from its
+///   children's hashes, so topological re-numberings of the same DAG
+///   hash identically.
+/// - **Name free.** The circuit name, input names, and output names do
+///   not enter the hash; inputs are identified by *position* (which is
+///   what simulation and verification key on), outputs by position too.
+/// - **Commutation aware.** Fanin hashes of commutative gates
+///   (AND/OR/XOR/MAJ) are sorted before folding, so argument-swapped
+///   spellings of the same gate collide intentionally. MUX fanins are
+///   order-sensitive (selector/then/else).
+/// - **Not semantic.** This is a structural hash, not an equivalence
+///   class: functionally equal but structurally different circuits hash
+///   differently (the pipeline's SAT tier exists for semantics).
+///
+/// Like every use of [`FxHasher`], the result is deterministic across
+/// processes and runs, never keyed, and must not be exposed to
+/// attacker-controlled collision games.
+pub fn netlist_structural_hash(nl: &rms_logic::Netlist) -> u64 {
+    use rms_logic::netlist::GateKind;
+
+    let num_inputs = nl.num_inputs();
+    let mut node_hash = vec![0u64; nl.num_nodes()];
+    node_hash[0] = mix64(TAG_CONST0);
+    for (i, slot) in node_hash[1..=num_inputs].iter_mut().enumerate() {
+        *slot = mix64(TAG_INPUT ^ mix64(i as u64 + 1));
+    }
+    let wire_token = |hashes: &[u64], w: rms_logic::netlist::Wire| -> u64 {
+        let base = hashes[w.node()];
+        if w.is_complemented() {
+            mix64(base ^ TAG_COMPL)
+        } else {
+            base
+        }
+    };
+    for (node, gate) in nl.gates() {
+        let mut tokens = [0u64; 3];
+        let arity = gate.kind.arity();
+        for (slot, &w) in tokens.iter_mut().zip(gate.fanins.iter()) {
+            *slot = wire_token(&node_hash, w);
+        }
+        // Commutative gates: canonical fanin order by token.
+        if gate.kind != GateKind::Mux {
+            tokens[..arity].sort_unstable();
+        }
+        let kind_tag = match gate.kind {
+            GateKind::And => 0x11,
+            GateKind::Or => 0x12,
+            GateKind::Xor => 0x13,
+            GateKind::Maj => 0x14,
+            GateKind::Mux => 0x15,
+        };
+        let mut h = FxHasher::default();
+        h.write_u64(mix64(kind_tag));
+        for &t in &tokens[..arity] {
+            h.write_u64(t);
+        }
+        node_hash[node] = h.finish();
+    }
+    let mut h = FxHasher::default();
+    h.write_u64(num_inputs as u64);
+    h.write_u64(nl.num_outputs() as u64);
+    for (_, w) in nl.outputs() {
+        h.write_u64(mix64(TAG_OUTPUT ^ wire_token(&node_hash, *w)));
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +231,125 @@ mod tests {
         let mut nine = [0u8; 9];
         nine[8] = 1;
         assert_ne!(h(&nine), h(&[0; 9]));
+    }
+
+    #[test]
+    fn structural_hash_ignores_names_and_fanin_order() {
+        use rms_logic::NetlistBuilder;
+        let build = |name: &str, swap: bool| {
+            let mut b = NetlistBuilder::new(name);
+            let x = b.input(if swap { "p" } else { "x" });
+            let y = b.input(if swap { "q" } else { "y" });
+            let (a, c) = if swap { (y, x) } else { (x, y) };
+            let g = b.and(a, c);
+            let h = b.xor(g, x);
+            b.output("out", h);
+            b.build()
+        };
+        // Same structure, different names: identical hash. Swapping the
+        // fanins of a commutative gate keeps the hash, but swapping which
+        // *wire* feeds the XOR's second leg would not.
+        assert_eq!(
+            netlist_structural_hash(&build("a", false)),
+            netlist_structural_hash(&build("b", false))
+        );
+        assert_eq!(
+            netlist_structural_hash(&build("a", false)),
+            netlist_structural_hash(&build("a", true))
+        );
+    }
+
+    #[test]
+    fn structural_hash_separates_structure() {
+        use rms_logic::NetlistBuilder;
+        let gate = |xor: bool| {
+            let mut b = NetlistBuilder::new("t");
+            let x = b.input("x");
+            let y = b.input("y");
+            let g = if xor { b.xor(x, y) } else { b.or(x, y) };
+            b.output("f", g);
+            b.build()
+        };
+        assert_ne!(
+            netlist_structural_hash(&gate(true)),
+            netlist_structural_hash(&gate(false))
+        );
+        // Output complementation changes the function and the hash.
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.xor(x, y);
+        b.output("f", b.not(g));
+        let complemented = b.build();
+        assert_ne!(
+            netlist_structural_hash(&gate(true)),
+            netlist_structural_hash(&complemented)
+        );
+        // MUX fanins are positional: swapping then/else must differ.
+        let mux = |swap: bool| {
+            let mut b = NetlistBuilder::new("m");
+            let s = b.input("s");
+            let t = b.input("t");
+            let e = b.input("e");
+            let g = if swap { b.mux(s, e, t) } else { b.mux(s, t, e) };
+            b.output("f", g);
+            b.build()
+        };
+        assert_ne!(
+            netlist_structural_hash(&mux(false)),
+            netlist_structural_hash(&mux(true))
+        );
+    }
+
+    #[test]
+    fn structural_hash_ignores_node_numbering() {
+        use rms_logic::NetlistBuilder;
+        // The same DAG built in two gate orders: node ids permute, the
+        // hash must not.
+        let build = |flip: bool| {
+            let mut b = NetlistBuilder::new("perm");
+            let a = b.input("a");
+            let bb = b.input("b");
+            let c = b.input("c");
+            let d = b.input("d");
+            let (g1, g2) = if flip {
+                let g2 = b.or(c, d);
+                let g1 = b.and(a, bb);
+                (g1, g2)
+            } else {
+                let g1 = b.and(a, bb);
+                let g2 = b.or(c, d);
+                (g1, g2)
+            };
+            let f = b.xor(g1, g2);
+            b.output("f", f);
+            b.output("g", g1);
+            b.build()
+        };
+        assert_eq!(
+            netlist_structural_hash(&build(false)),
+            netlist_structural_hash(&build(true))
+        );
+    }
+
+    #[test]
+    fn structural_hash_crosses_source_formats() {
+        // The same two-gate circuit written as BLIF and as structural
+        // Verilog parses to the same DAG, so it must share a hash (this
+        // is the `rms serve` cache-key contract).
+        let blif = rms_logic::blif::parse(
+            ".model t\n.inputs a b c\n.outputs f\n.names a b w\n11 1\n.names w c f\n1- 1\n-1 1\n.end\n",
+        )
+        .unwrap();
+        let verilog = rms_logic::verilog::parse(
+            "module t(a, b, c, f);\ninput a, b, c;\noutput f;\nwire w;\nassign w = a & b;\nassign f = w | c;\nendmodule\n",
+        )
+        .unwrap();
+        assert_eq!(blif.num_gates(), verilog.num_gates());
+        assert_eq!(
+            netlist_structural_hash(&blif),
+            netlist_structural_hash(&verilog)
+        );
     }
 
     #[test]

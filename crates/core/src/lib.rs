@@ -45,6 +45,7 @@ pub mod signal;
 
 pub use cost::{LevelProfile, MigStats, Realization, RramCost};
 pub use fanout::IncrementalMig;
+pub use hash::netlist_structural_hash;
 pub use mig::{MajBuilder, Mig, MigNode};
 pub use opt::{Algorithm, OptOptions, OptStats};
 pub use signal::MigSignal;

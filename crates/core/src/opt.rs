@@ -462,6 +462,42 @@ impl Algorithm {
     }
 }
 
+impl Algorithm {
+    /// Parses an algorithm name as given on the command line or in an
+    /// `rms serve` request (accepts the same aliases as `rms --opt`).
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        match name.to_ascii_lowercase().as_str() {
+            "area" => Some(Algorithm::Area),
+            "depth" => Some(Algorithm::Depth),
+            "rram" | "rram-costs" | "multi" => Some(Algorithm::RramCosts),
+            "steps" | "step" => Some(Algorithm::Steps),
+            "cut" | "rewrite" => Some(Algorithm::Cut),
+            "cut-rram" | "cut_rram" | "cutrram" => Some(Algorithm::CutRram),
+            "sweep" | "fraig" => Some(Algorithm::Sweep),
+            "resub" => Some(Algorithm::Resub),
+            "sweep-resub" | "sweep_resub" | "sweepresub" | "deep" => Some(Algorithm::SweepResub),
+            _ => None,
+        }
+    }
+
+    /// The canonical machine token of this algorithm: the stable spelling
+    /// used in cache keys and accepted by [`Algorithm::from_name`]
+    /// (unlike `Display`, which renders a human-readable label).
+    pub fn token(self) -> &'static str {
+        match self {
+            Algorithm::Area => "area",
+            Algorithm::Depth => "depth",
+            Algorithm::RramCosts => "rram",
+            Algorithm::Steps => "steps",
+            Algorithm::Cut => "cut",
+            Algorithm::CutRram => "cut-rram",
+            Algorithm::Sweep => "sweep",
+            Algorithm::Resub => "resub",
+            Algorithm::SweepResub => "sweep-resub",
+        }
+    }
+}
+
 impl std::fmt::Display for Algorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

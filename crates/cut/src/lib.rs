@@ -59,7 +59,7 @@ pub mod rewrite;
 pub mod sweep;
 
 pub use cuts::{Cut, CutList, MAX_CUTS_PER_NODE, MAX_CUT_INPUTS};
-pub use database::{database, Database, DbEntry};
+pub use database::{database, prewarm, Database, DbEntry};
 pub use fraig::{fraig_pass, prove_signals, FraigOptions, FraigOutcome, FraigStats, ProveOutcome};
 pub use incremental::{cut_script_inplace, CutStore, EngineMode};
 pub use resub::{resub_pass, ResubOptions, ResubStats};

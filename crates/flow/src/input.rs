@@ -160,6 +160,36 @@ pub fn parse_str(format: InputFormat, text: &str, name: &str) -> Result<Netlist,
     }
 }
 
+/// Parses circuit text whose format is discovered by [`sniff_format`] —
+/// the entry point shared by `--input -` (circuits piped on stdin) and
+/// the `rms serve` request path, where no file extension exists.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Parse`] when the text is malformed for the
+/// sniffed format.
+pub fn parse_sniffed(text: &str, name: &str) -> Result<Netlist, FlowError> {
+    parse_str(sniff_format(text), text, name)
+}
+
+/// Reads a whole circuit from standard input and parses it, sniffing the
+/// format unless `format` pins it — the implementation of the `-` input
+/// path of `rms run`/`optimize`/`compile`/`verify`.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Io`] when stdin cannot be read and
+/// [`FlowError::Parse`] when its contents are malformed.
+pub fn load_stdin(format: Option<InputFormat>) -> Result<Netlist, FlowError> {
+    let mut text = String::new();
+    std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut text)
+        .map_err(|e| FlowError::io("<stdin>", e))?;
+    match format {
+        Some(f) => parse_str(f, &text, "stdin"),
+        None => parse_sniffed(&text, "stdin"),
+    }
+}
+
 /// Loads an embedded benchmark by name (see [`rms_logic::bench_suite`]).
 ///
 /// # Errors

@@ -68,6 +68,6 @@ pub use pipeline::{
     optimize_cost, run_algorithm, run_algorithm_engine, FlowOutput, FlowReport, Frontend, Pipeline,
     StageTimings, DEFAULT_VERIFY_SEED,
 };
-pub use report::{escape_json, render_json, render_text};
+pub use report::{escape_json, render_json, render_text, REPORT_SCHEMA};
 pub use rms_cut::Engine;
 pub use verify::{check_netlists, format_assignment, VerifyMode, VerifyOutcome};

@@ -80,10 +80,18 @@ pub fn render_text(r: &FlowReport) -> String {
     out
 }
 
+/// Schema identifier stamped into every JSON report (the first field),
+/// so machine consumers — `rms serve` clients in particular — can detect
+/// format drift instead of silently misparsing. Bump the suffix whenever
+/// a field is renamed, removed, or changes meaning; adding fields is
+/// backward-compatible and does not bump it.
+pub const REPORT_SCHEMA: &str = "rms-flow-report-v1";
+
 /// Renders a report as a JSON object (one document, trailing newline).
 pub fn render_json(r: &FlowReport) -> String {
     let mut j = Json::new();
     j.open();
+    j.str_field("schema", REPORT_SCHEMA);
     j.str_field("name", &r.name);
     j.num_field("num_inputs", r.num_inputs as u64);
     j.num_field("num_outputs", r.num_outputs as u64);
@@ -303,6 +311,10 @@ mod tests {
             json.matches('{').count(),
             json.matches('}').count(),
             "{json}"
+        );
+        assert!(
+            json.starts_with(&format!("{{\"schema\":\"{REPORT_SCHEMA}\"")),
+            "schema version must lead the report: {json}"
         );
         assert!(json.contains("\"algorithm\":\"RRAM costs\""));
         assert!(json.contains("\"cost\":{\"rrams\":"));

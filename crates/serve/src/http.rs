@@ -1,0 +1,281 @@
+//! The HTTP transport: a minimal, dependency-free HTTP/1.1 listener over
+//! `std::net::TcpListener` with a hand-rolled request parser, serving
+//! the same JSONL protocol as the stdio transport.
+//!
+//! Routes:
+//!
+//! - `POST /` or `POST /synth` — body is newline-delimited JSON requests
+//!   (one or many); the response body is one response line per request
+//!   line, `Content-Type: application/x-ndjson`.
+//! - `GET /stats` — cache counters (the `stats` op).
+//! - `GET /health` — liveness probe (the `ping` op).
+//!
+//! One thread per connection, `Connection: close` after each response —
+//! deliberately simple; the synthesis work dwarfs connection setup.
+
+use crate::service::Service;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+/// Upper bound on request bodies (a structural Verilog netlist of
+/// millions of gates fits comfortably).
+const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Upper bound on the request line and each header line.
+const MAX_LINE_BYTES: usize = 64 << 10;
+
+/// Binds `addr` and serves connections forever (the `rms serve --http`
+/// entry point).
+///
+/// # Errors
+///
+/// Returns the bind error; per-connection errors are contained.
+pub fn serve_http(service: Arc<Service>, addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    accept_loop(service, listener)
+}
+
+/// Binds `addr` (use `127.0.0.1:0` for an ephemeral port), returns the
+/// bound address, and serves on a background thread — the test and
+/// embedding entry point.
+///
+/// # Errors
+///
+/// Returns the bind error.
+pub fn spawn_http(service: Arc<Service>, addr: &str) -> io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    thread::spawn(move || {
+        let _ = accept_loop(service, listener);
+    });
+    Ok(bound)
+}
+
+fn accept_loop(service: Arc<Service>, listener: TcpListener) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        thread::spawn(move || handle_connection(&service, stream));
+    }
+    Ok(())
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+struct Response {
+    status: u16,
+    reason: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            body,
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, message: &str) -> Response {
+        Response {
+            status,
+            reason,
+            body: format!(
+                "{{\"protocol\":\"{}\",\"status\":\"error\",\"error\":\"{}\"}}",
+                crate::service::PROTOCOL,
+                rms_flow::escape_json(message)
+            ),
+        }
+    }
+}
+
+fn handle_connection(service: &Service, mut stream: TcpStream) {
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(service, &request),
+        Err(response) => response,
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+/// Parses the request line, headers, and `Content-Length`-framed body.
+/// Protocol violations come back as ready-made error responses.
+fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| Response::error(500, "Internal Server Error", &e.to_string()))?,
+    );
+    let request_line = read_header_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(Response::error(
+            400,
+            "Bad Request",
+            "malformed request line",
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(Response::error(400, "Bad Request", "expected HTTP/1.x"));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let line = read_header_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(Response::error(400, "Bad Request", "malformed header line"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| Response::error(400, "Bad Request", "bad Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Response::error(
+            413,
+            "Payload Too Large",
+            "request body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| Response::error(400, "Bad Request", "truncated request body"))?;
+    let body = String::from_utf8(body)
+        .map_err(|_| Response::error(400, "Bad Request", "request body is not UTF-8"))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// One CRLF-terminated header line, size-capped.
+fn read_header_line<R: BufRead>(reader: &mut R) -> Result<String, Response> {
+    let mut line = String::new();
+    let mut limited = reader.take(MAX_LINE_BYTES as u64);
+    limited
+        .read_line(&mut line)
+        .map_err(|e| Response::error(400, "Bad Request", &e.to_string()))?;
+    if !line.ends_with('\n') && line.len() >= MAX_LINE_BYTES {
+        return Err(Response::error(
+            431,
+            "Request Header Fields Too Large",
+            "header line too long",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn route(service: &Service, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => Response::ok(service.handle_line("{\"op\":\"ping\"}")),
+        ("GET", "/stats") => Response::ok(service.handle_line("{\"op\":\"stats\"}")),
+        ("POST", "/") | ("POST", "/synth") => {
+            let mut lines = Vec::new();
+            for line in request.body.lines() {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    lines.push(service.handle_line(trimmed));
+                }
+            }
+            if lines.is_empty() {
+                return Response::error(400, "Bad Request", "empty request body");
+            }
+            Response::ok(lines.join("\n"))
+        }
+        ("GET" | "POST", _) => Response::error(404, "Not Found", "no such route"),
+        _ => Response::error(405, "Method Not Allowed", "use GET or POST"),
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut body = response.body.clone();
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.reason,
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    fn start() -> SocketAddr {
+        let service = Arc::new(Service::new(ServeConfig::default()));
+        spawn_http(service, "127.0.0.1:0").expect("bind ephemeral port")
+    }
+
+    fn exchange(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("receive");
+        response
+    }
+
+    fn post(addr: SocketAddr, body: &str) -> String {
+        exchange(
+            addr,
+            &format!(
+                "POST /synth HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        )
+    }
+
+    #[test]
+    fn http_round_trip_and_cache_hit() {
+        let addr = start();
+        let body = "{\"id\":\"h1\",\"bench\":\"rd53_f2\",\"effort\":2}\n";
+        let cold = post(addr, body);
+        assert!(cold.starts_with("HTTP/1.1 200 OK\r\n"), "{cold}");
+        assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+        let warm = post(addr, body);
+        assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+        // Two request lines in one POST → two response lines.
+        let double = post(addr, &format!("{body}{body}"));
+        assert_eq!(double.matches("\"cache\":\"hit\"").count(), 2, "{double}");
+    }
+
+    #[test]
+    fn http_health_stats_and_errors() {
+        let addr = start();
+        let health = exchange(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(health.contains("\"op\":\"ping\""), "{health}");
+        let stats = exchange(addr, "GET /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(stats.contains("\"op\":\"stats\""), "{stats}");
+        let missing = exchange(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let bad = exchange(addr, "garbage\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let empty = post(addr, "");
+        assert!(empty.starts_with("HTTP/1.1 400"), "{empty}");
+        let wrong_method = exchange(addr, "DELETE / HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
+    }
+}

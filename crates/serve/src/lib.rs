@@ -1,0 +1,41 @@
+//! `rms-serve` — the persistent synthesis service behind `rms serve`.
+//!
+//! A long-lived process that accepts circuits over two transports —
+//! newline-delimited JSON on stdio ([`run_stdio`]) and a minimal
+//! std-only HTTP/1.1 listener ([`serve_http`]) — runs them through the
+//! [`rms_flow::Pipeline`], and memoizes every result in a
+//! **content-addressed, proof-carrying cache** ([`cache::ResultCache`]):
+//!
+//! - the key is the *structural hash* of the parsed netlist
+//!   ([`rms_core::netlist_structural_hash`], invariant under node
+//!   numbering, names, and source format) crossed with the canonicalized
+//!   pipeline options, so re-submitting the same circuit in a different
+//!   spelling still hits;
+//! - every entry carries [`cache::Provenance`] — which request produced
+//!   it, the verification tier, SAT conflict/decision counts, and a
+//!   logical timestamp — so a hit is a *proved* answer, not just a fast
+//!   one;
+//! - memory is bounded by an LRU byte budget with deterministic
+//!   (wall-clock-free) eviction order.
+//!
+//! Per-process state that the CLI rebuilds on every invocation — the
+//! NPN-222 cut database and the parsed benchmark suites — is built once
+//! behind `OnceLock`s and shared by every request. Batch requests fan
+//! out over the same scoped-thread pool as `rms bench`, with responses
+//! assembled sequentially in input order so the byte stream is identical
+//! across worker counts.
+//!
+//! The wire protocol is documented on the [`service`] module; the
+//! `ARCHITECTURE.md` section "The synthesis server" at the repository
+//! root covers the design in prose.
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod service;
+pub mod stdio;
+
+pub use cache::{CacheKey, CacheStats, Entry, Provenance, ResultCache};
+pub use http::{serve_http, spawn_http};
+pub use service::{RequestOptions, ServeConfig, Service, DEFAULT_CACHE_BYTES, PROTOCOL};
+pub use stdio::run_stdio;

@@ -1,0 +1,747 @@
+//! The synthesis service: request decoding, cache-aware execution, and
+//! response rendering — transport-independent (stdio and HTTP both feed
+//! [`Service::handle_line`]).
+//!
+//! # Protocol (`rms-serve-v1`)
+//!
+//! One JSON object per line in, one JSON object per line out.
+//!
+//! **Synthesis request** — a circuit plus pipeline options:
+//!
+//! ```json
+//! {"id":"r1","circuit":".model t\n.inputs a b\n…","format":"blif",
+//!  "opt":"cut","engine":"incremental","effort":40,"realization":"maj",
+//!  "frontend":"direct","verify":"auto","seed":7,"deterministic":false}
+//! ```
+//!
+//! `circuit` carries the text of any supported frontend format (sniffed
+//! when `format` is omitted); `bench` names an embedded benchmark
+//! instead. All option fields are optional and default to the CLI
+//! defaults. `deterministic:true` zeroes the wall-clock timing fields of
+//! the report so responses are byte-reproducible (the determinism bar
+//! the batch tests enforce).
+//!
+//! **Batch request** — many circuits, one shared option set, fanned out
+//! over the scoped-thread pool (`jobs` overrides the worker count):
+//!
+//! ```json
+//! {"id":"b1","batch":[{"id":"x","bench":"misex1"},{"id":"y","circuit":"…"}],
+//!  "opt":"cut","jobs":4}
+//! ```
+//!
+//! Batch responses list per-item envelopes in **input order**, and are
+//! bit-identical across worker counts: items are classified against the
+//! cache up front, unique misses run in parallel, and cache insertion +
+//! response assembly happen sequentially in input order.
+//!
+//! **Ops** — `{"op":"stats"}` returns cache counters,
+//! `{"op":"ping"}` a liveness probe.
+//!
+//! Every response carries `"protocol":"rms-serve-v1"`, the echoed `id`,
+//! a `status` (`ok` / `error`), and for synthesis results a `cache`
+//! disposition (`hit` / `miss`), the content address (`structure` +
+//! `options`), the proof-carrying [`Provenance`] record, and the full
+//! `rms_flow` JSON report under `report` (schema-stamped, see
+//! `rms_flow::REPORT_SCHEMA`).
+
+use crate::cache::{CacheKey, CacheStats, Entry, Provenance, ResultCache};
+use crate::json::Value;
+use rms_core::netlist_structural_hash;
+use rms_core::opt::{Algorithm, OptOptions};
+use rms_core::Realization;
+use rms_flow::{
+    escape_json, input, par, render_json, Engine, Frontend, InputFormat, Pipeline, StageTimings,
+    VerifyMode, VerifyOutcome,
+};
+use rms_logic::{bench_suite, Netlist};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Protocol identifier stamped into every response line.
+pub const PROTOCOL: &str = "rms-serve-v1";
+
+/// Default cache byte budget (64 MiB) — thousands of small-suite-sized
+/// reports.
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// Server-level configuration (one per [`Service`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Byte budget of the result cache.
+    pub cache_bytes: usize,
+    /// Default batch fan-out worker count (0 = all cores, the `par_map`
+    /// default); a request's `jobs` field overrides it.
+    pub jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            jobs: 0,
+        }
+    }
+}
+
+/// The normalized pipeline options of a request — the second half of the
+/// cache key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Optimization algorithm (default: Alg. 3, like the CLI).
+    pub algorithm: Algorithm,
+    /// Majority-gate realization.
+    pub realization: Realization,
+    /// Optimization effort (cycles).
+    pub effort: usize,
+    /// Cut-rewriting engine.
+    pub engine: Engine,
+    /// Initial MIG construction.
+    pub frontend: Frontend,
+    /// Verification policy.
+    pub verify: VerifyMode,
+    /// Sampled-verification seed.
+    pub seed: u64,
+    /// Zero the report's timing fields for byte-reproducible responses.
+    pub deterministic: bool,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        RequestOptions {
+            algorithm: Algorithm::RramCosts,
+            realization: Realization::Maj,
+            effort: OptOptions::default().effort,
+            engine: Engine::default(),
+            frontend: Frontend::Direct,
+            verify: VerifyMode::Auto,
+            seed: rms_flow::DEFAULT_VERIFY_SEED,
+            deterministic: false,
+        }
+    }
+}
+
+impl RequestOptions {
+    /// Decodes the option fields of a request object, leaving defaults
+    /// for absent fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field on unknown values.
+    pub fn from_json(v: &Value) -> Result<RequestOptions, String> {
+        let mut o = RequestOptions::default();
+        if let Some(f) = v.get("opt").or_else(|| v.get("algorithm")) {
+            let name = f.as_str().ok_or("\"opt\" must be a string")?;
+            o.algorithm =
+                Algorithm::from_name(name).ok_or_else(|| format!("unknown algorithm {name:?}"))?;
+        }
+        if let Some(f) = v.get("realization") {
+            let name = f.as_str().ok_or("\"realization\" must be a string")?;
+            o.realization = match name.to_ascii_lowercase().as_str() {
+                "imp" => Realization::Imp,
+                "maj" => Realization::Maj,
+                _ => return Err(format!("unknown realization {name:?}")),
+            };
+        }
+        if let Some(f) = v.get("effort") {
+            o.effort =
+                f.as_u64()
+                    .ok_or("\"effort\" must be a non-negative integer")? as usize;
+        }
+        if let Some(f) = v.get("engine") {
+            let name = f.as_str().ok_or("\"engine\" must be a string")?;
+            o.engine = Engine::from_name(name).ok_or_else(|| format!("unknown engine {name:?}"))?;
+        }
+        if let Some(f) = v.get("frontend") {
+            let name = f.as_str().ok_or("\"frontend\" must be a string")?;
+            o.frontend =
+                Frontend::from_name(name).ok_or_else(|| format!("unknown frontend {name:?}"))?;
+        }
+        if let Some(f) = v.get("verify") {
+            let name = f.as_str().ok_or("\"verify\" must be a string")?;
+            o.verify = VerifyMode::from_name(name)
+                .ok_or_else(|| format!("unknown verify mode {name:?}"))?;
+        }
+        if let Some(f) = v.get("seed") {
+            o.seed = f
+                .as_u64()
+                .ok_or("\"seed\" must be a non-negative integer")?;
+        }
+        if let Some(f) = v.get("deterministic") {
+            o.deterministic = f.as_bool().ok_or("\"deterministic\" must be a boolean")?;
+        }
+        Ok(o)
+    }
+
+    /// The canonical option string: stable machine tokens in a fixed
+    /// field order, *after* the same engine normalization the pipeline
+    /// applies (`cut-rram` always runs on the rebuild driver, the
+    /// sweep modes never do) — so every request spelling that produces
+    /// the same flow produces the same cache key.
+    pub fn canonical(&self) -> String {
+        let engine = if self.algorithm == Algorithm::CutRram {
+            Engine::Rebuild
+        } else if matches!(
+            self.algorithm,
+            Algorithm::Sweep | Algorithm::Resub | Algorithm::SweepResub
+        ) && self.engine == Engine::Rebuild
+        {
+            Engine::Incremental
+        } else {
+            self.engine
+        };
+        format!(
+            "alg={};realization={};effort={};engine={};frontend={};verify={};seed={};det={}",
+            self.algorithm.token(),
+            self.realization,
+            self.effort,
+            engine,
+            self.frontend,
+            self.verify,
+            self.seed,
+            self.deterministic as u8
+        )
+    }
+}
+
+/// One circuit of a request (a single request is a batch of one).
+#[derive(Debug, Clone)]
+struct CircuitSpec {
+    /// Echoed response id.
+    id: String,
+    /// Display name for formats that carry none.
+    name: String,
+    source: Source,
+}
+
+#[derive(Debug, Clone)]
+enum Source {
+    Text {
+        format: Option<InputFormat>,
+        text: String,
+    },
+    Bench(String),
+}
+
+impl CircuitSpec {
+    fn from_json(v: &Value, default_id: String) -> Result<CircuitSpec, String> {
+        let id = match v.get("id") {
+            Some(f) => f.as_str().ok_or("\"id\" must be a string")?.to_string(),
+            None => default_id,
+        };
+        let name = match v.get("name") {
+            Some(f) => f.as_str().ok_or("\"name\" must be a string")?.to_string(),
+            None => "request".to_string(),
+        };
+        let format = match v.get("format") {
+            Some(f) => {
+                let fname = f.as_str().ok_or("\"format\" must be a string")?;
+                Some(
+                    InputFormat::from_name(fname)
+                        .ok_or_else(|| format!("unknown format {fname:?}"))?,
+                )
+            }
+            None => None,
+        };
+        let source = match (v.get("circuit"), v.get("bench")) {
+            (Some(c), None) => Source::Text {
+                format,
+                text: c
+                    .as_str()
+                    .ok_or("\"circuit\" must be a string")?
+                    .to_string(),
+            },
+            (None, Some(b)) => {
+                Source::Bench(b.as_str().ok_or("\"bench\" must be a string")?.to_string())
+            }
+            (Some(_), Some(_)) => return Err("give \"circuit\" or \"bench\", not both".into()),
+            (None, None) => return Err("request needs a \"circuit\" or \"bench\" field".into()),
+        };
+        Ok(CircuitSpec { id, name, source })
+    }
+
+    fn resolve(&self) -> Result<Netlist, String> {
+        match &self.source {
+            Source::Bench(name) => bench_netlist(name)
+                .cloned()
+                .ok_or_else(|| format!("unknown benchmark {name:?} (see `rms bench --list`)")),
+            Source::Text { format, text } => match format {
+                Some(f) => input::parse_str(*f, text, &self.name),
+                None => input::parse_sniffed(text, &self.name),
+            }
+            .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// The embedded benchmark suites, parsed **once per process** and shared
+/// by every request (the CLI parses per invocation; the server must
+/// not).
+fn bench_netlists() -> &'static BTreeMap<String, Netlist> {
+    static SUITES: OnceLock<BTreeMap<String, Netlist>> = OnceLock::new();
+    SUITES.get_or_init(|| {
+        let mut map = BTreeMap::new();
+        for nl in bench_suite::large_suite()
+            .into_iter()
+            .chain(bench_suite::small_suite())
+        {
+            map.insert(nl.name().to_string(), nl);
+        }
+        map
+    })
+}
+
+/// A parsed benchmark by name, from the shared per-process map.
+fn bench_netlist(name: &str) -> Option<&'static Netlist> {
+    bench_netlists().get(name)
+}
+
+/// A completed pipeline run: the rendered report plus the verification
+/// outcome, or an error message.
+type RunResult = Result<(String, VerifyOutcome), String>;
+
+/// The outcome of one circuit's execution, before response rendering.
+enum ItemOutcome {
+    Hit(Entry),
+    Miss(Entry),
+    Error(String),
+}
+
+/// The long-lived synthesis service.
+///
+/// Construction prewarms every piece of shared per-process state (the
+/// NPN-222 tables and MIG database via [`rms_cut::prewarm`]) so the
+/// one-time setup cost lands at startup, not inside the first request.
+pub struct Service {
+    cache: Mutex<ResultCache>,
+    jobs: usize,
+}
+
+impl Service {
+    /// A fresh service with the given configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        rms_cut::prewarm();
+        Service {
+            cache: Mutex::new(ResultCache::new(config.cache_bytes)),
+            jobs: config.jobs,
+        }
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    /// Handles one protocol line and returns one response line (no
+    /// trailing newline). Never panics on malformed input — protocol
+    /// errors become `status:"error"` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        let v = match Value::parse(line) {
+            Ok(v) if v.is_object() => v,
+            Ok(_) => return error_envelope("", "request must be a JSON object"),
+            Err(e) => return error_envelope("", &e.to_string()),
+        };
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        if let Some(op) = v.get("op") {
+            return match op.as_str() {
+                Some("stats") => self.stats_envelope(&id),
+                Some("ping") => format!(
+                    "{{\"protocol\":\"{PROTOCOL}\",\"id\":\"{}\",\"status\":\"ok\",\"op\":\"ping\"}}",
+                    escape_json(&id)
+                ),
+                _ => error_envelope(&id, "unknown op (expected \"stats\" or \"ping\")"),
+            };
+        }
+        let opts = match RequestOptions::from_json(&v) {
+            Ok(o) => o,
+            Err(e) => return error_envelope(&id, &e),
+        };
+        match v.get("batch") {
+            None => {
+                let spec = match CircuitSpec::from_json(&v, id.clone()) {
+                    Ok(s) => s,
+                    Err(e) => return error_envelope(&id, &e),
+                };
+                let outcome = self.run_one(&spec, &opts);
+                render_outcome(&spec.id, &opts, outcome)
+            }
+            Some(batch) => {
+                let Some(items) = batch.as_array() else {
+                    return error_envelope(&id, "\"batch\" must be an array");
+                };
+                let jobs = match v.get("jobs") {
+                    Some(j) => match j.as_u64() {
+                        Some(n) => n as usize,
+                        None => {
+                            return error_envelope(&id, "\"jobs\" must be a non-negative integer")
+                        }
+                    },
+                    None => self.jobs,
+                };
+                self.handle_batch(&id, items, &opts, jobs)
+            }
+        }
+    }
+
+    /// Runs one circuit against the cache: hit → memoized entry, miss →
+    /// pipeline run (outside the cache lock) + insert.
+    fn run_one(&self, spec: &CircuitSpec, opts: &RequestOptions) -> ItemOutcome {
+        let netlist = match spec.resolve() {
+            Ok(nl) => nl,
+            Err(e) => return ItemOutcome::Error(e),
+        };
+        let key = cache_key(&netlist, opts);
+        if let Some(entry) = self.cache.lock().unwrap().lookup(&key) {
+            return ItemOutcome::Hit(entry);
+        }
+        match run_pipeline(netlist, opts) {
+            Err(e) => ItemOutcome::Error(e),
+            Ok((report_json, verify)) => {
+                ItemOutcome::Miss(self.insert(key, &spec.id, report_json, &verify))
+            }
+        }
+    }
+
+    /// Builds the provenance record and inserts the entry; returns the
+    /// entry as stored (for the miss response).
+    fn insert(
+        &self,
+        key: CacheKey,
+        request_id: &str,
+        report_json: String,
+        verify: &VerifyOutcome,
+    ) -> Entry {
+        let (conflicts, decisions) = match verify {
+            VerifyOutcome::Proved {
+                conflicts,
+                decisions,
+            } => (*conflicts, *decisions),
+            _ => (0, 0),
+        };
+        let mut cache = self.cache.lock().unwrap();
+        let entry = Entry {
+            report_json,
+            provenance: Provenance {
+                request_id: request_id.to_string(),
+                verified: verify.label(),
+                proof: verify.is_proof(),
+                sat_conflicts: conflicts,
+                sat_decisions: decisions,
+                cached_at: cache.next_insert_tick(),
+            },
+            hits: 0,
+        };
+        cache.insert(key, entry.clone());
+        entry
+    }
+
+    /// Executes a batch: parse + resolve sequentially, fan the unique
+    /// cache misses out over the thread pool, then insert + render
+    /// **sequentially in input order** — which makes the response byte
+    /// stream independent of the worker count.
+    fn handle_batch(
+        &self,
+        id: &str,
+        items: &[Value],
+        opts: &RequestOptions,
+        jobs: usize,
+    ) -> String {
+        // Phase 1 (sequential): decode and parse every item.
+        enum Prep {
+            Err(String, String), // (item id, message)
+            Ready(CircuitSpec, Netlist, CacheKey),
+        }
+        let prepared: Vec<Prep> = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                if !item.is_object() {
+                    return Prep::Err(format!("{id}[{i}]"), "batch item must be an object".into());
+                }
+                match CircuitSpec::from_json(item, format!("{id}[{i}]")) {
+                    Err(e) => Prep::Err(format!("{id}[{i}]"), e),
+                    Ok(spec) => match spec.resolve() {
+                        Err(e) => Prep::Err(spec.id.clone(), e),
+                        Ok(nl) => {
+                            let key = cache_key(&nl, opts);
+                            Prep::Ready(spec, nl, key)
+                        }
+                    },
+                }
+            })
+            .collect();
+
+        // Phase 2: find the unique keys that need a pipeline run (not
+        // cached, first occurrence in this batch) and run them on the
+        // pool. The cache is only *read* here.
+        let mut to_compute: Vec<(&CacheKey, &Netlist)> = Vec::new();
+        {
+            let cache = self.cache.lock().unwrap();
+            for p in &prepared {
+                if let Prep::Ready(_, nl, key) = p {
+                    if !cache.contains(key) && !to_compute.iter().any(|(k, _)| *k == key) {
+                        to_compute.push((key, nl));
+                    }
+                }
+            }
+        }
+        let workers = if jobs == 0 { par::num_threads() } else { jobs };
+        let computed: Vec<RunResult> = par::par_map_threads(&to_compute, workers, |(_, nl)| {
+            run_pipeline((*nl).clone(), opts)
+        });
+        let mut by_key: Vec<(CacheKey, RunResult)> = to_compute
+            .into_iter()
+            .map(|(k, _)| k.clone())
+            .zip(computed)
+            .collect();
+
+        // Phase 3 (sequential, input order): insert misses and render.
+        let mut rendered: Vec<String> = Vec::with_capacity(prepared.len());
+        for p in &prepared {
+            let envelope = match p {
+                Prep::Err(item_id, e) => error_envelope(item_id, e),
+                Prep::Ready(spec, _, key) => {
+                    let hit = self.cache.lock().unwrap().lookup(key);
+                    let outcome = match hit {
+                        Some(entry) => ItemOutcome::Hit(entry),
+                        None => {
+                            let slot = by_key.iter_mut().find(|(k, _)| k == key);
+                            match slot {
+                                Some((_, result)) => {
+                                    match std::mem::replace(result, Err("consumed".into())) {
+                                        Ok((report, verify)) => ItemOutcome::Miss(self.insert(
+                                            key.clone(),
+                                            &spec.id,
+                                            report,
+                                            &verify,
+                                        )),
+                                        Err(e) => ItemOutcome::Error(e),
+                                    }
+                                }
+                                None => ItemOutcome::Error(
+                                    "internal: batch item neither cached nor computed".into(),
+                                ),
+                            }
+                        }
+                    };
+                    render_outcome(&spec.id, opts, outcome)
+                }
+            };
+            rendered.push(envelope);
+        }
+        let mut out = format!(
+            "{{\"protocol\":\"{PROTOCOL}\",\"id\":\"{}\",\"status\":\"ok\",\"count\":{},\"results\":[",
+            escape_json(id),
+            rendered.len()
+        );
+        out.push_str(&rendered.join(","));
+        out.push_str("]}");
+        out
+    }
+
+    fn stats_envelope(&self, id: &str) -> String {
+        let s = self.cache_stats();
+        format!(
+            "{{\"protocol\":\"{PROTOCOL}\",\"id\":\"{}\",\"status\":\"ok\",\"op\":\"stats\",\
+             \"entries\":{},\"bytes\":{},\"budget\":{},\"hits\":{},\"misses\":{},\
+             \"evictions\":{},\"jobs\":{}}}",
+            escape_json(id),
+            s.entries,
+            s.bytes,
+            s.budget,
+            s.hits,
+            s.misses,
+            s.evictions,
+            self.jobs
+        )
+    }
+}
+
+/// The content address of (circuit, options).
+fn cache_key(netlist: &Netlist, opts: &RequestOptions) -> CacheKey {
+    CacheKey {
+        structure: netlist_structural_hash(netlist),
+        inputs: netlist.num_inputs() as u32,
+        outputs: netlist.num_outputs() as u32,
+        gates: netlist.num_gates() as u32,
+        options: opts.canonical(),
+    }
+}
+
+/// Runs the pipeline on an owned netlist and renders the report (one
+/// line, no trailing newline). `deterministic` zeroes the stage timings
+/// first.
+fn run_pipeline(netlist: Netlist, opts: &RequestOptions) -> RunResult {
+    let out = Pipeline::new(netlist)
+        .algorithm(opts.algorithm)
+        .realization(opts.realization)
+        .effort(opts.effort)
+        .engine(opts.engine)
+        .frontend(opts.frontend)
+        .verify_mode(opts.verify)
+        .seed(opts.seed)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let mut report = out.report;
+    if opts.deterministic {
+        report.timings = StageTimings::default();
+    }
+    let verify = report.verify.clone();
+    Ok((render_json(&report).trim_end().to_string(), verify))
+}
+
+fn error_envelope(id: &str, message: &str) -> String {
+    format!(
+        "{{\"protocol\":\"{PROTOCOL}\",\"id\":\"{}\",\"status\":\"error\",\"error\":\"{}\"}}",
+        escape_json(id),
+        escape_json(message)
+    )
+}
+
+/// Renders one synthesis outcome as a response envelope.
+fn render_outcome(id: &str, opts: &RequestOptions, outcome: ItemOutcome) -> String {
+    let (disposition, entry) = match outcome {
+        ItemOutcome::Error(e) => return error_envelope(id, &e),
+        ItemOutcome::Hit(entry) => ("hit", entry),
+        ItemOutcome::Miss(entry) => ("miss", entry),
+    };
+    let p = &entry.provenance;
+    format!(
+        "{{\"protocol\":\"{PROTOCOL}\",\"id\":\"{}\",\"status\":\"ok\",\"cache\":\"{disposition}\",\
+         \"options\":\"{}\",\"provenance\":{{\"request_id\":\"{}\",\"verified\":\"{}\",\
+         \"proof\":{},\"sat_conflicts\":{},\"sat_decisions\":{},\"cached_at\":{},\"hits\":{}}},\
+         \"report\":{}}}",
+        escape_json(id),
+        escape_json(&opts.canonical()),
+        escape_json(&p.request_id),
+        escape_json(&p.verified),
+        p.proof,
+        p.sat_conflicts,
+        p.sat_decisions,
+        p.cached_at,
+        entry.hits,
+        entry.report_json
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLIF: &str =
+        ".model t\\n.inputs a b c\\n.outputs f\\n.names a b c f\\n11- 1\\n--1 1\\n.end\\n";
+
+    fn service() -> Service {
+        Service::new(ServeConfig::default())
+    }
+
+    #[test]
+    fn canonical_options_are_normalized() {
+        let a = RequestOptions {
+            algorithm: Algorithm::CutRram,
+            engine: Engine::Incremental,
+            ..RequestOptions::default()
+        };
+        let b = RequestOptions {
+            algorithm: Algorithm::CutRram,
+            engine: Engine::Rebuild,
+            ..RequestOptions::default()
+        };
+        assert_eq!(a.canonical(), b.canonical(), "cut-rram pins the engine");
+        let c = RequestOptions {
+            algorithm: Algorithm::Sweep,
+            engine: Engine::Rebuild,
+            ..RequestOptions::default()
+        };
+        assert!(c.canonical().contains("engine=incremental"));
+    }
+
+    #[test]
+    fn single_request_misses_then_hits() {
+        let s = service();
+        let req = format!("{{\"id\":\"r1\",\"circuit\":\"{BLIF}\",\"opt\":\"cut\",\"effort\":4}}");
+        let cold = s.handle_line(&req);
+        assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+        assert!(cold.contains("\"status\":\"ok\""));
+        let warm = s.handle_line(&req.replace("r1", "r2"));
+        assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+        // Provenance names the *original* request.
+        assert!(warm.contains("\"request_id\":\"r1\""), "{warm}");
+        let stats = s.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn bench_and_format_fields_work() {
+        let s = service();
+        let r = s.handle_line("{\"id\":\"b\",\"bench\":\"rd53_f2\",\"effort\":2}");
+        assert!(r.contains("\"status\":\"ok\""), "{r}");
+        let r = s.handle_line(
+            "{\"id\":\"e\",\"circuit\":\"f = maj(a, b, c)\",\"format\":\"expr\",\"effort\":2}",
+        );
+        assert!(r.contains("\"status\":\"ok\""), "{r}");
+        // Sniffed expression without a format field.
+        let r = s.handle_line("{\"id\":\"s\",\"circuit\":\"f = a & b\",\"effort\":2}");
+        assert!(r.contains("\"status\":\"ok\""), "{r}");
+    }
+
+    #[test]
+    fn protocol_errors_are_responses_not_panics() {
+        let s = service();
+        for bad in [
+            "not json",
+            "[1,2]",
+            "{\"id\":\"x\"}",
+            "{\"id\":\"x\",\"circuit\":\".model\",\"opt\":\"nope\"}",
+            "{\"id\":\"x\",\"bench\":\"no_such_bench\"}",
+            "{\"id\":\"x\",\"circuit\":\"f = (\"}",
+            "{\"id\":\"x\",\"op\":\"launch\"}",
+            "{\"id\":\"x\",\"circuit\":\"f = a\",\"bench\":\"misex1\"}",
+        ] {
+            let r = s.handle_line(bad);
+            assert!(r.contains("\"status\":\"error\""), "{bad} -> {r}");
+            assert!(r.starts_with(&format!("{{\"protocol\":\"{PROTOCOL}\"")));
+        }
+        let r = s.handle_line("{\"id\":\"p\",\"op\":\"ping\"}");
+        assert!(r.contains("\"op\":\"ping\""), "{r}");
+    }
+
+    #[test]
+    fn batch_fans_out_and_dedups() {
+        let s = service();
+        let req = format!(
+            "{{\"id\":\"b1\",\"opt\":\"cut\",\"effort\":3,\"deterministic\":true,\"batch\":[\
+             {{\"id\":\"i0\",\"bench\":\"rd53_f2\"}},\
+             {{\"id\":\"i1\",\"circuit\":\"{BLIF}\"}},\
+             {{\"id\":\"i2\",\"bench\":\"rd53_f2\"}},\
+             {{\"id\":\"i3\",\"circuit\":\"bad(\"}}]}}"
+        );
+        let r = s.handle_line(&req);
+        assert!(r.contains("\"count\":4"), "{r}");
+        // The duplicate benchmark is a hit inside the same batch.
+        let hit_pos = r.find("\"id\":\"i2\"").unwrap();
+        assert!(r[hit_pos..].contains("\"cache\":\"hit\""), "{r}");
+        assert!(r.contains("\"id\":\"i3\",\"status\":\"error\""), "{r}");
+        // Re-running the whole batch on a different worker count is
+        // byte-identical except every item is now a hit... so compare a
+        // fresh service at two worker counts instead.
+        let s1 = service();
+        let s4 = service();
+        let req1 = req.replace(
+            "\"deterministic\":true",
+            "\"deterministic\":true,\"jobs\":1",
+        );
+        let req4 = req.replace(
+            "\"deterministic\":true",
+            "\"deterministic\":true,\"jobs\":4",
+        );
+        assert_eq!(
+            s1.handle_line(&req1),
+            s4.handle_line(&req4),
+            "batch responses must be bit-identical across worker counts"
+        );
+    }
+}

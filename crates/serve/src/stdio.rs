@@ -1,0 +1,54 @@
+//! The stdio transport: newline-delimited JSON request/response over any
+//! `BufRead`/`Write` pair (the `rms serve` default, and what the tests
+//! drive with in-memory buffers).
+
+use crate::service::Service;
+use std::io::{self, BufRead, Write};
+
+/// Serves JSONL over the given reader/writer until EOF: one request
+/// object per input line, one response object per output line (flushed
+/// after each, so interactive pipes see responses immediately). Blank
+/// lines are ignored.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport; protocol-level problems
+/// (malformed JSON, unknown options) are answered in-band as
+/// `status:"error"` lines instead.
+pub fn run_stdio<R: BufRead, W: Write>(
+    service: &Service,
+    input: R,
+    output: &mut W,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = service.handle_line(trimmed);
+        writeln!(output, "{response}")?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    #[test]
+    fn stdio_round_trip_hits_cache_on_second_line() {
+        let service = Service::new(ServeConfig::default());
+        let input = b"\n{\"id\":\"a\",\"bench\":\"rd53_f2\",\"effort\":2}\n\
+                      {\"id\":\"b\",\"bench\":\"rd53_f2\",\"effort\":2}\n";
+        let mut output = Vec::new();
+        run_stdio(&service, &input[..], &mut output).expect("stdio transport");
+        let text = String::from_utf8(output).expect("utf-8 responses");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one response per request line: {text}");
+        assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"cache\":\"hit\""), "{}", lines[1]);
+    }
+}

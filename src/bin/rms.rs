@@ -11,6 +11,8 @@
 //!   equivalence (SAT miter above the exhaustive cutoff).
 //! - `rms bench` — regenerate the paper's tables over the embedded
 //!   suites, in parallel across benchmarks by default.
+//! - `rms serve` — persistent synthesis service (JSONL over stdio or
+//!   HTTP/1.1) with a content-addressed, proof-carrying result cache.
 //!
 //! Run `rms help` (or any subcommand with `--help`) for the flag list.
 
@@ -24,10 +26,11 @@ const USAGE: &str = "\
 rms - RRAM-aware MIG logic synthesis (DATE 2016 reproduction)
 
 USAGE:
-    rms <run|optimize|compile|verify|bench|help> [flags]
+    rms <run|optimize|compile|verify|bench|serve|help> [flags]
 
 INPUT (run / optimize / compile):
-    --input FILE          circuit file (.blif, .pla, .v, .expr/.eqn, .tt; sniffed otherwise)
+    --input FILE          circuit file (.blif, .pla, .v, .expr/.eqn, .tt; sniffed
+                          otherwise); `-` reads the circuit from stdin
     --bench NAME          embedded benchmark (see `rms bench --list`)
     --expr TEXT           inline expression, e.g. \"f = maj(a, b, c) ^ d\"
     --format FMT          override input format detection (blif|pla|verilog|expr|tt)
@@ -59,7 +62,8 @@ OUTPUT:
 
 VERIFY:
     rms verify A B        prove A and B functionally equivalent; each side is
-                          a circuit file or `bench:NAME`. Inputs are matched
+                          a circuit file, `bench:NAME`, or `-` (stdin, one
+                          side only). Inputs are matched
                           by name when both sides use the same names,
                           positionally otherwise. Prints a counterexample
                           assignment and exits non-zero on inequivalence.
@@ -83,6 +87,19 @@ BENCH:
     --sequential          disable the thread pool
     --jobs N              worker threads (default: all cores; RMS_THREADS also works)
 
+SERVE:
+    rms serve             persistent synthesis service: newline-delimited JSON
+                          requests on stdin, one JSON response per line on
+                          stdout. Results are memoized in a content-addressed
+                          cache (structural circuit hash x canonical options)
+                          with proof-carrying provenance on every hit.
+    --http ADDR           serve the same protocol over HTTP/1.1 instead
+                          (POST /synth, GET /stats, GET /health), e.g.
+                          --http 127.0.0.1:8117
+    --cache-mb N          result-cache LRU budget in MiB     (default: 64)
+    --cache-bytes N       exact budget in bytes (overrides --cache-mb)
+    --jobs N              default batch fan-out workers      (default: all cores)
+
 EXAMPLES:
     rms run --input adder.blif --opt rram --realization imp --json
     rms run --bench misex1 --opt cut
@@ -92,6 +109,9 @@ EXAMPLES:
     rms verify bench:t481_d t481_optimized.blif
     rms verify a.blif b.v --verify sat
     rms bench --table2 --algs --effort 40
+    cat design.v | rms run --input - --opt cut --json
+    echo '{\"id\":\"r1\",\"bench\":\"misex1\",\"opt\":\"cut\"}' | rms serve
+    rms serve --http 127.0.0.1:8117 --cache-mb 256
 ";
 
 fn main() -> ExitCode {
@@ -110,6 +130,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(rest),
         "verify" => cmd_verify(rest),
         "bench" => cmd_bench(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -185,20 +206,8 @@ impl FlowArgs {
                 }
                 "--opt" => {
                     let v = value("--opt")?;
-                    a.algorithm = match v.to_ascii_lowercase().as_str() {
-                        "area" => Algorithm::Area,
-                        "depth" => Algorithm::Depth,
-                        "rram" | "rram-costs" | "multi" => Algorithm::RramCosts,
-                        "steps" | "step" => Algorithm::Steps,
-                        "cut" | "rewrite" => Algorithm::Cut,
-                        "cut-rram" | "cut_rram" | "cutrram" => Algorithm::CutRram,
-                        "sweep" | "fraig" => Algorithm::Sweep,
-                        "resub" => Algorithm::Resub,
-                        "sweep-resub" | "sweep_resub" | "sweepresub" | "deep" => {
-                            Algorithm::SweepResub
-                        }
-                        _ => return Err(format!("unknown algorithm {v:?}")),
-                    };
+                    a.algorithm = Algorithm::from_name(&v)
+                        .ok_or_else(|| format!("unknown algorithm {v:?}"))?;
                 }
                 "--realization" => {
                     let v = value("--realization")?;
@@ -255,17 +264,23 @@ impl FlowArgs {
             return Err("give exactly one of --input, --bench, --expr".into());
         }
         let pipeline = if let Some(path) = &self.input {
-            match self.format {
-                Some(format) => {
-                    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-                    let name = std::path::Path::new(path)
-                        .file_stem()
-                        .and_then(|s| s.to_str())
-                        .unwrap_or("circuit")
-                        .to_string();
-                    Pipeline::from_str(format, &text, &name).map_err(err_str)?
+            if path == "-" {
+                let netlist = rms_flow::input::load_stdin(self.format).map_err(err_str)?;
+                Pipeline::new(netlist)
+            } else {
+                match self.format {
+                    Some(format) => {
+                        let text =
+                            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                        let name = std::path::Path::new(path)
+                            .file_stem()
+                            .and_then(|s| s.to_str())
+                            .unwrap_or("circuit")
+                            .to_string();
+                        Pipeline::from_str(format, &text, &name).map_err(err_str)?
+                    }
+                    None => Pipeline::from_path(path).map_err(err_str)?,
                 }
-                None => Pipeline::from_path(path).map_err(err_str)?,
             }
         } else if let Some(name) = &self.bench {
             Pipeline::from_bench(name).map_err(err_str)?
@@ -362,9 +377,12 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads one side of an equivalence check: a circuit file path or
-/// `bench:NAME` for an embedded benchmark.
+/// Loads one side of an equivalence check: a circuit file path,
+/// `bench:NAME` for an embedded benchmark, or `-` for stdin.
 fn load_side(spec: &str) -> Result<rms_logic::Netlist, String> {
+    if spec == "-" {
+        return rms_flow::input::load_stdin(None).map_err(err_str);
+    }
     if let Some(name) = spec.strip_prefix("bench:") {
         return rms_flow::input::load_bench(name).map_err(err_str);
     }
@@ -463,6 +481,61 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             ))
         }
         _ => Ok(()),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut http: Option<String> = None;
+    let mut cache_bytes = rms_serve::DEFAULT_CACHE_BYTES;
+    let mut jobs = 0usize; // 0 = default thread pool
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--http" => http = Some(value("--http")?),
+            "--cache-mb" => {
+                let v = value("--cache-mb")?;
+                let mb: usize = v
+                    .parse()
+                    .map_err(|_| format!("--cache-mb expects a number, got {v:?}"))?;
+                cache_bytes = mb << 20;
+            }
+            "--cache-bytes" => {
+                let v = value("--cache-bytes")?;
+                cache_bytes = v
+                    .parse()
+                    .map_err(|_| format!("--cache-bytes expects a number, got {v:?}"))?;
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}; try `rms help`")),
+        }
+    }
+    let service = std::sync::Arc::new(rms_serve::Service::new(rms_serve::ServeConfig {
+        cache_bytes,
+        jobs,
+    }));
+    match http {
+        Some(addr) => {
+            eprintln!(
+                "rms serve: listening on http://{addr} (POST /synth, GET /stats, GET /health)"
+            );
+            rms_serve::serve_http(service, &addr).map_err(|e| format!("{addr}: {e}"))
+        }
+        None => {
+            eprintln!("rms serve: reading JSONL requests from stdin (one object per line)");
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout().lock();
+            rms_serve::run_stdio(&service, stdin.lock(), &mut stdout).map_err(|e| e.to_string())
+        }
     }
 }
 
