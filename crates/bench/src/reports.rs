@@ -97,7 +97,7 @@ pub fn table2_report(opts: &OptOptions, jobs: usize) -> String {
 }
 
 /// The engine performance profile behind `rms bench --profile`: rebuild
-/// baseline vs the incremental in-place engine over the small suite,
+/// baseline vs the incremental in-place engine over the selected suite,
 /// with the differential (bit-identity) and verification columns.
 pub fn profile_report(report: &crate::timing::ProfileReport) -> String {
     let mut table = TextTable::new(&[
@@ -131,8 +131,8 @@ pub fn profile_report(report: &crate::timing::ProfileReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Cut-engine performance profile (effort {}, min of {} runs; baseline = pre-incremental rebuild engine)",
-        report.effort, report.iters
+        "Cut-engine performance profile ({} suite, effort {}, min of {} runs; baseline = pre-incremental rebuild engine)",
+        report.suite, report.effort, report.iters
     );
     out.push_str(&table.render());
     let _ = writeln!(

@@ -508,7 +508,22 @@ pub fn run_profile_row(
     iters: usize,
 ) -> ProfileRow {
     let nl = bench_suite::build_info(info);
-    let mig = Mig::from_netlist(&nl);
+    profile_netlist_row(info.name, &nl, opts, iters, rms_flow::VerifyMode::Auto)
+}
+
+/// The suite-independent core of [`run_profile_row`]: profiles one
+/// source netlist under all three engines. `wide_mode` chooses how
+/// above-cutoff circuits are verified — `Auto` (SAT proof with sampled
+/// fallback) for the small suite, `Sampled` for the large one, where a
+/// 100k-node miter would dominate the whole profile's runtime.
+fn profile_netlist_row(
+    name: &'static str,
+    nl: &rms_logic::Netlist,
+    opts: &OptOptions,
+    iters: usize,
+    wide_mode: rms_flow::VerifyMode,
+) -> ProfileRow {
+    let mig = Mig::from_netlist(nl);
     // Hoisted once per benchmark, not once per engine run.
     let reference =
         (nl.num_inputs() <= rms_flow::verify::EXHAUSTIVE_VERIFY_VARS).then(|| nl.truth_tables());
@@ -536,9 +551,9 @@ pub fn run_profile_row(
             trouble.unwrap_or_else(|| "exhaustive".to_string())
         }
         None => match rms_flow::check_netlists(
-            &nl,
+            nl,
             &inc.to_netlist(),
-            rms_flow::VerifyMode::Auto,
+            wide_mode,
             rms_flow::DEFAULT_VERIFY_SEED,
         ) {
             Ok(rms_flow::VerifyOutcome::Proved { conflicts, .. }) => {
@@ -550,8 +565,8 @@ pub fn run_profile_row(
         },
     };
     ProfileRow {
-        name: info.name,
-        inputs: info.inputs as u32,
+        name,
+        inputs: nl.num_inputs() as u32,
         initial_gates: mig.num_gates() as u64,
         gates: inc.num_gates() as u64,
         baseline_gates: reb.num_gates() as u64,
@@ -586,6 +601,46 @@ pub fn run_profile(opts: &OptOptions, iters: usize) -> ProfileReport {
     });
     let jobs_consistent = rows.iter().zip(&par_gates).all(|(r, &g)| r.gates == g);
     ProfileReport {
+        suite: "small",
+        rows,
+        effort: opts.effort,
+        iters,
+        jobs_consistent,
+    }
+}
+
+/// Runs the performance profile over the generated large suite
+/// ([`rms_logic::large_suite`], 4k–70k-gate circuits): the scale
+/// baseline behind `rms bench --suite large --profile` and the
+/// committed `BENCH_8.json`.
+///
+/// Identical methodology to [`run_profile`] except that above-cutoff
+/// verification is sampled simulation rather than a SAT proof (every
+/// circuit here is far above the exhaustive cutoff, and a 100k-node
+/// miter proof would dwarf the timings being measured). The
+/// incremental-vs-from-scratch bit-identity check and the parallel
+/// `--jobs` consistency sweep (4 workers vs sequential) run unchanged.
+pub fn run_profile_large(opts: &OptOptions, iters: usize) -> ProfileReport {
+    rms_cut::prewarm();
+    let targets: Vec<(&'static str, rms_logic::Netlist)> = rms_logic::large_suite::SUITE
+        .iter()
+        .map(|info| (info.name, rms_logic::large_suite::build_info(info)))
+        .collect();
+    let rows: Vec<ProfileRow> = targets
+        .iter()
+        .map(|(name, nl)| profile_netlist_row(name, nl, opts, iters, rms_flow::VerifyMode::Sampled))
+        .collect();
+    // The acceptance bar: gate counts must be bit-identical whether the
+    // suite runs sequentially (jobs = 1, the rows above) or fanned out
+    // across 4 workers.
+    let par_gates: Vec<u64> = par::par_map_threads(&targets, 4, |(_, nl)| {
+        let mig = Mig::from_netlist(nl);
+        let (out, _) = rms_cut::optimize_cut_stats_engine(&mig, opts, Engine::Incremental);
+        out.num_gates() as u64
+    });
+    let jobs_consistent = rows.iter().zip(&par_gates).all(|(r, &g)| r.gates == g);
+    ProfileReport {
+        suite: "large",
         rows,
         effort: opts.effort,
         iters,

@@ -5,21 +5,24 @@
 //! Criterion; the bench targets instead use this module with
 //! `harness = false`. Results print as `name  min/avg over N iters`.
 //!
-//! # The `BENCH_5.json` profile format
+//! # The profile format (`BENCH_5.json` / `BENCH_8.json`)
 //!
 //! [`ProfileReport::to_json`] emits one flat document (schema
-//! `rms-bench-profile-v1`) recording, per small-suite benchmark, the
-//! wall time of the cut algorithm on the pre-incremental **rebuild**
-//! engine and on the **incremental** in-place engine (minimum over
-//! `iters` runs), the speedup, the optimizer counters (cycles, passes,
-//! rewrites, peak node count), whether the incremental and from-scratch
-//! engines produced bit-identical graphs, and how the result was
-//! verified against the source netlist (exhaustively below the width
-//! cutoff, by SAT proof above). A `total` object aggregates the suite.
-//! The committed `BENCH_5.json` at the repository root is the recorded
-//! perf baseline this PR was measured at; CI's `perf-smoke` step
-//! regenerates the profile and fails on any verification or
-//! differential regression.
+//! `rms-bench-profile-v2`, with a `suite` field naming the benchmark
+//! set) recording, per benchmark, the wall time of the cut algorithm on
+//! the pre-incremental **rebuild** engine and on the **incremental**
+//! in-place engine (minimum over `iters` runs), the speedup, the
+//! optimizer counters (cycles, passes, rewrites, peak node count),
+//! whether the incremental and from-scratch engines produced
+//! bit-identical graphs, and how the result was verified against the
+//! source netlist (exhaustively below the width cutoff, SAT proof or
+//! sampled simulation above). A `total` object aggregates the suite.
+//! Two baselines are committed at the repository root: `BENCH_5.json`
+//! (small suite, schema v1, the pre-AIGER historical record) and
+//! `BENCH_8.json` (the generated large suite of
+//! [`rms_logic::large_suite`], 4k–70k gates). CI's perf-smoke steps
+//! regenerate profiles and fail on any verification or differential
+//! regression.
 
 use rms_flow::escape_json;
 use std::fmt::Write as _;
@@ -121,6 +124,8 @@ impl ProfileRow {
 /// The whole performance profile (see module docs for the format).
 #[derive(Debug, Clone)]
 pub struct ProfileReport {
+    /// Which benchmark suite the rows cover (`"small"` or `"large"`).
+    pub suite: &'static str,
     /// Per-benchmark rows, suite order.
     pub rows: Vec<ProfileRow>,
     /// Optimization effort used.
@@ -153,11 +158,11 @@ impl ProfileReport {
         self.jobs_consistent && self.rows.iter().all(|r| r.passed())
     }
 
-    /// The machine-readable profile document (`rms-bench-profile-v1`).
+    /// The machine-readable profile document (`rms-bench-profile-v2`).
     pub fn to_json(&self) -> String {
         let mut j = String::from("{\n");
-        let _ = writeln!(j, "  \"schema\": \"rms-bench-profile-v1\",");
-        let _ = writeln!(j, "  \"suite\": \"small\",");
+        let _ = writeln!(j, "  \"schema\": \"rms-bench-profile-v2\",");
+        let _ = writeln!(j, "  \"suite\": \"{}\",", self.suite);
         let _ = writeln!(j, "  \"effort\": {},", self.effort);
         let _ = writeln!(j, "  \"iters\": {},", self.iters);
         let _ = writeln!(j, "  \"engine_baseline\": \"rebuild\",");

@@ -110,6 +110,11 @@ pub struct IncrementalMig {
     changed: Vec<u32>,
     /// High-water mark of the node array (peak memory proxy).
     peak_len: usize,
+    /// Recycled fanout vectors: allocations of undone tentative nodes,
+    /// reused by later [`IncrementalMig::push_node`] calls instead of
+    /// being dropped. Keeps the allocator out of the instantiate/undo
+    /// hot loop of the rewrite sweep.
+    spare_fanouts: Vec<Vec<u32>>,
 }
 
 impl IncrementalMig {
@@ -119,20 +124,34 @@ impl IncrementalMig {
     /// slots and simply wasted).
     pub fn from_mig(mig: &Mig) -> Self {
         let n = mig.len();
+        // Tentative rewrite candidates grow and shrink the node-array
+        // tail constantly; pre-reserving headroom keeps the five
+        // parallel arrays from reallocating (and re-copying 100k+
+        // entries) in the middle of a sweep.
+        let cap = n + n / 4 + 64;
+        let mut refs = Vec::with_capacity(cap);
+        refs.resize(n, 0u32);
+        let mut dead = Vec::with_capacity(cap);
+        dead.resize(n, false);
+        let mut fanouts = Vec::with_capacity(cap);
+        fanouts.extend(mig.fanout_lists());
+        let mut strash = FxHashMap::default();
+        strash.reserve(n);
         let mut inc = IncrementalMig {
             name: mig.name().to_string(),
             num_inputs: mig.num_inputs(),
-            nodes: Vec::with_capacity(n),
-            levels: Vec::with_capacity(n),
-            refs: vec![0; n],
-            fanouts: mig.fanout_lists(),
-            sigs: Vec::with_capacity(n),
-            dead: vec![false; n],
+            nodes: Vec::with_capacity(cap),
+            levels: Vec::with_capacity(cap),
+            refs,
+            fanouts,
+            sigs: Vec::with_capacity(cap),
+            dead,
             outputs: mig.outputs().to_vec(),
-            strash: FxHashMap::default(),
+            strash,
             live_gates: 0,
             changed: Vec::new(),
             peak_len: n,
+            spare_fanouts: Vec::new(),
         };
         for idx in 0..n {
             let node = mig.node(idx);
@@ -301,7 +320,8 @@ impl IncrementalMig {
             self.sig_of(kids[2]),
         ));
         self.refs.push(0);
-        self.fanouts.push(Vec::new());
+        self.fanouts
+            .push(self.spare_fanouts.pop().unwrap_or_default());
         self.dead.push(false);
         for k in kids {
             self.refs[k.node()] += 1;
@@ -646,7 +666,12 @@ impl IncrementalMig {
         self.nodes.truncate(len_before);
         self.levels.truncate(len_before);
         self.refs.truncate(len_before);
-        self.fanouts.truncate(len_before);
+        for mut v in self.fanouts.drain(len_before..) {
+            if v.capacity() > 0 {
+                v.clear();
+                self.spare_fanouts.push(v);
+            }
+        }
         self.sigs.truncate(len_before);
         self.dead.truncate(len_before);
         self.changed.retain(|&i| (i as usize) < len_before);

@@ -26,6 +26,11 @@ use crate::cost::{Realization, RramCost};
 use crate::mig::Mig;
 use crate::rewrite::{eliminate, inverter_propagation, push_up, relevance, reshape, InverterCases};
 
+/// Default bound on resident cut sets of the incremental engine's cut
+/// cache (about 44 MiB of cut lists). Eviction past the bound only
+/// costs recomputation — it never changes optimization results.
+pub const DEFAULT_CUT_CACHE_BOUND: usize = 1 << 18;
+
 /// Options shared by the optimization algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptOptions {
@@ -33,6 +38,9 @@ pub struct OptOptions {
     pub effort: usize,
     /// Stop early when a whole cycle leaves the graph unchanged.
     pub early_exit: bool,
+    /// Maximum resident cut sets in the incremental engine's cut cache
+    /// (the memory bound; see [`DEFAULT_CUT_CACHE_BOUND`]).
+    pub cut_cache_bound: usize,
 }
 
 impl Default for OptOptions {
@@ -40,6 +48,7 @@ impl Default for OptOptions {
         OptOptions {
             effort: 40,
             early_exit: true,
+            cut_cache_bound: DEFAULT_CUT_CACHE_BOUND,
         }
     }
 }

@@ -12,7 +12,12 @@
 //! - enumerated cuts are **cached** per node in a [`CutStore`] and
 //!   invalidated only in the transitive fanout of a rewrite — a node
 //!   whose transitive fanin did not change keeps its cuts across rounds
-//!   *and across the interleaved Ω passes of the whole script*, and
+//!   *and across the interleaved Ω passes of the whole script*. The
+//!   cache is **memory-bounded**: cut lists live in a capped slot pool
+//!   with deterministic round-robin eviction, so graphs in the 100k+
+//!   node range (`rms_logic::large_suite`) cannot pin an unbounded
+//!   per-node working set — eviction costs recomputation, never
+//!   results, and
 //! - the node's cached 64-lane simulation signature vetoes any candidate
 //!   whose instantiated structure does not match the node it replaces —
 //!   a constant-time functional spot-check in front of the structural
@@ -47,69 +52,216 @@ pub enum EngineMode {
     FromScratch,
 }
 
-/// Per-node cut cache over an [`IncrementalMig`].
+/// Per-node sentinel: cut set dropped by **invalidation** — the node's
+/// transitive fanout was dropped with it, so an invalidation walk may
+/// stop here. Also the "free" marker on the pool-owner side.
+const STALE: u32 = u32::MAX;
+
+/// Per-node sentinel: cut set dropped by the memory bound's **eviction**
+/// — nothing is known about the fanout, so an invalidation walk must
+/// continue through this node.
+const EVICTED: u32 = u32::MAX - 1;
+
+/// Hard floor on [`CutStore`] capacity: far above the handful of slots
+/// one recomputation keeps live at once, far below any useful cache.
+pub const MIN_CUT_CACHE_BOUND: usize = 64;
+
+/// Per-node cut cache over an [`IncrementalMig`], bounded in memory.
 ///
-/// The cache invariant: `valid[n]` implies the stored [`CutList`] equals
-/// what [`CutStore::ensure`] would recompute from the node's current
+/// The cache invariant: a resident [`CutList`] equals what
+/// [`CutStore::ensure`] would recompute from the node's current
 /// transitive fanin. The engine maintains it by invalidating the
 /// transitive fanout of every structural change
 /// ([`CutStore::invalidate_tfo`]).
-#[derive(Debug, Default)]
+///
+/// # The memory bound
+///
+/// Cut lists live in a slot pool capped at `cap` entries
+/// ([`rms_core::opt::OptOptions::cut_cache_bound`]); storing into a full
+/// pool evicts the victim under a deterministic round-robin clock. On a
+/// 100k-node graph an unbounded cache would pin one `CutList` (~168 B)
+/// per node for the whole script; the pool keeps the hot region resident
+/// and recomputes the rest on demand. Eviction only costs recomputation
+/// — recomputed lists are bit-identical to evicted ones (that is exactly
+/// the cache invariant), so the bound never changes optimization
+/// results, and the clock makes *which* lists are recomputed
+/// deterministic too. Slots written during the current [`CutStore::ensure`]
+/// call are never its victims (an epoch stamp protects them), which
+/// guarantees the recomputation DFS terminates even when a stale region
+/// is larger than the pool: the pool then overflows past `cap` for the
+/// duration of the burst instead of thrashing.
+#[derive(Debug)]
 pub struct CutStore {
-    lists: Vec<CutList>,
-    valid: Vec<bool>,
+    /// Per-node pool slot, or [`STALE`] / [`EVICTED`] when not resident.
+    slots: Vec<u32>,
+    pool: Vec<CutList>,
+    /// Pool slot → owning node (`STALE` = free).
+    owners: Vec<u32>,
+    /// `ensure`-call epoch in which each pool slot was last written.
+    stamps: Vec<u64>,
+    free: Vec<u32>,
+    /// Round-robin eviction hand.
+    clock: usize,
+    /// Resident-list bound (soft during one recomputation burst).
+    cap: usize,
+    epoch: u64,
     /// Cut sets recomputed (cache misses).
     pub recomputed: u64,
     /// Cut sets served from cache at a rewrite root.
     pub reused: u64,
+    /// Cut sets evicted by the memory bound.
+    pub evicted: u64,
     scratch: Vec<Cut>,
 }
 
+impl Default for CutStore {
+    fn default() -> Self {
+        CutStore::with_capacity(rms_core::opt::DEFAULT_CUT_CACHE_BOUND)
+    }
+}
+
 impl CutStore {
-    /// An empty cache.
+    /// An empty cache with the default memory bound.
     pub fn new() -> Self {
         CutStore::default()
+    }
+
+    /// An empty cache bounded to `cap` resident cut sets (clamped to
+    /// [`MIN_CUT_CACHE_BOUND`]).
+    pub fn with_capacity(cap: usize) -> Self {
+        CutStore {
+            slots: Vec::new(),
+            pool: Vec::new(),
+            owners: Vec::new(),
+            stamps: Vec::new(),
+            free: Vec::new(),
+            clock: 0,
+            cap: cap.max(MIN_CUT_CACHE_BOUND),
+            epoch: 0,
+            recomputed: 0,
+            reused: 0,
+            evicted: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The resident-list bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of currently resident cut sets.
+    pub fn resident(&self) -> usize {
+        self.pool.len() - self.free.len()
+    }
+
+    /// Whether node `idx` has a resident cut set.
+    fn is_resident(&self, idx: usize) -> bool {
+        self.slots.get(idx).is_some_and(|&s| s < EVICTED)
+    }
+
+    /// Returns node `idx`'s slot (if any) to the free list, marking the
+    /// node [`STALE`] — callers are responsible for the transitivity
+    /// that marker promises.
+    fn drop_list(&mut self, idx: usize) {
+        let s = self.slots[idx];
+        if s < EVICTED {
+            self.owners[s as usize] = STALE;
+            self.free.push(s);
+        }
+        self.slots[idx] = STALE;
+    }
+
+    /// Stores `list` as node `idx`'s cut set, evicting under the clock
+    /// when the pool is at capacity.
+    fn store(&mut self, idx: usize, list: CutList) {
+        let s = self.slots[idx];
+        if s < EVICTED {
+            self.pool[s as usize] = list;
+            self.stamps[s as usize] = self.epoch;
+            return;
+        }
+        let slot = if let Some(s) = self.free.pop() {
+            s as usize
+        } else if self.pool.len() < self.cap {
+            self.pool.push(CutList::default());
+            self.owners.push(STALE);
+            self.stamps.push(self.epoch);
+            self.pool.len() - 1
+        } else {
+            // Deterministic round-robin eviction; slots written during
+            // the current `ensure` call are pinned by their epoch stamp.
+            let mut scanned = 0;
+            loop {
+                let v = self.clock;
+                self.clock = (self.clock + 1) % self.pool.len();
+                if self.stamps[v] != self.epoch {
+                    let prev = self.owners[v];
+                    debug_assert_ne!(prev, STALE, "free slot outside the free list");
+                    self.slots[prev as usize] = EVICTED;
+                    self.evicted += 1;
+                    break v;
+                }
+                scanned += 1;
+                if scanned >= self.pool.len() {
+                    // Every slot was written this call: overflow past the
+                    // bound for the duration of the burst.
+                    self.pool.push(CutList::default());
+                    self.owners.push(STALE);
+                    self.stamps.push(self.epoch);
+                    break self.pool.len() - 1;
+                }
+            }
+        };
+        self.pool[slot] = list;
+        self.owners[slot] = idx as u32;
+        self.stamps[slot] = self.epoch;
+        self.slots[idx] = slot as u32;
     }
 
     /// Grows or shrinks the cache to the graph's node-array length
     /// (undone tentative nodes shrink it; new entries start invalid).
     fn sync(&mut self, len: usize) {
-        if self.lists.len() > len {
-            self.lists.truncate(len);
-            self.valid.truncate(len);
+        if self.slots.len() > len {
+            for idx in len..self.slots.len() {
+                self.drop_list(idx);
+            }
+            self.slots.truncate(len);
         } else {
-            self.lists.resize(len, CutList::default());
-            self.valid.resize(len, false);
+            self.slots.resize(len, STALE);
         }
     }
 
     /// Drops every cached cut set (the from-scratch mode's round entry).
     pub fn invalidate_all(&mut self) {
-        self.valid.iter_mut().for_each(|v| *v = false);
+        for idx in 0..self.slots.len() {
+            self.drop_list(idx);
+        }
     }
 
     /// Invalidates the changed nodes and their transitive fanout.
     ///
-    /// Stopping at an already-invalid node is sound because the cache
+    /// Stopping at an already-`STALE` node is sound because the cache
     /// invariant guarantees its fanout was invalidated when it became
-    /// invalid.
+    /// stale. An `EVICTED` node promises no such thing — the memory
+    /// bound dropped its list without touching its fanout — so the walk
+    /// continues through evicted nodes (marking them stale, which also
+    /// bounds the walk to one visit per node).
     pub fn invalidate_tfo(&mut self, g: &IncrementalMig, changed: &[u32]) {
         self.sync(g.len());
         let mut stack: Vec<u32> = Vec::new();
         for &c in changed {
-            if (c as usize) < self.valid.len() && self.valid[c as usize] {
-                self.valid[c as usize] = false;
-                stack.push(c);
-            } else if (c as usize) < self.valid.len() {
+            if (c as usize) < self.slots.len() {
                 // Newly created nodes are already invalid, but their
                 // fanout may have been valid before they were spliced in.
+                self.drop_list(c as usize);
                 stack.push(c);
             }
         }
         while let Some(i) = stack.pop() {
             for &p in g.fanouts(i as usize) {
-                if self.valid[p as usize] {
-                    self.valid[p as usize] = false;
+                if self.slots[p as usize] != STALE {
+                    self.drop_list(p as usize);
                     stack.push(p);
                 }
             }
@@ -120,43 +272,42 @@ impl CutStore {
     /// transitive fanin first. Deterministic.
     pub fn ensure(&mut self, g: &IncrementalMig, idx: usize) -> CutList {
         self.sync(g.len());
-        if self.valid[idx] {
+        self.epoch += 1;
+        if self.is_resident(idx) {
             self.reused += 1;
-            return self.lists[idx];
+            return self.pool[self.slots[idx] as usize];
         }
         let mut stack: Vec<u32> = vec![idx as u32];
         while let Some(&top) = stack.last() {
             let i = top as usize;
-            if self.valid[i] {
+            if self.is_resident(i) {
                 stack.pop();
                 continue;
             }
             match g.node(i) {
                 MigNode::Const0 => {
-                    self.lists[i] = leaf_cuts(i, true);
-                    self.valid[i] = true;
+                    self.store(i, leaf_cuts(i, true));
                     stack.pop();
                 }
                 MigNode::Input(_) => {
-                    self.lists[i] = leaf_cuts(i, false);
-                    self.valid[i] = true;
+                    self.store(i, leaf_cuts(i, false));
                     stack.pop();
                 }
                 MigNode::Maj(kids) => {
                     let mut ready = true;
                     for k in kids {
-                        if !self.valid[k.node()] {
+                        if !self.is_resident(k.node()) {
                             ready = false;
                             stack.push(k.node() as u32);
                         }
                     }
                     if ready {
                         let (c0, c1, c2) = (
-                            self.lists[kids[0].node()],
-                            self.lists[kids[1].node()],
-                            self.lists[kids[2].node()],
+                            self.pool[self.slots[kids[0].node()] as usize],
+                            self.pool[self.slots[kids[1].node()] as usize],
+                            self.pool[self.slots[kids[2].node()] as usize],
                         );
-                        self.lists[i] = compute_maj_cuts(
+                        let list = compute_maj_cuts(
                             i,
                             kids,
                             c0.as_slice(),
@@ -165,23 +316,30 @@ impl CutStore {
                             cuts::MAX_CUTS_PER_NODE,
                             &mut self.scratch,
                         );
-                        self.valid[i] = true;
+                        self.store(i, list);
                         self.recomputed += 1;
                         stack.pop();
                     }
                 }
             }
         }
-        self.lists[idx]
+        self.pool[self.slots[idx] as usize]
     }
+}
 
-    /// The cached cut set of `idx` without recomputation — only valid
-    /// between a round's pre-pass and its end (the mapped sweep works on
-    /// round-start cuts by design).
-    pub fn cached(&self, idx: usize) -> CutList {
-        debug_assert!(self.valid[idx], "cut cache miss outside the pre-pass");
-        self.lists[idx]
-    }
+/// The round pre-pass's per-node winner: the best round-start cut of a
+/// node, pre-canonicalized, with its pristine MFFC size. Everything the
+/// sweep needs — the node's full [`CutList`] can be evicted between the
+/// pre-pass and the sweep without affecting the round.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    cut: Cut,
+    /// NPN transform index of the canonicalization.
+    t: usize,
+    /// NPN class of the cut function.
+    class: u16,
+    /// MFFC size on the pristine round-start graph.
+    mffc: i64,
 }
 
 /// One in-place rewrite round over a persistent graph, following the
@@ -189,16 +347,20 @@ impl CutStore {
 ///
 /// 1. a **pre-pass** validates the cut cache against the round-start
 ///    graph (recomputing only what previous rewrites invalidated —
-///    this is the incremental saving) and takes the MFFC size of every
+///    this is the incremental saving), takes the MFFC size of every
 ///    candidate cut on the still-pristine graph, exactly as the rebuild
-///    engine measures gains against its immutable source graph,
+///    engine measures gains against its immutable source graph, and
+///    reduces each node's cut set to at most one gain-filtered
+///    `Candidate` — after which the round no longer needs any
+///    [`CutList`] resident (the memory bound of the [`CutStore`] may
+///    evict freely),
 /// 2. a topological **sweep** carries an old-signal → image map, exactly
 ///    like the rebuild engine's `map` into its fresh graph: every node
 ///    is turned into its image in place ([`IncrementalMig::rechild_to`],
-///    free when nothing moved), candidates are evaluated against the
-///    round-start cuts with their leaves mapped through `map`, and an
-///    accepted replacement only updates the map — parents pick the image
-///    up at their own turn. The strash is rebuilt image-by-image
+///    free when nothing moved), the pre-pass candidate is evaluated
+///    with its leaves mapped through `map`, and an accepted replacement
+///    only updates the map — parents pick the image up at their own
+///    turn. The strash is rebuilt image-by-image
 ///    ([`IncrementalMig::begin_mapped_round`]), so candidate
 ///    instantiation shares with exactly the structures a from-scratch
 ///    rebuild would offer — no more (stale cones), no fewer,
@@ -220,19 +382,43 @@ pub fn round_inplace(
     }
     let mut stats = RoundStats::default();
     let order = g.topo_order();
-    // Pre-pass on the pristine round-start graph: cut sets (cached) and
+    // Pre-pass on the pristine round-start graph: cut sets (cached),
     // per-cut MFFC sizes (recomputed every round — they depend on
-    // reference counts, which the cut invalidation rule does not track).
-    let mut mffcs: Vec<[u32; cuts::MAX_CUTS_PER_NODE]> =
-        vec![[0; cuts::MAX_CUTS_PER_NODE]; order.len()];
+    // reference counts, which the cut invalidation rule does not track),
+    // and best-candidate selection. Selecting here is decision-identical
+    // to selecting in the sweep: round-start cuts, pristine MFFCs, and
+    // the pure NPN/database lookups are all sweep-independent.
+    let mut cands: Vec<Option<Candidate>> = vec![None; order.len()];
     for (pos, &idx) in order.iter().enumerate() {
         let idx = idx as usize;
         let list = cuts.ensure(g, idx);
-        for (ci, &cut) in list.iter().enumerate() {
-            if !cut.is_trivial(idx) && !cut.leaves().is_empty() {
-                mffcs[pos][ci] = g.mffc_size(idx, cut.leaves());
+        let mut best: Option<(i64, Candidate)> = None;
+        for &cut in list.iter() {
+            if cut.is_trivial(idx) || cut.leaves().is_empty() {
+                continue;
+            }
+            stats.cuts += 1;
+            let (class, t) = npn::canonicalize(cut.tt);
+            let entry = db.entry(class);
+            let mffc = g.mffc_size(idx, cut.leaves()) as i64;
+            let gain = mffc - entry.gates() as i64;
+            if gain < 0 || (gain == 0 && !accept_zero_gain) {
+                continue;
+            }
+            stats.candidates += 1;
+            if best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((
+                    gain,
+                    Candidate {
+                        cut,
+                        t,
+                        class,
+                        mffc,
+                    },
+                ));
             }
         }
+        cands[pos] = best.map(|(_, c)| c);
     }
     g.begin_mapped_round();
     let mut map: Vec<MigSignal> = (0..g.len()).map(|i| MigSignal::new(i, false)).collect();
@@ -247,27 +433,13 @@ pub fn round_inplace(
             _ => MigSignal::new(idx, false),
         };
         map[idx] = image;
-        // Evaluate the round-start cuts with the pristine MFFC sizes.
-        let list = cuts.cached(idx);
-        let mut best: Option<(i64, Cut, usize, u16, i64)> = None;
-        for (ci, &cut) in list.iter().enumerate() {
-            if cut.is_trivial(idx) || cut.leaves().is_empty() {
-                continue;
-            }
-            stats.cuts += 1;
-            let (class, t) = npn::canonicalize(cut.tt);
-            let entry = db.entry(class);
-            let mffc = mffcs[pos][ci] as i64;
-            let gain = mffc - entry.gates() as i64;
-            if gain < 0 || (gain == 0 && !accept_zero_gain) {
-                continue;
-            }
-            stats.candidates += 1;
-            if best.is_none_or(|(bg, ..)| gain > bg) {
-                best = Some((gain, cut, t, class, mffc));
-            }
-        }
-        let Some((_, cut, t, class, freed)) = best else {
+        let Some(Candidate {
+            cut,
+            t,
+            class,
+            mffc: freed,
+        }) = cands[pos]
+        else {
             continue;
         };
         // Instantiate tentatively; the nodes actually added (after
@@ -313,8 +485,10 @@ pub fn round_inplace(
     g.finish_mapped_round(&map);
     stats.cut_sets_recomputed = cuts.recomputed;
     stats.cut_sets_reused = cuts.reused;
+    stats.cut_sets_evicted = cuts.evicted;
     cuts.recomputed = 0;
     cuts.reused = 0;
+    cuts.evicted = 0;
     stats
 }
 
@@ -339,7 +513,7 @@ pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mi
     let db = database();
     let compacted = mig.compact();
     let mut g = IncrementalMig::from_mig(&compacted);
-    let mut cuts = CutStore::new();
+    let mut cuts = CutStore::with_capacity(opts.cut_cache_bound);
     let mut best = compacted;
     let mut best_score = (best.num_gates(), best.depth());
     let mut cycles = 0usize;
@@ -464,6 +638,55 @@ mod tests {
             assert_bit_identical(&inc, &scr, name);
             assert_equiv(&m, &inc, name);
         }
+    }
+
+    #[test]
+    fn bounded_cache_is_bit_identical_to_roomy_cache() {
+        // The minimum cap forces heavy eviction on every benchmark; the
+        // result must not move by a single node (eviction only costs
+        // recomputation) and the resident set must respect the bound
+        // outside recomputation bursts.
+        for name in SAMPLES {
+            let m = bench_mig(name);
+            let roomy = OptOptions::with_effort(6);
+            let tight = OptOptions {
+                cut_cache_bound: MIN_CUT_CACHE_BOUND,
+                ..roomy
+            };
+            let (a, _) = cut_script_inplace(&m, &roomy, EngineMode::Incremental);
+            let (b, _) = cut_script_inplace(&m, &tight, EngineMode::Incremental);
+            assert_bit_identical(&a, &b, name);
+        }
+    }
+
+    #[test]
+    fn tight_cache_evicts_and_stays_bounded() {
+        let m = bench_mig("9sym_d").compact();
+        let mut g = IncrementalMig::from_mig(&m);
+        let mut cuts = CutStore::with_capacity(1); // clamps to the floor
+        assert_eq!(cuts.capacity(), MIN_CUT_CACHE_BOUND);
+        let st = round_inplace(
+            &mut g,
+            &mut cuts,
+            database(),
+            false,
+            EngineMode::Incremental,
+        );
+        assert!(
+            st.cut_sets_evicted > 0,
+            "9sym_d has {} nodes; a {}-slot pool must evict: {st:?}",
+            g.len(),
+            MIN_CUT_CACHE_BOUND
+        );
+        // Bursts may overflow the pool, but slots are recycled, not
+        // accumulated: the pool stays within one burst of the cap.
+        assert!(
+            cuts.resident() <= g.len(),
+            "resident {} of {} nodes",
+            cuts.resident(),
+            g.len()
+        );
+        assert_equiv(&m, &g.to_mig(), "9sym_d bounded");
     }
 
     #[test]

@@ -84,6 +84,9 @@ pub struct RoundStats {
     pub cut_sets_recomputed: u64,
     /// Cut sets served from the incremental cache (in-place engine only).
     pub cut_sets_reused: u64,
+    /// Cut sets evicted by the cache's memory bound (in-place engine
+    /// only; eviction costs recomputation, never results).
+    pub cut_sets_evicted: u64,
 }
 
 /// Size of the maximum fanout-free cone of `root` with respect to

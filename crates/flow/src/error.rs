@@ -16,6 +16,10 @@ pub enum FlowError {
     },
     /// The circuit description was malformed.
     Parse(ParseCircuitError),
+    /// The input contained no circuit at all (empty, or only comments
+    /// and blank lines) — distinct from a malformed circuit so callers
+    /// can give a direct "no input" diagnostic.
+    EmptyInput,
     /// An embedded benchmark name was not found.
     UnknownBenchmark(String),
     /// A requested configuration is outside what a stage supports (for
@@ -40,6 +44,12 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Io { path, source } => write!(f, "{path}: {source}"),
             FlowError::Parse(e) => write!(f, "parse error: {e}"),
+            FlowError::EmptyInput => {
+                write!(
+                    f,
+                    "empty input: no circuit found (only blank lines or comments)"
+                )
+            }
             FlowError::UnknownBenchmark(name) => {
                 write!(
                     f,

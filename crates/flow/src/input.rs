@@ -13,6 +13,11 @@
 //! | [`InputFormat::Verilog`] | `.v`, `.sv` | gate-level `module`/`assign` subset |
 //! | [`InputFormat::Expr`] | `.expr`, `.eqn` | one `name = expression` per line |
 //! | [`InputFormat::TruthTable`] | `.tt` | one `name = bits` per line, hex (`0xe8`) or binary |
+//! | [`InputFormat::Aiger`] | `.aig`, `.aag` | AIGER and-inverter graphs, binary or ASCII |
+//!
+//! Binary AIGER is not valid UTF-8, so files and stdin are loaded as
+//! bytes first ([`load_path`], [`load_stdin`], [`sniff_bytes`]) and only
+//! decoded to text for the text formats.
 //!
 //! Truth-table bit strings follow the ABC convention also used by
 //! [`rms_logic::tt::TruthTable`]'s `Display`: the **rightmost** character
@@ -22,7 +27,7 @@ use crate::error::FlowError;
 use rms_logic::expr::{Expr, ExprNode};
 use rms_logic::netlist::{Netlist, NetlistBuilder, Wire};
 use rms_logic::tt::{TruthTable, MAX_VARS};
-use rms_logic::{bench_suite, blif, pla, synth, verilog};
+use rms_logic::{aiger, bench_suite, blif, pla, synth, verilog};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -39,16 +44,19 @@ pub enum InputFormat {
     Expr,
     /// Raw truth tables (`f = 0xe8`).
     TruthTable,
+    /// AIGER and-inverter graphs, binary (`aig`) or ASCII (`aag`).
+    Aiger,
 }
 
 impl InputFormat {
     /// All formats, for help messages.
-    pub const ALL: [InputFormat; 5] = [
+    pub const ALL: [InputFormat; 6] = [
         InputFormat::Blif,
         InputFormat::Pla,
         InputFormat::Verilog,
         InputFormat::Expr,
         InputFormat::TruthTable,
+        InputFormat::Aiger,
     ];
 
     /// Guesses the format from a file extension.
@@ -60,6 +68,7 @@ impl InputFormat {
             "v" | "sv" | "verilog" => Some(InputFormat::Verilog),
             "expr" | "eqn" | "bool" => Some(InputFormat::Expr),
             "tt" | "truth" => Some(InputFormat::TruthTable),
+            "aig" | "aag" | "aiger" => Some(InputFormat::Aiger),
             _ => None,
         }
     }
@@ -72,6 +81,7 @@ impl InputFormat {
             "verilog" | "v" => Some(InputFormat::Verilog),
             "expr" | "expression" | "eqn" => Some(InputFormat::Expr),
             "tt" | "truth-table" | "truthtable" => Some(InputFormat::TruthTable),
+            "aiger" | "aig" | "aag" => Some(InputFormat::Aiger),
             _ => None,
         }
     }
@@ -85,27 +95,65 @@ impl std::fmt::Display for InputFormat {
             InputFormat::Verilog => write!(f, "verilog"),
             InputFormat::Expr => write!(f, "expr"),
             InputFormat::TruthTable => write!(f, "tt"),
+            InputFormat::Aiger => write!(f, "aiger"),
         }
     }
 }
 
-/// Guesses the format of `text` from its first meaningful tokens.
+/// Guesses the format of `text` from its first meaningful line, or
+/// `None` when the input is empty or contains only comments/whitespace.
 ///
-/// BLIF starts with dot-directives like `.model`; PLA with `.i`/`.o`;
-/// Verilog with the `module` keyword; truth-table files contain only bit
-/// strings on the value side; anything else is treated as an expression
-/// file.
-pub fn sniff_format(text: &str) -> InputFormat {
+/// Blank lines, CRLF endings, and leading comments (`#`, `//`, and
+/// `/* … */` blocks) are skipped before classifying, so a BLIF file
+/// that opens with a comment banner still sniffs as BLIF. BLIF starts
+/// with dot-directives like `.model`; PLA with `.i`/`.o`; Verilog with
+/// the `module` keyword; AIGER with an `aag` header (binary `aig` never
+/// reaches text sniffing — see [`sniff_bytes`]); truth-table files
+/// contain only bit strings on the value side; anything else is treated
+/// as an expression file.
+pub fn sniff_format(text: &str) -> Option<InputFormat> {
+    let mut in_block_comment = false;
     for raw in text.lines() {
-        let line = raw.split('#').next().unwrap_or("").trim();
+        let mut line = raw.trim_end_matches('\r');
+        if in_block_comment {
+            match line.find("*/") {
+                Some(end) => {
+                    in_block_comment = false;
+                    line = &line[end + 2..];
+                }
+                None => continue,
+            }
+        }
+        let mut line = line.split('#').next().unwrap_or("").trim();
+        // Strip leading `/* … */` blocks and `//` line comments; an
+        // unterminated block swallows the following lines.
+        loop {
+            if let Some(rest) = line.strip_prefix("/*") {
+                match rest.find("*/") {
+                    Some(end) => line = rest[end + 2..].trim_start(),
+                    None => {
+                        in_block_comment = true;
+                        line = "";
+                    }
+                }
+                continue;
+            }
+            if line.starts_with("//") {
+                line = "";
+            }
+            break;
+        }
         if line.is_empty() {
             continue;
         }
         if let Some(word) = line.split_whitespace().next() {
             match word {
-                ".model" | ".inputs" | ".outputs" | ".names" | ".exdc" => return InputFormat::Blif,
-                ".i" | ".o" | ".p" | ".ilb" | ".ob" | ".type" => return InputFormat::Pla,
-                "module" | "//" | "/*" => return InputFormat::Verilog,
+                ".model" | ".inputs" | ".outputs" | ".names" | ".exdc" => {
+                    return Some(InputFormat::Blif)
+                }
+                ".i" | ".o" | ".p" | ".ilb" | ".ob" | ".type" => return Some(InputFormat::Pla),
+                "module" => return Some(InputFormat::Verilog),
+                "aag" | "aig" => return Some(InputFormat::Aiger),
                 _ => {}
             }
         }
@@ -115,13 +163,33 @@ pub fn sniff_format(text: &str) -> InputFormat {
             || !value.is_empty() && value.chars().all(|c| c == '0' || c == '1'),
             |hex| !hex.is_empty() && hex.chars().all(|c| c.is_ascii_hexdigit()),
         );
-        return if is_bits && (value.len() > 1 || line.contains('=')) {
+        return Some(if is_bits && (value.len() > 1 || line.contains('=')) {
             InputFormat::TruthTable
         } else {
             InputFormat::Expr
-        };
+        });
     }
-    InputFormat::Expr
+    None
+}
+
+/// Byte-level format sniff: detects binary AIGER by its magic word, and
+/// otherwise decodes UTF-8 and defers to [`sniff_format`].
+///
+/// # Errors
+///
+/// Returns [`FlowError::EmptyInput`] when no circuit content is found
+/// and [`FlowError::Parse`] when the bytes are neither binary AIGER nor
+/// valid UTF-8 text.
+pub fn sniff_bytes(src: &[u8]) -> Result<InputFormat, FlowError> {
+    if aiger::looks_binary(src) {
+        return Ok(InputFormat::Aiger);
+    }
+    let text = std::str::from_utf8(src).map_err(|_| {
+        FlowError::Parse(rms_logic::ParseCircuitError::new(
+            "input is neither binary AIGER nor UTF-8 text",
+        ))
+    })?;
+    sniff_format(text).ok_or(FlowError::EmptyInput)
 }
 
 /// Loads a circuit from a file, choosing the format by extension (with a
@@ -132,14 +200,16 @@ pub fn sniff_format(text: &str) -> InputFormat {
 /// Returns [`FlowError::Io`] when the file cannot be read and
 /// [`FlowError::Parse`] when its contents are malformed.
 pub fn load_path(path: &Path) -> Result<Netlist, FlowError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| FlowError::io(path.display().to_string(), e))?;
-    let format = InputFormat::from_extension(path).unwrap_or_else(|| sniff_format(&text));
+    let bytes = std::fs::read(path).map_err(|e| FlowError::io(path.display().to_string(), e))?;
+    let format = match InputFormat::from_extension(path) {
+        Some(f) => f,
+        None => sniff_bytes(&bytes)?,
+    };
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("circuit");
-    parse_str(format, &text, name)
+    parse_bytes(format, &bytes, name)
 }
 
 /// Parses circuit text in an explicit format.
@@ -157,7 +227,27 @@ pub fn parse_str(format: InputFormat, text: &str, name: &str) -> Result<Netlist,
         InputFormat::Verilog => verilog::parse(text).map_err(FlowError::Parse),
         InputFormat::Expr => parse_expr_file(text, name),
         InputFormat::TruthTable => parse_tt_file(text, name),
+        InputFormat::Aiger => aiger::parse_bytes(text.as_bytes()).map_err(FlowError::Parse),
     }
+}
+
+/// Parses raw circuit bytes in an explicit format: the binary-capable
+/// sibling of [`parse_str`] (binary AIGER is not UTF-8).
+///
+/// # Errors
+///
+/// Returns [`FlowError::Parse`] when the bytes are malformed for the
+/// format, including when a text format receives non-UTF-8 bytes.
+pub fn parse_bytes(format: InputFormat, bytes: &[u8], name: &str) -> Result<Netlist, FlowError> {
+    if format == InputFormat::Aiger {
+        return aiger::parse_bytes(bytes).map_err(FlowError::Parse);
+    }
+    let text = std::str::from_utf8(bytes).map_err(|_| {
+        FlowError::Parse(rms_logic::ParseCircuitError::new(format!(
+            "{format} input is not valid UTF-8 text"
+        )))
+    })?;
+    parse_str(format, text, name)
 }
 
 /// Parses circuit text whose format is discovered by [`sniff_format`] —
@@ -166,10 +256,12 @@ pub fn parse_str(format: InputFormat, text: &str, name: &str) -> Result<Netlist,
 ///
 /// # Errors
 ///
-/// Returns [`FlowError::Parse`] when the text is malformed for the
-/// sniffed format.
+/// Returns [`FlowError::EmptyInput`] when the text contains no circuit
+/// and [`FlowError::Parse`] when it is malformed for the sniffed
+/// format.
 pub fn parse_sniffed(text: &str, name: &str) -> Result<Netlist, FlowError> {
-    parse_str(sniff_format(text), text, name)
+    let format = sniff_format(text).ok_or(FlowError::EmptyInput)?;
+    parse_str(format, text, name)
 }
 
 /// Reads a whole circuit from standard input and parses it, sniffing the
@@ -181,23 +273,28 @@ pub fn parse_sniffed(text: &str, name: &str) -> Result<Netlist, FlowError> {
 /// Returns [`FlowError::Io`] when stdin cannot be read and
 /// [`FlowError::Parse`] when its contents are malformed.
 pub fn load_stdin(format: Option<InputFormat>) -> Result<Netlist, FlowError> {
-    let mut text = String::new();
-    std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut text)
+    let mut bytes = Vec::new();
+    std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut bytes)
         .map_err(|e| FlowError::io("<stdin>", e))?;
-    match format {
-        Some(f) => parse_str(f, &text, "stdin"),
-        None => parse_sniffed(&text, "stdin"),
-    }
+    let format = match format {
+        Some(f) => f,
+        None => sniff_bytes(&bytes)?,
+    };
+    parse_bytes(format, &bytes, "stdin")
 }
 
-/// Loads an embedded benchmark by name (see [`rms_logic::bench_suite`]).
+/// Loads an embedded benchmark by name: the paper suites of
+/// [`rms_logic::bench_suite`] plus the generated large suite of
+/// [`rms_logic::large_suite`] (`xl_`-prefixed names).
 ///
 /// # Errors
 ///
 /// Returns [`FlowError::UnknownBenchmark`] listing valid names when the
 /// benchmark does not exist.
 pub fn load_bench(name: &str) -> Result<Netlist, FlowError> {
-    bench_suite::build(name).ok_or_else(|| FlowError::UnknownBenchmark(name.to_string()))
+    bench_suite::build(name)
+        .or_else(|| rms_logic::large_suite::build(name))
+        .ok_or_else(|| FlowError::UnknownBenchmark(name.to_string()))
 }
 
 /// Parses an expression file: one `output = expression` per line.
@@ -399,10 +496,76 @@ mod tests {
 
     #[test]
     fn sniffing() {
-        assert_eq!(sniff_format(".model top\n.inputs a\n"), InputFormat::Blif);
-        assert_eq!(sniff_format("# c\n.i 3\n.o 1\n"), InputFormat::Pla);
-        assert_eq!(sniff_format("f = 0xe8\n"), InputFormat::TruthTable);
-        assert_eq!(sniff_format("maj(a, b, c)\n"), InputFormat::Expr);
+        assert_eq!(
+            sniff_format(".model top\n.inputs a\n"),
+            Some(InputFormat::Blif)
+        );
+        assert_eq!(sniff_format("# c\n.i 3\n.o 1\n"), Some(InputFormat::Pla));
+        assert_eq!(sniff_format("f = 0xe8\n"), Some(InputFormat::TruthTable));
+        assert_eq!(sniff_format("maj(a, b, c)\n"), Some(InputFormat::Expr));
+        assert_eq!(
+            sniff_format("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"),
+            Some(InputFormat::Aiger)
+        );
+    }
+
+    #[test]
+    fn sniffing_skips_leading_comments_blank_lines_and_crlf() {
+        // Regression: a comment banner or CRLF endings before the first
+        // directive used to misclassify the input.
+        assert_eq!(
+            sniff_format("\r\n# banner\r\n.model top\r\n.inputs a\r\n"),
+            Some(InputFormat::Blif)
+        );
+        assert_eq!(
+            sniff_format("// tool banner\n\n.i 3\n.o 1\n"),
+            Some(InputFormat::Pla)
+        );
+        assert_eq!(
+            sniff_format("/* multi\n   line\n   banner */\n.model m\n"),
+            Some(InputFormat::Blif)
+        );
+        assert_eq!(
+            sniff_format("/* inline */ .model m\n"),
+            Some(InputFormat::Blif)
+        );
+        // Verilog is still detected by its module keyword, with or
+        // without a leading comment.
+        assert_eq!(
+            sniff_format("// generated\nmodule t(a, y);\n"),
+            Some(InputFormat::Verilog)
+        );
+    }
+
+    #[test]
+    fn sniffing_empty_input_is_a_dedicated_error() {
+        assert_eq!(sniff_format(""), None);
+        assert_eq!(sniff_format("\r\n\r\n"), None);
+        assert_eq!(sniff_format("# only comments\n// here\n"), None);
+        assert_eq!(sniff_format("/* unterminated\nblock"), None);
+        let err = parse_sniffed("", "x").unwrap_err();
+        assert!(matches!(err, FlowError::EmptyInput), "{err}");
+        assert!(err.to_string().contains("empty input"), "{err}");
+        let err = sniff_bytes(b"# nothing here\n").unwrap_err();
+        assert!(matches!(err, FlowError::EmptyInput), "{err}");
+    }
+
+    #[test]
+    fn byte_sniffing_detects_binary_aiger() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and(x, y);
+        b.output("f", g);
+        let nl = b.build();
+        let binary = rms_logic::aiger::write_binary(&nl);
+        assert_eq!(sniff_bytes(&binary).unwrap(), InputFormat::Aiger);
+        let back = parse_bytes(InputFormat::Aiger, &binary, "t").unwrap();
+        assert_eq!(back.truth_tables(), nl.truth_tables());
+        // Text formats reject non-UTF-8 bytes with a parse error.
+        assert!(parse_bytes(InputFormat::Blif, &binary, "t").is_err());
+        // Arbitrary non-UTF-8 garbage is neither AIGER nor text.
+        assert!(sniff_bytes(&[0xff, 0xfe, 0x00]).is_err());
     }
 
     #[test]
@@ -445,7 +608,7 @@ mod tests {
         let blif_src = ".model rt\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n";
         let nl = parse_str(InputFormat::Blif, blif_src, "rt").unwrap();
         let text = rms_logic::verilog::write(&nl);
-        assert_eq!(sniff_format(&text), InputFormat::Verilog);
+        assert_eq!(sniff_format(&text), Some(InputFormat::Verilog));
         let back = parse_str(InputFormat::Verilog, &text, "rt").unwrap();
         assert_eq!(back.truth_tables(), nl.truth_tables());
     }

@@ -229,6 +229,20 @@ impl Pipeline {
         Ok(p)
     }
 
+    /// Starts a pipeline from raw circuit bytes in an explicit format
+    /// (the only constructor that accepts **binary** AIGER).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Parse`] when the bytes are malformed.
+    pub fn from_bytes(format: InputFormat, bytes: &[u8], name: &str) -> Result<Self, FlowError> {
+        let t0 = Instant::now();
+        let netlist = input::parse_bytes(format, bytes, name)?;
+        let mut p = Pipeline::new(netlist);
+        p.parse_time = t0.elapsed();
+        Ok(p)
+    }
+
     /// Starts a pipeline from an embedded benchmark.
     ///
     /// # Errors
@@ -259,6 +273,13 @@ impl Pipeline {
     /// Sets the optimization effort (cycles; the paper uses 40).
     pub fn effort(mut self, effort: usize) -> Self {
         self.options.effort = effort;
+        self
+    }
+
+    /// Bounds the incremental engine's resident cut cache (lists, not
+    /// bytes; see [`rms_core::opt::DEFAULT_CUT_CACHE_BOUND`]).
+    pub fn cut_cache_bound(mut self, bound: usize) -> Self {
+        self.options.cut_cache_bound = bound;
         self
     }
 

@@ -1,0 +1,803 @@
+//! AIGER reader/writer: the standard interchange format for And-Inverter
+//! Graphs, in both its ASCII (`aag`) and binary (`aig`) forms.
+//!
+//! AIGER is the lingua franca of large benchmark suites (EPFL, HWMCC,
+//! ISCAS re-releases), so this module is what lets the engine ingest the
+//! 10k–1M-node circuits the MIG rewriting flow is judged on. Both forms
+//! share the header `aag|aig M I L O A` (max variable index, inputs,
+//! latches, outputs, AND gates); only combinational circuits (`L = 0`)
+//! are accepted.
+//!
+//! A literal is `2·var + complement`; literal 0 is constant false and
+//! literal 1 constant true. The ASCII form lists each AND as
+//! `lhs rhs0 rhs1` on its own line, in any acyclic order. The binary
+//! form omits the input definitions (inputs are implicitly variables
+//! `1..=I`), requires ANDs in topological order with
+//! `lhs > rhs0 ≥ rhs1`, and stores each AND as two LEB128-style deltas
+//! (`lhs − rhs0`, then `rhs0 − rhs1`) in 7-bit groups with a
+//! continuation bit — which is why binary AIGER is not valid UTF-8 and
+//! the whole input layer works on bytes. Both forms may carry a symbol
+//! table (`i0 name`, `o3 name`) and a comment section introduced by a
+//! lone `c`.
+//!
+//! Reading produces a [`Netlist`] of pure [`GateKind::And`] gates with
+//! complement marks on wires; writing lowers the richer netlist gate
+//! set (OR/XOR/MAJ/MUX) into structurally hashed AND-inverter logic
+//! first.
+//!
+//! # Example
+//!
+//! ```
+//! use rms_logic::aiger;
+//! use rms_logic::netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("half_adder");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let s = b.xor(x, y);
+//! let c = b.and(x, y);
+//! b.output("sum", s);
+//! b.output("carry", c);
+//! let nl = b.build();
+//!
+//! let ascii = aiger::write_ascii(&nl);
+//! let binary = aiger::write_binary(&nl);
+//! let back = aiger::parse_bytes(ascii.as_bytes()).unwrap();
+//! assert_eq!(back.truth_tables(), nl.truth_tables());
+//! let back = aiger::parse_bytes(&binary).unwrap();
+//! assert_eq!(back.truth_tables(), nl.truth_tables());
+//! ```
+
+use crate::error::ParseCircuitError;
+use crate::netlist::{GateKind, Netlist, NetlistBuilder, Wire};
+use std::collections::HashMap;
+
+/// Refuse headers claiming more than this many variables — a corrupt or
+/// hostile header should fail fast, not reserve gigabytes.
+const MAX_VARS: u64 = 1 << 28;
+
+/// Returns true when `src` starts with a binary AIGER header (`aig `).
+///
+/// This is the one format whose payload is not text, so the sniffing
+/// layer asks this question before attempting UTF-8 decoding.
+pub fn looks_binary(src: &[u8]) -> bool {
+    src.starts_with(b"aig ") || src.starts_with(b"aig\t")
+}
+
+/// Returns true when `src` starts with an ASCII AIGER header (`aag `).
+pub fn looks_ascii(src: &[u8]) -> bool {
+    src.starts_with(b"aag ") || src.starts_with(b"aag\t")
+}
+
+struct Header {
+    max_var: u64,
+    inputs: u64,
+    latches: u64,
+    outputs: u64,
+    ands: u64,
+}
+
+/// Parses either AIGER form, dispatching on the magic word.
+///
+/// # Errors
+///
+/// Returns a [`ParseCircuitError`] for malformed headers, sequential
+/// elements (latches), out-of-range or cyclic literals, and truncated
+/// binary delta streams.
+pub fn parse_bytes(src: &[u8]) -> Result<Netlist, ParseCircuitError> {
+    if looks_binary(src) {
+        parse_binary(src)
+    } else if looks_ascii(src) {
+        parse_ascii(src)
+    } else {
+        Err(ParseCircuitError::new(
+            "not an AIGER file: expected 'aag' or 'aig' header",
+        ))
+    }
+}
+
+fn parse_header(line: &str, lineno: usize) -> Result<Header, ParseCircuitError> {
+    let mut it = line.split_whitespace();
+    let magic = it.next().unwrap_or("");
+    if magic != "aag" && magic != "aig" {
+        return Err(ParseCircuitError::at_line(lineno, "expected AIGER header"));
+    }
+    let mut field = |name: &str| -> Result<u64, ParseCircuitError> {
+        it.next()
+            .and_then(|t| t.parse::<u64>().ok())
+            .ok_or_else(|| {
+                ParseCircuitError::at_line(lineno, format!("bad AIGER header field '{name}'"))
+            })
+    };
+    let header = Header {
+        max_var: field("M")?,
+        inputs: field("I")?,
+        latches: field("L")?,
+        outputs: field("O")?,
+        ands: field("A")?,
+    };
+    if it.next().is_some() {
+        return Err(ParseCircuitError::at_line(
+            lineno,
+            "trailing tokens after AIGER header",
+        ));
+    }
+    if header.max_var > MAX_VARS {
+        return Err(ParseCircuitError::at_line(
+            lineno,
+            format!(
+                "AIGER header claims {} variables (limit {MAX_VARS})",
+                header.max_var
+            ),
+        ));
+    }
+    if header.latches != 0 {
+        return Err(ParseCircuitError::at_line(
+            lineno,
+            "sequential AIGER (latches) is not supported; run a combinational export",
+        ));
+    }
+    if header.inputs + header.latches + header.ands > header.max_var {
+        return Err(ParseCircuitError::at_line(
+            lineno,
+            "AIGER header inconsistent: I + L + A exceeds M",
+        ));
+    }
+    Ok(header)
+}
+
+/// Per-variable definition collected before elaboration.
+#[derive(Clone, Copy)]
+enum VarDef {
+    /// Primary input with its 0-based position.
+    Input(u32),
+    /// AND gate with its two fanin literals.
+    And(u64, u64),
+}
+
+/// Shared elaboration: turns variable definitions plus output literals
+/// into a [`Netlist`], topologically ordering ASCII AND definitions and
+/// rejecting cycles and dangling literals.
+struct Elaborator {
+    defs: Vec<Option<VarDef>>,
+    input_names: Vec<Option<String>>,
+    output_names: Vec<Option<String>>,
+}
+
+impl Elaborator {
+    fn new(header: &Header) -> Elaborator {
+        Elaborator {
+            defs: vec![None; header.max_var as usize + 1],
+            input_names: vec![None; header.inputs as usize],
+            output_names: vec![None; header.outputs as usize],
+        }
+    }
+
+    fn define(&mut self, var: u64, def: VarDef, lineno: usize) -> Result<(), ParseCircuitError> {
+        if var == 0 || var as usize >= self.defs.len() {
+            return Err(ParseCircuitError::at_line(
+                lineno,
+                format!("variable {var} out of range"),
+            ));
+        }
+        let slot = &mut self.defs[var as usize];
+        if slot.is_some() {
+            return Err(ParseCircuitError::at_line(
+                lineno,
+                format!("variable {var} defined twice"),
+            ));
+        }
+        *slot = Some(def);
+        Ok(())
+    }
+
+    fn symbol(&mut self, line: &str, lineno: usize) -> Result<(), ParseCircuitError> {
+        let (kind, rest) = line.split_at(1);
+        let Some((pos, name)) = rest.split_once(char::is_whitespace) else {
+            return Err(ParseCircuitError::at_line(lineno, "malformed symbol entry"));
+        };
+        let pos: usize = pos
+            .parse()
+            .map_err(|_| ParseCircuitError::at_line(lineno, "bad symbol position"))?;
+        let table = match kind {
+            "i" => &mut self.input_names,
+            "o" => &mut self.output_names,
+            "l" => {
+                return Err(ParseCircuitError::at_line(
+                    lineno,
+                    "latch symbol in combinational file",
+                ))
+            }
+            _ => return Err(ParseCircuitError::at_line(lineno, "unknown symbol kind")),
+        };
+        if pos >= table.len() {
+            return Err(ParseCircuitError::at_line(
+                lineno,
+                "symbol position out of range",
+            ));
+        }
+        table[pos] = Some(name.trim().to_string());
+        Ok(())
+    }
+
+    /// Builds the netlist: inputs in position order, then every defined
+    /// AND in dependency order (iterative DFS, cycle-checked).
+    fn build(self, name: &str, output_lits: &[u64]) -> Result<Netlist, ParseCircuitError> {
+        let mut b = NetlistBuilder::new(name);
+        let mut wires: Vec<Option<Wire>> = vec![None; self.defs.len()];
+        // Inputs must be declared before any gate; collect them in
+        // position order regardless of variable numbering.
+        let mut input_vars: Vec<(u32, usize)> = Vec::new();
+        for (var, def) in self.defs.iter().enumerate() {
+            if let Some(VarDef::Input(pos)) = def {
+                input_vars.push((*pos, var));
+            }
+        }
+        input_vars.sort_unstable();
+        for (pos, var) in &input_vars {
+            let name = self.input_names[*pos as usize]
+                .clone()
+                .unwrap_or_else(|| format!("x{pos}"));
+            wires[*var] = Some(b.input(name));
+        }
+        // Elaborate ANDs with an explicit DFS stack: ASCII files may list
+        // gates in any order, so follow dependencies and reject cycles.
+        let mut on_path = vec![false; self.defs.len()];
+        for root in 0..self.defs.len() {
+            if !matches!(self.defs[root], Some(VarDef::And(..))) || wires[root].is_some() {
+                continue;
+            }
+            let mut stack: Vec<(usize, bool)> = vec![(root, false)];
+            while let Some((var, expanded)) = stack.pop() {
+                if wires[var].is_some() {
+                    continue;
+                }
+                let Some(VarDef::And(l0, l1)) = self.defs[var] else {
+                    return Err(ParseCircuitError::new(format!(
+                        "literal {} references undefined variable {var}",
+                        2 * var
+                    )));
+                };
+                if expanded {
+                    on_path[var] = false;
+                    let a = lit_wire(&b, &wires, l0)?;
+                    let c = lit_wire(&b, &wires, l1)?;
+                    wires[var] = Some(b.and(a, c));
+                    continue;
+                }
+                if on_path[var] {
+                    return Err(ParseCircuitError::new(format!(
+                        "cyclic AND definition at variable {var}"
+                    )));
+                }
+                on_path[var] = true;
+                stack.push((var, true));
+                for lit in [l0, l1] {
+                    let v = (lit >> 1) as usize;
+                    if v != 0 && v < wires.len() && wires[v].is_none() {
+                        stack.push((v, false));
+                    }
+                }
+            }
+        }
+        for (pos, &lit) in output_lits.iter().enumerate() {
+            let w = lit_wire(&b, &wires, lit)?;
+            let name = self.output_names[pos]
+                .clone()
+                .unwrap_or_else(|| format!("f{pos}"));
+            b.output(name, w);
+        }
+        Ok(b.build())
+    }
+}
+
+fn lit_wire(
+    b: &NetlistBuilder,
+    wires: &[Option<Wire>],
+    lit: u64,
+) -> Result<Wire, ParseCircuitError> {
+    let var = (lit >> 1) as usize;
+    let base = if var == 0 {
+        b.const0()
+    } else {
+        *wires.get(var).and_then(|w| w.as_ref()).ok_or_else(|| {
+            ParseCircuitError::new(format!("literal {lit} references undefined variable {var}"))
+        })?
+    };
+    Ok(if lit & 1 == 1 {
+        base.complement()
+    } else {
+        base
+    })
+}
+
+fn parse_ascii(src: &[u8]) -> Result<Netlist, ParseCircuitError> {
+    let text = std::str::from_utf8(src)
+        .map_err(|_| ParseCircuitError::new("ASCII AIGER file is not valid UTF-8"))?;
+    let mut lines = text.lines().enumerate();
+    let (lineno, header_line) = lines
+        .next()
+        .ok_or_else(|| ParseCircuitError::new("empty AIGER file"))?;
+    let header = parse_header(header_line, lineno + 1)?;
+    let mut elab = Elaborator::new(&header);
+
+    let mut next = |what: &str| -> Result<(usize, &str), ParseCircuitError> {
+        lines.next().map(|(n, l)| (n + 1, l)).ok_or_else(|| {
+            ParseCircuitError::new(format!("unexpected end of file: missing {what}"))
+        })
+    };
+    for pos in 0..header.inputs {
+        let (n, line) = next("input definition")?;
+        let lit = parse_lit(line.trim(), n)?;
+        if lit & 1 == 1 || lit == 0 {
+            return Err(ParseCircuitError::at_line(
+                n,
+                "input literal must be a positive even number",
+            ));
+        }
+        elab.define(lit >> 1, VarDef::Input(pos as u32), n)?;
+    }
+    let mut output_lits = Vec::with_capacity(header.outputs as usize);
+    for _ in 0..header.outputs {
+        let (n, line) = next("output definition")?;
+        let lit = parse_lit(line.trim(), n)?;
+        check_lit_range(lit, header.max_var, n)?;
+        output_lits.push(lit);
+    }
+    for _ in 0..header.ands {
+        let (n, line) = next("AND definition")?;
+        let mut it = line.split_whitespace();
+        let (Some(lhs), Some(r0), Some(r1), None) = (it.next(), it.next(), it.next(), it.next())
+        else {
+            return Err(ParseCircuitError::at_line(
+                n,
+                "AND definition must be 'lhs rhs0 rhs1'",
+            ));
+        };
+        let (lhs, r0, r1) = (parse_lit(lhs, n)?, parse_lit(r0, n)?, parse_lit(r1, n)?);
+        if lhs & 1 == 1 || lhs == 0 {
+            return Err(ParseCircuitError::at_line(
+                n,
+                "AND left-hand side must be a positive even literal",
+            ));
+        }
+        check_lit_range(r0, header.max_var, n)?;
+        check_lit_range(r1, header.max_var, n)?;
+        elab.define(lhs >> 1, VarDef::And(r0, r1), n)?;
+    }
+    // Symbol table and comment section.
+    let mut model_name = None;
+    let mut in_comments = false;
+    for (n, line) in lines {
+        let line = line.trim_end_matches('\r');
+        if in_comments {
+            // The first comment line carries the model name (that is
+            // where `write_ascii`/`write_binary` put it).
+            if !line.is_empty() {
+                model_name = Some(line.to_string());
+                break;
+            }
+            continue;
+        }
+        if line == "c" {
+            in_comments = true;
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        elab.symbol(line, n + 1)?;
+    }
+    elab.build(model_name.as_deref().unwrap_or("aiger"), &output_lits)
+}
+
+fn parse_lit(token: &str, lineno: usize) -> Result<u64, ParseCircuitError> {
+    token
+        .parse::<u64>()
+        .map_err(|_| ParseCircuitError::at_line(lineno, format!("bad literal '{token}'")))
+}
+
+fn check_lit_range(lit: u64, max_var: u64, lineno: usize) -> Result<(), ParseCircuitError> {
+    if lit >> 1 > max_var {
+        return Err(ParseCircuitError::at_line(
+            lineno,
+            format!("literal {lit} exceeds declared maximum variable {max_var}"),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_binary(src: &[u8]) -> Result<Netlist, ParseCircuitError> {
+    let newline = src
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ParseCircuitError::new("binary AIGER: missing header newline"))?;
+    let header_line = std::str::from_utf8(&src[..newline])
+        .map_err(|_| ParseCircuitError::new("binary AIGER: header is not ASCII"))?
+        .trim_end_matches('\r');
+    let header = parse_header(header_line, 1)?;
+    let mut elab = Elaborator::new(&header);
+    for pos in 0..header.inputs {
+        // Binary form: input `pos` is implicitly variable `pos + 1`.
+        elab.define(pos + 1, VarDef::Input(pos as u32), 1)?;
+    }
+    let mut offset = newline + 1;
+    let mut output_lits = Vec::with_capacity(header.outputs as usize);
+    for i in 0..header.outputs {
+        let end = src[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| offset + p)
+            .ok_or_else(|| {
+                ParseCircuitError::new(format!("binary AIGER: missing output literal {i}"))
+            })?;
+        let token = std::str::from_utf8(&src[offset..end])
+            .map_err(|_| ParseCircuitError::new("binary AIGER: output line is not ASCII"))?
+            .trim();
+        let lit = parse_lit(token, 0)?;
+        check_lit_range(lit, header.max_var, 0)?;
+        output_lits.push(lit);
+        offset = end + 1;
+    }
+    // AND section: for gate i, lhs = 2·(I + L + i + 1); the stream stores
+    // delta0 = lhs − rhs0 and delta1 = rhs0 − rhs1 as 7-bit groups with a
+    // continuation bit (LEB128 without the sign handling).
+    for i in 0..header.ands {
+        let lhs = 2 * (header.inputs + header.latches + i + 1);
+        let (delta0, next) = decode_delta(src, offset, lhs)?;
+        let (delta1, next) = decode_delta(src, next, lhs)?;
+        let rhs0 = lhs.checked_sub(delta0).ok_or_else(|| {
+            ParseCircuitError::new(format!("binary AIGER: delta underflow at AND {i}"))
+        })?;
+        let rhs1 = rhs0.checked_sub(delta1).ok_or_else(|| {
+            ParseCircuitError::new(format!("binary AIGER: delta underflow at AND {i}"))
+        })?;
+        if delta0 == 0 {
+            return Err(ParseCircuitError::new(format!(
+                "binary AIGER: AND {i} must satisfy lhs > rhs0"
+            )));
+        }
+        elab.define(lhs >> 1, VarDef::And(rhs0, rhs1), 0)?;
+        offset = next;
+    }
+    // Optional symbol table and comments, line-oriented text again.
+    let mut model_name = None;
+    if offset < src.len() {
+        let tail = std::str::from_utf8(&src[offset..])
+            .map_err(|_| ParseCircuitError::new("binary AIGER: symbol section is not UTF-8"))?;
+        let mut in_comments = false;
+        for (n, line) in tail.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
+            if in_comments {
+                // The first comment line carries the model name (that is
+                // where `write_ascii`/`write_binary` put it).
+                if !line.is_empty() {
+                    model_name = Some(line.to_string());
+                    break;
+                }
+                continue;
+            }
+            if line == "c" {
+                in_comments = true;
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            elab.symbol(line, n + 1)?;
+        }
+    }
+    elab.build(model_name.as_deref().unwrap_or("aiger"), &output_lits)
+}
+
+/// Decodes one LEB128-style delta starting at `offset`; returns the
+/// value and the offset one past its last byte.
+fn decode_delta(
+    src: &[u8],
+    mut offset: usize,
+    lhs: u64,
+) -> Result<(u64, usize), ParseCircuitError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = src.get(offset).ok_or_else(|| {
+            ParseCircuitError::new("binary AIGER: truncated delta stream in AND section")
+        })?;
+        offset += 1;
+        if shift >= 63 {
+            return Err(ParseCircuitError::new(
+                "binary AIGER: delta encoding longer than 63 bits",
+            ));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if value > lhs {
+        return Err(ParseCircuitError::new(format!(
+            "binary AIGER: delta {value} exceeds left-hand literal {lhs}"
+        )));
+    }
+    Ok((value, offset))
+}
+
+/// Encodes one delta in the 7-bit-group format used by binary AIGER.
+fn encode_delta(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// The netlist lowered to and-inverter form: literals per node, the AND
+/// definitions in topological order, and the output literals.
+struct Lowered {
+    num_inputs: u64,
+    /// `(rhs0, rhs1)` per AND; gate `i` defines literal `2·(I + i + 1)`.
+    ands: Vec<(u64, u64)>,
+    outputs: Vec<u64>,
+}
+
+/// Lowers every netlist gate to AND-inverter logic with structural
+/// hashing and constant folding, producing binary-AIGER-ready
+/// (topologically numbered) gates.
+fn lower(nl: &Netlist) -> Lowered {
+    let num_inputs = nl.num_inputs() as u64;
+    let mut ands: Vec<(u64, u64)> = Vec::new();
+    let mut strash: HashMap<(u64, u64), u64> = HashMap::new();
+    // Literal per netlist node (uncomplemented reference).
+    let mut lit_of: Vec<u64> = vec![0; nl.num_nodes()];
+    for i in 0..nl.num_inputs() {
+        lit_of[1 + i] = 2 * (i as u64 + 1);
+    }
+    let mk_and = |ands: &mut Vec<(u64, u64)>,
+                  strash: &mut HashMap<(u64, u64), u64>,
+                  a: u64,
+                  b: u64|
+     -> u64 {
+        let (a, b) = if a >= b { (a, b) } else { (b, a) };
+        if b == 0 {
+            return 0; // x & false
+        }
+        if b == 1 || a == b {
+            return a; // x & true, x & x
+        }
+        if a == b ^ 1 {
+            return 0; // x & !x
+        }
+        if let Some(&lit) = strash.get(&(a, b)) {
+            return lit;
+        }
+        let lit = 2 * (num_inputs + ands.len() as u64 + 1);
+        ands.push((a, b));
+        strash.insert((a, b), lit);
+        lit
+    };
+    for (idx, gate) in nl.gates() {
+        let lit = |w: Wire| lit_of[w.node()] ^ u64::from(w.is_complemented());
+        let f: Vec<u64> = gate.fanins.iter().map(|&w| lit(w)).collect();
+        lit_of[idx] = match gate.kind {
+            GateKind::And => mk_and(&mut ands, &mut strash, f[0], f[1]),
+            GateKind::Or => mk_and(&mut ands, &mut strash, f[0] ^ 1, f[1] ^ 1) ^ 1,
+            GateKind::Xor => {
+                let p = mk_and(&mut ands, &mut strash, f[0], f[1] ^ 1);
+                let q = mk_and(&mut ands, &mut strash, f[0] ^ 1, f[1]);
+                mk_and(&mut ands, &mut strash, p ^ 1, q ^ 1) ^ 1
+            }
+            GateKind::Maj => {
+                let ab = mk_and(&mut ands, &mut strash, f[0], f[1]);
+                let ac = mk_and(&mut ands, &mut strash, f[0], f[2]);
+                let bc = mk_and(&mut ands, &mut strash, f[1], f[2]);
+                let t = mk_and(&mut ands, &mut strash, ab ^ 1, ac ^ 1);
+                mk_and(&mut ands, &mut strash, t, bc ^ 1) ^ 1
+            }
+            GateKind::Mux => {
+                let st = mk_and(&mut ands, &mut strash, f[0], f[1]);
+                let se = mk_and(&mut ands, &mut strash, f[0] ^ 1, f[2]);
+                mk_and(&mut ands, &mut strash, st ^ 1, se ^ 1) ^ 1
+            }
+        };
+    }
+    let outputs = nl
+        .outputs()
+        .iter()
+        .map(|(_, w)| lit_of[w.node()] ^ u64::from(w.is_complemented()))
+        .collect();
+    Lowered {
+        num_inputs,
+        ands,
+        outputs,
+    }
+}
+
+fn push_symbols(out: &mut String, nl: &Netlist) {
+    use std::fmt::Write as _;
+    for (pos, name) in nl.input_names().iter().enumerate() {
+        let _ = writeln!(out, "i{pos} {name}");
+    }
+    for (pos, (name, _)) in nl.outputs().iter().enumerate() {
+        let _ = writeln!(out, "o{pos} {name}");
+    }
+    let _ = writeln!(out, "c");
+    let _ = writeln!(out, "{}", nl.name());
+}
+
+/// Serializes `nl` as ASCII AIGER (`aag`), lowering non-AND gates.
+pub fn write_ascii(nl: &Netlist) -> String {
+    use std::fmt::Write as _;
+    let low = lower(nl);
+    let max_var = low.num_inputs + low.ands.len() as u64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {max_var} {} 0 {} {}",
+        low.num_inputs,
+        low.outputs.len(),
+        low.ands.len()
+    );
+    for i in 0..low.num_inputs {
+        let _ = writeln!(out, "{}", 2 * (i + 1));
+    }
+    for &lit in &low.outputs {
+        let _ = writeln!(out, "{lit}");
+    }
+    for (i, &(r0, r1)) in low.ands.iter().enumerate() {
+        let lhs = 2 * (low.num_inputs + i as u64 + 1);
+        let _ = writeln!(out, "{lhs} {r0} {r1}");
+    }
+    push_symbols(&mut out, nl);
+    out
+}
+
+/// Serializes `nl` as binary AIGER (`aig`), lowering non-AND gates.
+pub fn write_binary(nl: &Netlist) -> Vec<u8> {
+    let low = lower(nl);
+    let max_var = low.num_inputs + low.ands.len() as u64;
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {max_var} {} 0 {} {}\n",
+            low.num_inputs,
+            low.outputs.len(),
+            low.ands.len()
+        )
+        .as_bytes(),
+    );
+    for &lit in &low.outputs {
+        out.extend_from_slice(format!("{lit}\n").as_bytes());
+    }
+    for (i, &(r0, r1)) in low.ands.iter().enumerate() {
+        let lhs = 2 * (low.num_inputs + i as u64 + 1);
+        // Structural hashing orders fanins rhs0 ≥ rhs1, as required.
+        encode_delta(&mut out, lhs - r0);
+        encode_delta(&mut out, r0 - r1);
+    }
+    let mut symbols = String::new();
+    push_symbols(&mut symbols, nl);
+    out.extend_from_slice(symbols.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_netlist;
+
+    fn check_round_trip(nl: &Netlist) {
+        let want = nl.truth_tables();
+        let ascii = write_ascii(nl);
+        let from_ascii = parse_bytes(ascii.as_bytes()).expect("parse ascii");
+        assert_eq!(from_ascii.truth_tables(), want, "ascii round trip");
+        let binary = write_binary(nl);
+        let from_binary = parse_bytes(&binary).expect("parse binary");
+        assert_eq!(from_binary.truth_tables(), want, "binary round trip");
+        // Re-serializing the parsed netlist must be a fixpoint.
+        assert_eq!(write_ascii(&from_binary), write_ascii(&from_ascii));
+    }
+
+    #[test]
+    fn round_trips_all_gate_kinds() {
+        let mut b = NetlistBuilder::new("kinds");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let a = b.and(x, y);
+        let o = b.or(a, z.complement());
+        let e = b.xor(o, x);
+        let m = b.maj(a, o, e);
+        let u = b.mux(z, m, e.complement());
+        b.output("f0", u);
+        b.output("f1", m.complement());
+        b.output("f2", b.const1());
+        check_round_trip(&b.build());
+    }
+
+    #[test]
+    fn round_trips_random_netlists() {
+        for seed in 0..8u64 {
+            let nl = random_netlist("rt", seed, 6, 3, 40);
+            check_round_trip(&nl);
+        }
+    }
+
+    #[test]
+    fn parses_reference_ascii_file() {
+        // Half adder from the AIGER format documentation.
+        let src = "aag 7 2 0 2 3\n2\n4\n6\n12\n6 13 15\n12 2 4\n14 3 5\ni0 x\ni1 y\no0 s\no1 c\n";
+        let nl = parse_bytes(src.as_bytes()).expect("parse");
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_outputs(), 2);
+        assert_eq!(nl.input_names()[0], "x");
+        assert_eq!(nl.outputs()[0].0, "s");
+        let tts = nl.truth_tables();
+        assert_eq!(tts[0].count_ones(), 2, "sum is XOR");
+        assert_eq!(tts[1].count_ones(), 1, "carry is AND");
+    }
+
+    #[test]
+    fn ascii_accepts_out_of_order_ands() {
+        // Same half adder with the AND list permuted.
+        let src = "aag 7 2 0 2 3\n2\n4\n6\n12\n12 2 4\n14 3 5\n6 13 15\n";
+        let nl = parse_bytes(src.as_bytes()).expect("parse");
+        assert_eq!(nl.truth_tables()[0].count_ones(), 2);
+    }
+
+    #[test]
+    fn binary_delta_encoding_round_trips() {
+        for value in [0u64, 1, 127, 128, 255, 16383, 16384, 1 << 40] {
+            let mut buf = Vec::new();
+            encode_delta(&mut buf, value);
+            let (decoded, next) = decode_delta(&buf, 0, u64::MAX).expect("decode");
+            assert_eq!(decoded, value);
+            assert_eq!(next, buf.len());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"vag 1 1 0 1 0\n", "header"),
+            (b"aag 1 1 1 1 0\n2\n2 2\n2\n", "latches"),
+            (b"aag 1 1 0 1 0\n3\n2\n", "even"),
+            (b"aag 2 1 0 1 1\n2\n4\n4 9 2\n", "exceeds"),
+            (b"aag 2 1 0 1 1\n2\n4\n4 5 2\n", "cyclic"),
+            (b"aag 99999999999 1 0 1 0\n", "variables"),
+            (b"aig 2 1 0 1 1\n4\n", "truncated"),
+            (b"", "AIGER"),
+        ];
+        for (src, needle) in cases {
+            let err = parse_bytes(src).expect_err("must fail").to_string();
+            assert!(err.contains(needle), "error '{err}' lacks '{needle}'");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_zero_delta0() {
+        // delta0 = 0 would make lhs == rhs0 (self-reference).
+        let mut src = b"aig 2 1 0 1 1\n4\n".to_vec();
+        src.push(0); // delta0 = 0
+        src.push(2); // delta1 = 2
+        let err = parse_bytes(&src).expect_err("must fail").to_string();
+        assert!(err.contains("lhs > rhs0"), "{err}");
+    }
+
+    #[test]
+    fn constant_outputs_and_folding() {
+        let mut b = NetlistBuilder::new("c");
+        let x = b.input("x");
+        let dead = b.and(x, x.complement()); // folds to const0
+        b.output("zero", dead);
+        b.output("one", b.const1());
+        let nl = b.build();
+        let ascii = write_ascii(&nl);
+        assert!(ascii.starts_with("aag 1 1 0 2 0\n"), "{ascii}");
+        check_round_trip(&nl);
+    }
+}

@@ -81,6 +81,11 @@ pub fn parse(src: &str) -> Result<Netlist, ParseCircuitError> {
             logical_lines.push((pending_line, std::mem::take(&mut pending)));
         }
     }
+    // A trailing '\' on the final line must not silently drop the
+    // accumulated logical line.
+    if !pending.is_empty() {
+        logical_lines.push((pending_line, pending));
+    }
 
     let mut i = 0usize;
     while i < logical_lines.len() {
@@ -521,5 +526,41 @@ mod tests {
         let src = ".model t\n.inputs a \\\nb\n.outputs o\n.names a b o\n11 1\n.end\n";
         let nl = parse(src).unwrap();
         assert_eq!(nl.num_inputs(), 2);
+    }
+
+    #[test]
+    fn continuation_spanning_many_physical_lines() {
+        // One `.inputs` directive continued across four physical lines,
+        // and a `.names` whose cover row is also continued.
+        let src = ".model t\n.inputs a \\\nb \\\nc \\\nd\n.outputs o\n\
+                   .names a b \\\nc d \\\no\n1111 1\n.end\n";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.num_inputs(), 4);
+        assert_eq!(nl.evaluate(0b1111), vec![true]);
+        assert_eq!(nl.evaluate(0b0111), vec![false]);
+    }
+
+    #[test]
+    fn continuation_on_final_line_is_not_dropped() {
+        // Regression: a trailing '\' on the last physical line used to
+        // leave the accumulated logical line unflushed, silently
+        // dropping the directive.
+        let src = ".model t\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end \\";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+        // Harder case: the dropped line used to be the only cover row.
+        let src = ".model t\n.inputs a b\n.outputs o\n.names a b o\n11 \\\n1";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.evaluate(0b11), vec![true]);
+        assert_eq!(nl.evaluate(0b10), vec![false]);
+    }
+
+    #[test]
+    fn duplicate_names_driver_is_an_error() {
+        let src = ".model t\n.inputs a b\n.outputs o\n\
+                   .names a o\n1 1\n.names b o\n1 1\n.end\n";
+        let err = parse(src).expect_err("duplicate driver must fail");
+        assert!(err.to_string().contains("defined twice"), "{err}");
+        assert_eq!(err.line, 6, "error should point at the second driver");
     }
 }

@@ -9,12 +9,16 @@
 //! - [`netlist`]: a multi-output gate-level intermediate representation,
 //! - [`blif`] and [`pla`]: readers/writers for the interchange formats the
 //!   original benchmark suites (ISCAS89 / LGsynth91) are distributed in,
+//! - [`aiger`]: the AIGER and-inverter-graph interchange format (binary
+//!   and ASCII) used by the large benchmark suites,
 //! - [`verilog`]: a structural gate-level Verilog writer and reader,
 //! - [`sim`]: bit-parallel simulation and equivalence checking,
 //! - [`random`]: seeded random netlist generation for differential
 //!   testing,
 //! - [`bench_suite`]: the embedded benchmark circuits used by the
-//!   evaluation harness, and
+//!   evaluation harness,
+//! - [`large_suite`]: generated EPFL-style arithmetic/control circuits
+//!   in the 4k–70k-gate range for scale testing, and
 //! - [`paper_data`]: the numbers reported in the paper's Tables II and III
 //!   so experiments can print paper-vs-measured comparisons.
 //!
@@ -37,10 +41,12 @@
 //! `ARCHITECTURE.md` at the repository root for how the layers compose
 //! into the synthesis pipeline.
 
+pub mod aiger;
 pub mod bench_suite;
 pub mod blif;
 pub mod error;
 pub mod expr;
+pub mod large_suite;
 pub mod netlist;
 pub mod paper_data;
 pub mod pla;

@@ -37,5 +37,7 @@ pub mod stdio;
 
 pub use cache::{CacheKey, CacheStats, Entry, Provenance, ResultCache};
 pub use http::{serve_http, spawn_http};
-pub use service::{RequestOptions, ServeConfig, Service, DEFAULT_CACHE_BYTES, PROTOCOL};
+pub use service::{
+    RequestOptions, ServeConfig, Service, DEFAULT_CACHE_BYTES, DEFAULT_MAX_BODY_BYTES, PROTOCOL,
+};
 pub use stdio::run_stdio;

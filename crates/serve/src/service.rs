@@ -64,6 +64,10 @@ pub const PROTOCOL: &str = "rms-serve-v1";
 /// reports.
 pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
 
+/// Default upper bound on HTTP request bodies (64 MiB — a structural
+/// netlist of millions of gates fits comfortably).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 64 << 20;
+
 /// Server-level configuration (one per [`Service`]).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -72,6 +76,9 @@ pub struct ServeConfig {
     /// Default batch fan-out worker count (0 = all cores, the `par_map`
     /// default); a request's `jobs` field overrides it.
     pub jobs: usize,
+    /// Upper bound on HTTP request bodies; larger requests are rejected
+    /// with `413 Payload Too Large` before any body allocation.
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +86,7 @@ impl Default for ServeConfig {
         ServeConfig {
             cache_bytes: DEFAULT_CACHE_BYTES,
             jobs: 0,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
         }
     }
 }
@@ -314,6 +322,7 @@ enum ItemOutcome {
 pub struct Service {
     cache: Mutex<ResultCache>,
     jobs: usize,
+    max_body_bytes: usize,
 }
 
 impl Service {
@@ -323,7 +332,14 @@ impl Service {
         Service {
             cache: Mutex::new(ResultCache::new(config.cache_bytes)),
             jobs: config.jobs,
+            max_body_bytes: config.max_body_bytes,
         }
+    }
+
+    /// The configured HTTP request-body cap, consulted by the HTTP
+    /// transport before reading a body.
+    pub fn max_body_bytes(&self) -> usize {
+        self.max_body_bytes
     }
 
     /// Current cache counters.

@@ -5,7 +5,7 @@
 //! - `rms run` — full pipeline on a user circuit: parse, optimize,
 //!   compile (array + PLiM), verify, report (text or `--json`).
 //! - `rms optimize` — run an optimization algorithm and emit the
-//!   optimized circuit (`--emit blif|pla|verilog|dot`).
+//!   optimized circuit (`--emit blif|pla|verilog|aag|aig|dot`).
 //! - `rms compile` — compile to an RRAM program and print its listing.
 //! - `rms verify` — formally check two circuits for functional
 //!   equivalence (SAT miter above the exhaustive cutoff).
@@ -29,11 +29,13 @@ USAGE:
     rms <run|optimize|compile|verify|bench|serve|help> [flags]
 
 INPUT (run / optimize / compile):
-    --input FILE          circuit file (.blif, .pla, .v, .expr/.eqn, .tt; sniffed
-                          otherwise); `-` reads the circuit from stdin
+    --input FILE          circuit file (.blif, .pla, .v, .expr/.eqn, .tt,
+                          .aig/.aag AIGER; sniffed otherwise); `-` reads the
+                          circuit (text or binary AIGER) from stdin
     --bench NAME          embedded benchmark (see `rms bench --list`)
     --expr TEXT           inline expression, e.g. \"f = maj(a, b, c) ^ d\"
-    --format FMT          override input format detection (blif|pla|verilog|expr|tt)
+    --format FMT          override input format detection
+                          (blif|pla|verilog|expr|tt|aiger)
 
 FLOW:
     --opt ALG             area | depth | rram | steps | cut | cut-rram |
@@ -52,10 +54,13 @@ FLOW:
                           opts out of formal checking)
     --no-verify           alias for --verify off
     --seed N              sampled-verification RNG seed      (default: fixed)
+    --cut-cache N         max resident cut sets in the incremental engine's
+                          cache (memory bound; eviction costs recomputation,
+                          never results; default: 262144, ~44 MiB)
 
 OUTPUT:
     --json                machine-readable report (run, verify)
-    --emit FMT            blif | pla | verilog | dot         (optimize)
+    --emit FMT            blif | pla | verilog | aag | aig | dot  (optimize)
     --output FILE         write emitted circuit to FILE instead of stdout
     --plim                compile the serial PLiM stream instead of the array (compile)
     --listing             print the program listing (compile)
@@ -81,7 +86,11 @@ BENCH:
                           suite: verifies every row, checks gate count <= cut
                           on every benchmark and bit-identity across engines
                           and worker counts; exits non-zero on any regression
-    --out FILE            where --profile writes its JSON (default: BENCH_5.json)
+    --suite S             small | large — which suite --profile measures
+                          (default: small; large is the generated 4k-70k-gate
+                          suite, use a low --effort such as 2)
+    --out FILE            where --profile writes its JSON (default:
+                          BENCH_5.json, or BENCH_8.json with --suite large)
     --iters N             timing iterations per engine for --profile (default: 3)
     --list                list embedded benchmark names
     --sequential          disable the thread pool
@@ -98,6 +107,8 @@ SERVE:
                           --http 127.0.0.1:8117
     --cache-mb N          result-cache LRU budget in MiB     (default: 64)
     --cache-bytes N       exact budget in bytes (overrides --cache-mb)
+    --max-body-mb N       HTTP request-body cap in MiB       (default: 64;
+                          oversized requests get 413 Payload Too Large)
     --jobs N              default batch fan-out workers      (default: all cores)
 
 EXAMPLES:
@@ -159,6 +170,7 @@ struct FlowArgs {
     frontend: Frontend,
     verify: VerifyMode,
     seed: Option<u64>,
+    cut_cache: Option<usize>,
     json: bool,
     emit: Option<String>,
     output: Option<String>,
@@ -180,6 +192,7 @@ impl FlowArgs {
             frontend: Frontend::Direct,
             verify: VerifyMode::Auto,
             seed: None,
+            cut_cache: None,
             json: false,
             emit: None,
             output: None,
@@ -246,6 +259,13 @@ impl FlowArgs {
                             .map_err(|_| format!("--seed expects a u64, got {v:?}"))?,
                     );
                 }
+                "--cut-cache" => {
+                    let v = value("--cut-cache")?;
+                    a.cut_cache = Some(
+                        v.parse()
+                            .map_err(|_| format!("--cut-cache expects a list count, got {v:?}"))?,
+                    );
+                }
                 "--json" => a.json = true,
                 "--emit" => a.emit = Some(value("--emit")?),
                 "--output" => a.output = Some(value("--output")?),
@@ -270,14 +290,13 @@ impl FlowArgs {
             } else {
                 match self.format {
                     Some(format) => {
-                        let text =
-                            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
                         let name = std::path::Path::new(path)
                             .file_stem()
                             .and_then(|s| s.to_str())
                             .unwrap_or("circuit")
                             .to_string();
-                        Pipeline::from_str(format, &text, &name).map_err(err_str)?
+                        Pipeline::from_bytes(format, &bytes, &name).map_err(err_str)?
                     }
                     None => Pipeline::from_path(path).map_err(err_str)?,
                 }
@@ -297,6 +316,9 @@ impl FlowArgs {
             .verify_mode(self.verify);
         if let Some(seed) = self.seed {
             pipeline = pipeline.seed(seed);
+        }
+        if let Some(bound) = self.cut_cache {
+            pipeline = pipeline.cut_cache_bound(bound);
         }
         Ok(pipeline)
     }
@@ -320,24 +342,33 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let a = FlowArgs::parse(args)?;
     let out = a.pipeline()?.run().map_err(err_str)?;
-    let emitted = match a.emit.as_deref() {
+    let emitted: Option<Vec<u8>> = match a.emit.as_deref() {
         None => None,
-        Some("blif") => Some(rms_logic::blif::write(&out.mig.to_netlist())),
-        Some("pla") => Some(rms_logic::pla::write(&out.mig.to_netlist())),
-        Some("verilog" | "v") => Some(rms_logic::verilog::write(&out.mig.to_netlist())),
-        Some("dot") => Some(out.mig.to_dot()),
+        Some("blif") => Some(rms_logic::blif::write(&out.mig.to_netlist()).into_bytes()),
+        Some("pla") => Some(rms_logic::pla::write(&out.mig.to_netlist()).into_bytes()),
+        Some("verilog" | "v") => {
+            Some(rms_logic::verilog::write(&out.mig.to_netlist()).into_bytes())
+        }
+        Some("aag" | "aiger") => {
+            Some(rms_logic::aiger::write_ascii(&out.mig.to_netlist()).into_bytes())
+        }
+        Some("aig") => Some(rms_logic::aiger::write_binary(&out.mig.to_netlist())),
+        Some("dot") => Some(out.mig.to_dot().into_bytes()),
         Some(other) => return Err(format!("unknown --emit format {other:?}")),
     };
     // When the emitted circuit occupies stdout, the report moves to
     // stderr so both streams stay parseable.
     let mut stdout_taken = false;
     match (emitted, &a.output) {
-        (Some(text), Some(path)) => {
-            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+        (Some(bytes), Some(path)) => {
+            std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
             eprintln!("wrote {path}");
         }
-        (Some(text), None) => {
-            print!("{text}");
+        (Some(bytes), None) => {
+            use std::io::Write as _;
+            std::io::stdout()
+                .write_all(&bytes)
+                .map_err(|e| format!("stdout: {e}"))?;
             stdout_taken = true;
         }
         (None, _) => {}
@@ -487,6 +518,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut http: Option<String> = None;
     let mut cache_bytes = rms_serve::DEFAULT_CACHE_BYTES;
+    let mut max_body_bytes = rms_serve::DEFAULT_MAX_BODY_BYTES;
     let mut jobs = 0usize; // 0 = default thread pool
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -516,12 +548,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
             }
+            "--max-body-mb" => {
+                let v = value("--max-body-mb")?;
+                let mb: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-body-mb expects a number, got {v:?}"))?;
+                max_body_bytes = mb << 20;
+            }
             other => return Err(format!("unknown flag {other:?}; try `rms help`")),
         }
     }
     let service = std::sync::Arc::new(rms_serve::Service::new(rms_serve::ServeConfig {
         cache_bytes,
         jobs,
+        max_body_bytes,
     }));
     match http {
         Some(addr) => {
@@ -543,8 +583,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut sections: Vec<&str> = Vec::new();
     let mut effort = OptOptions::default().effort;
     let mut jobs = 0usize; // 0 = default thread pool
-    let mut out_path = "BENCH_5.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut iters = 3usize;
+    let mut suite = "small".to_string();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -557,10 +598,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--profile" => sections.push("profile"),
             "--sweep" => sections.push("sweep"),
             "--out" => {
-                out_path = it
+                out_path = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--out requires a value".to_string())?,
+                );
+            }
+            "--suite" => {
+                let v = it
                     .next()
-                    .cloned()
-                    .ok_or_else(|| "--out requires a value".to_string())?;
+                    .ok_or_else(|| "--suite requires a value".to_string())?;
+                match v.as_str() {
+                    "small" | "large" => suite = v.clone(),
+                    other => return Err(format!("--suite expects small or large, got {other:?}")),
+                }
             }
             "--iters" => {
                 let v = it
@@ -575,10 +626,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             }
             "--list" => {
                 for info in rms_logic::bench_suite::LARGE_SUITE {
-                    println!("{:<12} {} inputs (large suite)", info.name, info.inputs);
+                    println!("{:<12} {} inputs (Table II suite)", info.name, info.inputs);
                 }
                 for info in rms_logic::bench_suite::SMALL_SUITE {
-                    println!("{:<12} {} inputs (small suite)", info.name, info.inputs);
+                    println!("{:<12} {} inputs (Table III suite)", info.name, info.inputs);
+                }
+                for info in rms_logic::large_suite::SUITE {
+                    println!(
+                        "{:<12} ~{} gates (generated large suite: {})",
+                        info.name, info.approx_gates, info.description
+                    );
                 }
                 return Ok(());
             }
@@ -631,7 +688,18 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 }
             }
             "profile" => {
-                let report = rms_bench::runner::run_profile(&opts, iters);
+                let report = if suite == "large" {
+                    rms_bench::runner::run_profile_large(&opts, iters)
+                } else {
+                    rms_bench::runner::run_profile(&opts, iters)
+                };
+                let out_path = out_path.clone().unwrap_or_else(|| {
+                    if suite == "large" {
+                        "BENCH_8.json".to_string()
+                    } else {
+                        "BENCH_5.json".to_string()
+                    }
+                });
                 print!("{}", reports::profile_report(&report));
                 std::fs::write(&out_path, report.to_json())
                     .map_err(|e| format!("{out_path}: {e}"))?;
