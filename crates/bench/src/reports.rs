@@ -104,12 +104,14 @@ pub fn profile_report(report: &crate::timing::ProfileReport) -> String {
         "benchmark",
         "in",
         "gates",
+        "Δgates",
         "rebuild",
         "incremental",
         "speedup",
+        &format!("jobs={}", runner::PROFILE_JOBS),
+        "phases e/v/c/g",
         "cycles",
         "rewrites",
-        "peak",
         "identical",
         "verified",
     ]);
@@ -118,12 +120,21 @@ pub fn profile_report(report: &crate::timing::ProfileReport) -> String {
             r.name.to_string(),
             r.inputs.to_string(),
             format!("{} -> {}", r.initial_gates, r.gates),
+            format!("{:+}", r.gates_delta),
             format!("{:.2}ms", r.baseline_ms),
             format!("{:.2}ms", r.incremental_ms),
             format!("{:.2}x", r.speedup()),
+            format!(
+                "{:.2}ms{}",
+                r.par_ms,
+                if r.par_identical { "" } else { " (DIFFERS)" }
+            ),
+            format!(
+                "{:.0}/{:.0}/{:.0}/{:.0}ms",
+                r.t_cut_enum_ms, r.t_eval_ms, r.t_commit_ms, r.t_gc_ms
+            ),
             r.cycles.to_string(),
             r.rewrites.to_string(),
-            r.peak_nodes.to_string(),
             if r.identical { "yes" } else { "NO" }.to_string(),
             r.verified.clone(),
         ]);
@@ -131,7 +142,7 @@ pub fn profile_report(report: &crate::timing::ProfileReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Cut-engine performance profile ({} suite, effort {}, min of {} runs; baseline = pre-incremental rebuild engine)",
+        "Cut-engine performance profile ({} suite, effort {}, median of {} runs; baseline = pre-incremental rebuild engine)",
         report.suite, report.effort, report.iters
     );
     out.push_str(&table.render());
@@ -144,16 +155,21 @@ pub fn profile_report(report: &crate::timing::ProfileReport) -> String {
     );
     let _ = writeln!(
         out,
-        "differential: {}/{} rows bit-identical (incremental vs from-scratch); --jobs sweep consistent: {}",
+        "differential: {}/{} rows bit-identical (incremental vs from-scratch); \
+         parallel: {}/{} rows bit-identical at jobs={}; --jobs sweep consistent: {}",
         report.rows.iter().filter(|r| r.identical).count(),
         report.rows.len(),
+        report.rows.iter().filter(|r| r.par_identical).count(),
+        report.rows.len(),
+        runner::PROFILE_JOBS,
         report.jobs_consistent
     );
     let _ = writeln!(
         out,
-        "verified rows: {}/{}",
+        "verified rows: {}/{}; quality regressions vs baseline: {}",
         report.rows.iter().filter(|r| r.is_verified()).count(),
-        report.rows.len()
+        report.rows.len(),
+        report.rows.iter().filter(|r| r.quality_regressed()).count()
     );
     out
 }

@@ -7,7 +7,7 @@
 //! preserve row order, so they return bit-identical results to the
 //! sequential ones — a property the integration tests assert.
 
-use crate::timing::{time_min, ProfileReport, ProfileRow};
+use crate::timing::{time_median, ProfileReport, ProfileRow};
 use rms_aig::Aig;
 use rms_bdd::{build as bdd_build, rram_synth as bdd_rram, BddSynthOptions};
 use rms_core::cost::{Realization, RramCost};
@@ -34,6 +34,12 @@ impl From<RramCost> for Measured {
         }
     }
 }
+
+/// Worker count of the profile's parallel timing run (the `jobs` /
+/// `par_ms` columns): the acceptance configuration of the windowed
+/// partition-parallel round. Fixed rather than core-count-derived so
+/// committed profiles are comparable across machines.
+pub const PROFILE_JOBS: usize = 4;
 
 /// Resolves a worker count: `0` means the default pool size.
 fn workers(jobs: usize) -> usize {
@@ -494,9 +500,11 @@ pub fn run_sweep(opts: &OptOptions, jobs: usize) -> SweepReport {
 }
 
 /// Profiles the cut algorithm on one benchmark: rebuild baseline vs the
-/// incremental engine (minimum of `iters` runs each), the
-/// incremental-vs-from-scratch differential check, and verification of
-/// the optimized result against the source netlist.
+/// incremental engine (median of `iters` runs each), the
+/// incremental-vs-from-scratch differential check, a parallel run at
+/// [`PROFILE_JOBS`] workers (timed, and checked bit-identical against
+/// the sequential result), and verification of the optimized result
+/// against the source netlist.
 ///
 /// The below-cutoff reference truth tables are computed **once** per
 /// benchmark and shared across all three engine runs (they are a
@@ -527,12 +535,22 @@ fn profile_netlist_row(
     // Hoisted once per benchmark, not once per engine run.
     let reference =
         (nl.num_inputs() <= rms_flow::verify::EXHAUSTIVE_VERIFY_VARS).then(|| nl.truth_tables());
-    let (baseline, (reb, _)) = time_min(iters, || {
+    let (baseline, (reb, _)) = time_median(iters, || {
         rms_cut::optimize_cut_stats_engine(&mig, opts, Engine::Rebuild)
     });
-    let (incremental, (inc, stats)) = time_min(iters, || {
-        rms_cut::optimize_cut_stats_engine(&mig, opts, Engine::Incremental)
+    // The sequential run pins jobs = 1 so incremental_ms measures the
+    // single-worker engine even when the ambient options say "auto".
+    let mut seq_opts = *opts;
+    seq_opts.jobs = 1;
+    let (incremental, (inc, stats)) = time_median(iters, || {
+        rms_cut::optimize_cut_stats_engine(&mig, &seq_opts, Engine::Incremental)
     });
+    let mut par_opts = *opts;
+    par_opts.jobs = PROFILE_JOBS;
+    let (par, (par_out, _)) = time_median(iters, || {
+        rms_cut::optimize_cut_stats_engine(&mig, &par_opts, Engine::Incremental)
+    });
+    let par_identical = bit_identical(&inc, &par_out);
     let (scratch, _) = rms_cut::optimize_cut_stats_engine(&mig, opts, Engine::FromScratch);
     let identical = bit_identical(&inc, &scratch);
     let verified = match &reference {
@@ -570,8 +588,16 @@ fn profile_netlist_row(
         initial_gates: mig.num_gates() as u64,
         gates: inc.num_gates() as u64,
         baseline_gates: reb.num_gates() as u64,
+        gates_delta: inc.num_gates() as i64 - reb.num_gates() as i64,
         baseline_ms: baseline.as_secs_f64() * 1e3,
         incremental_ms: incremental.as_secs_f64() * 1e3,
+        jobs: PROFILE_JOBS,
+        par_ms: par.as_secs_f64() * 1e3,
+        par_identical,
+        t_cut_enum_ms: stats.t_cut_enum_ns as f64 / 1e6,
+        t_eval_ms: stats.t_eval_ns as f64 / 1e6,
+        t_commit_ms: stats.t_commit_ns as f64 / 1e6,
+        t_gc_ms: stats.t_gc_ns as f64 / 1e6,
         cycles: stats.cycles as u64,
         passes: stats.passes,
         rewrites: stats.rewrites,

@@ -11,12 +11,18 @@
 //! `rms-bench-profile-v2`, with a `suite` field naming the benchmark
 //! set) recording, per benchmark, the wall time of the cut algorithm on
 //! the pre-incremental **rebuild** engine and on the **incremental**
-//! in-place engine (minimum over `iters` runs), the speedup, the
-//! optimizer counters (cycles, passes, rewrites, peak node count),
-//! whether the incremental and from-scratch engines produced
-//! bit-identical graphs, and how the result was verified against the
-//! source netlist (exhaustively below the width cutoff, SAT proof or
-//! sampled simulation above). A `total` object aggregates the suite.
+//! in-place engine (median over `iters` runs), the speedup, the
+//! explicit `gates_delta` quality column (incremental minus rebuild
+//! gates — past [`QUALITY_TOLERANCE`] it fails the profile), the
+//! parallel timing (`jobs` workers, `par_ms`, with `par_identical`
+//! asserting the windowed round's bit-identity contract), the per-phase
+//! breakdown of the incremental run (cut enumeration / candidate
+//! evaluation / commit / GC), the optimizer counters (cycles, passes,
+//! rewrites, peak node count), whether the incremental and from-scratch
+//! engines produced bit-identical graphs, and how the result was
+//! verified against the source netlist (exhaustively below the width
+//! cutoff, SAT proof or sampled simulation above). A `total` object
+//! aggregates the suite.
 //! Two baselines are committed at the repository root: `BENCH_5.json`
 //! (small suite, schema v1, the pre-AIGER historical record) and
 //! `BENCH_8.json` (the generated large suite of
@@ -70,6 +76,31 @@ pub fn time_min<R>(iters: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
     (min, last.expect("at least one iteration"))
 }
 
+/// Times `f` and returns the **median** wall-clock duration over `iters`
+/// runs (after one warm-up call), together with the last result. The
+/// median is the profile's timing statistic: unlike the minimum it is
+/// robust to one lucky run, and unlike the mean it is robust to one GC
+/// or scheduler hiccup.
+pub fn time_median<R>(iters: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    assert!(iters > 0);
+    black_box(f());
+    let mut times = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = black_box(f());
+        times.push(t0.elapsed());
+        last = Some(r);
+    }
+    times.sort();
+    // Even counts take the lower middle — a real measured duration,
+    // applied identically to every engine being compared.
+    (
+        times[(iters - 1) / 2],
+        last.expect("at least one iteration"),
+    )
+}
+
 /// One benchmark's measurements in the performance profile.
 #[derive(Debug, Clone)]
 pub struct ProfileRow {
@@ -83,10 +114,38 @@ pub struct ProfileRow {
     pub gates: u64,
     /// Gates after the cut algorithm on the rebuild baseline.
     pub baseline_gates: u64,
+    /// `gates - baseline_gates`: the incremental engine's quality
+    /// relative to the rebuild baseline, positive = worse. Recorded
+    /// explicitly because `identical` compares incremental against
+    /// from-scratch only — the rebuild baseline legitimately makes
+    /// different local decisions, and this column is what keeps that
+    /// drift visible instead of silent.
+    pub gates_delta: i64,
     /// Wall time of the rebuild (pre-incremental) engine, milliseconds.
     pub baseline_ms: f64,
     /// Wall time of the incremental engine, milliseconds.
     pub incremental_ms: f64,
+    /// Worker count of the parallel timing run ([`ProfileRow::par_ms`]).
+    pub jobs: usize,
+    /// Wall time of the incremental engine at [`ProfileRow::jobs`]
+    /// workers, milliseconds. Exercises the partition-parallel windowed
+    /// round on rows at or above the gate threshold; below it the run
+    /// takes the same sequential path as `incremental_ms`.
+    pub par_ms: f64,
+    /// Whether the parallel run reproduced the sequential incremental
+    /// graph bit-identically (the windowed round's determinism contract).
+    pub par_identical: bool,
+    /// Cut-enumeration time inside the incremental run, milliseconds
+    /// (summed across workers in windowed rounds, so it can exceed the
+    /// wall clock).
+    pub t_cut_enum_ms: f64,
+    /// Candidate-evaluation (NPN + MFFC + gain) time, milliseconds
+    /// (same per-worker summing).
+    pub t_eval_ms: f64,
+    /// Sequential commit-sweep time, milliseconds.
+    pub t_commit_ms: f64,
+    /// End-of-round garbage-collection / repair time, milliseconds.
+    pub t_gc_ms: f64,
     /// Optimization cycles executed (incremental engine).
     pub cycles: u64,
     /// Rewrite passes executed.
@@ -102,6 +161,14 @@ pub struct ProfileRow {
     pub verified: String,
 }
 
+/// Largest tolerated quality drift of the incremental engine relative
+/// to the rebuild baseline, as a fraction of the baseline gate count.
+/// The engines legitimately make different local decisions (the
+/// baseline re-canonicalizes the whole graph every pass), so exact
+/// equality is not the contract — but a drift past this bound is a real
+/// quality regression and fails the profile.
+pub const QUALITY_TOLERANCE: f64 = 0.005;
+
 impl ProfileRow {
     /// Baseline time divided by incremental time.
     pub fn speedup(&self) -> f64 {
@@ -114,10 +181,18 @@ impl ProfileRow {
         !self.verified.starts_with("FAILED") && !self.verified.starts_with("ERROR")
     }
 
-    /// Whether the row shows no regression: verified and differential
-    /// check both green.
+    /// Whether the incremental result is meaningfully worse than the
+    /// rebuild baseline (see [`QUALITY_TOLERANCE`]).
+    pub fn quality_regressed(&self) -> bool {
+        self.gates_delta > 0
+            && self.gates_delta as f64 > self.baseline_gates as f64 * QUALITY_TOLERANCE
+    }
+
+    /// Whether the row shows no regression: verified, differential and
+    /// parallel determinism checks green, and quality within tolerance
+    /// of the baseline.
     pub fn passed(&self) -> bool {
-        self.identical && self.is_verified()
+        self.identical && self.par_identical && self.is_verified() && !self.quality_regressed()
     }
 }
 
@@ -173,17 +248,27 @@ impl ProfileReport {
             let _ = writeln!(
                 j,
                 "    {{\"name\": \"{}\", \"inputs\": {}, \"initial_gates\": {}, \"gates\": {}, \
-                 \"baseline_gates\": {}, \"baseline_ms\": {:.3}, \"incremental_ms\": {:.3}, \
-                 \"speedup\": {:.2}, \"cycles\": {}, \"passes\": {}, \"rewrites\": {}, \
-                 \"peak_nodes\": {}, \"identical\": {}, \"verified\": \"{}\"}}{comma}",
+                 \"baseline_gates\": {}, \"gates_delta\": {}, \"baseline_ms\": {:.3}, \
+                 \"incremental_ms\": {:.3}, \"speedup\": {:.2}, \"jobs\": {}, \"par_ms\": {:.3}, \
+                 \"par_identical\": {}, \"t_cut_enum_ms\": {:.3}, \"t_eval_ms\": {:.3}, \
+                 \"t_commit_ms\": {:.3}, \"t_gc_ms\": {:.3}, \"cycles\": {}, \"passes\": {}, \
+                 \"rewrites\": {}, \"peak_nodes\": {}, \"identical\": {}, \"verified\": \"{}\"}}{comma}",
                 escape_json(r.name),
                 r.inputs,
                 r.initial_gates,
                 r.gates,
                 r.baseline_gates,
+                r.gates_delta,
                 r.baseline_ms,
                 r.incremental_ms,
                 r.speedup(),
+                r.jobs,
+                r.par_ms,
+                r.par_identical,
+                r.t_cut_enum_ms,
+                r.t_eval_ms,
+                r.t_commit_ms,
+                r.t_gc_ms,
                 r.cycles,
                 r.passes,
                 r.rewrites,
@@ -196,14 +281,16 @@ impl ProfileReport {
         let _ = writeln!(
             j,
             "  \"total\": {{\"rows\": {}, \"baseline_ms\": {:.3}, \"incremental_ms\": {:.3}, \
-             \"speedup\": {:.2}, \"identical_rows\": {}, \"verified_rows\": {}, \
-             \"jobs_consistent\": {}}}",
+             \"speedup\": {:.2}, \"identical_rows\": {}, \"par_identical_rows\": {}, \
+             \"verified_rows\": {}, \"quality_regressions\": {}, \"jobs_consistent\": {}}}",
             self.rows.len(),
             self.total_baseline_ms(),
             self.total_incremental_ms(),
             self.speedup(),
             self.rows.iter().filter(|r| r.identical).count(),
+            self.rows.iter().filter(|r| r.par_identical).count(),
             self.rows.iter().filter(|r| r.is_verified()).count(),
+            self.rows.iter().filter(|r| r.quality_regressed()).count(),
             self.jobs_consistent,
         );
         j.push_str("}\n");

@@ -115,6 +115,10 @@ pub struct IncrementalMig {
     /// being dropped. Keeps the allocator out of the instantiate/undo
     /// hot loop of the rewrite sweep.
     spare_fanouts: Vec<Vec<u32>>,
+    /// Worklist-dedup stamps for [`IncrementalMig::update_upward`].
+    uw_stamp: Vec<u64>,
+    /// Current dedup epoch (one per `update_upward` call).
+    uw_epoch: u64,
 }
 
 impl IncrementalMig {
@@ -152,6 +156,8 @@ impl IncrementalMig {
             changed: Vec::new(),
             peak_len: n,
             spare_fanouts: Vec::new(),
+            uw_stamp: Vec::new(),
+            uw_epoch: 0,
         };
         for idx in 0..n {
             let node = mig.node(idx);
@@ -362,9 +368,21 @@ impl IncrementalMig {
 
     /// Recomputes levels and simulation signatures upward from `start`
     /// until they stabilize (touches the transitive fanout only).
+    ///
+    /// The worklist is deduplicated with an epoch-stamped marker: a node
+    /// is enqueued at most once between visits, so a reconvergent fanout
+    /// region costs one visit per stabilization wave instead of one per
+    /// path — on deep graphs the difference between linear and
+    /// quadratic repair.
     fn update_upward(&mut self, start: usize) {
+        self.uw_epoch += 1;
+        let epoch = self.uw_epoch;
+        if self.uw_stamp.len() < self.nodes.len() {
+            self.uw_stamp.resize(self.nodes.len(), 0);
+        }
         let mut work = vec![start];
         while let Some(i) = work.pop() {
+            self.uw_stamp[i] = 0;
             if self.dead[i] {
                 continue;
             }
@@ -384,7 +402,13 @@ impl IncrementalMig {
             if lvl != self.levels[i] || sig != self.sigs[i] {
                 self.levels[i] = lvl;
                 self.sigs[i] = sig;
-                work.extend(self.fanouts[i].iter().map(|&p| p as usize));
+                for &p in &self.fanouts[i] {
+                    let p = p as usize;
+                    if self.uw_stamp[p] != epoch {
+                        self.uw_stamp[p] = epoch;
+                        work.push(p);
+                    }
+                }
             }
         }
     }
@@ -528,14 +552,16 @@ impl IncrementalMig {
     /// [`IncrementalMig::begin_mapped_round`] /
     /// [`IncrementalMig::finish_mapped_round`], in topological order.
     ///
-    /// Reference counts, fanout lists, and levels are deliberately left
-    /// stale (the round's MFFC estimates are precomputed on the pristine
+    /// Reference counts and fanout lists are deliberately left stale
+    /// (the round's MFFC estimates are precomputed on the pristine
     /// graph, and the finish pass repairs everything); the node's strash
-    /// entry and simulation signature are kept current because the rest
-    /// of the sweep depends on them. Returns [`Rechild::Superseded`]
-    /// when the node degenerates under Ω.M or merges with an
-    /// already-processed image; the orphan keeps its slot until the
-    /// end-of-round repair collects it.
+    /// entry, **level**, and simulation signature are kept current
+    /// because the rest of the sweep depends on them — the level of an
+    /// image node equals its level in the rebuilt graph, which the
+    /// level-steered passes ([`reshape_inplace`]) compare during the
+    /// sweep. Returns [`Rechild::Superseded`] when the node degenerates
+    /// under Ω.M or merges with an already-processed image; the orphan
+    /// keeps its slot until the end-of-round repair collects it.
     pub fn rechild_to(&mut self, idx: usize, conv: [MigSignal; 3]) -> Rechild {
         let MigNode::Maj(kids) = self.nodes[idx] else {
             panic!("rechild_to on a non-gate node");
@@ -548,6 +574,14 @@ impl IncrementalMig {
                     return Rechild::Superseded(MigSignal::new(q as usize, false));
                 }
                 self.strash.insert(nk, idx as u32);
+                // Children are images (already processed this round), so
+                // their levels are current and this node's image level is
+                // exact — even when its own structure did not change.
+                self.levels[idx] = 1 + nk
+                    .iter()
+                    .map(|s| self.levels[s.node()])
+                    .max()
+                    .expect("three children");
                 if nk == kids {
                     return Rechild::Unchanged;
                 }
@@ -919,22 +953,46 @@ impl MajBuilder for IncrementalMig {
     }
 }
 
+/// Whether `cand` is (structurally) the node's own default image — the
+/// signal [`IncrementalMig::rechild_to`] over `conv` would produce. A
+/// pattern whose candidate rebuilds the default image is a no-op and
+/// must not count as progress (pass loops use the fire count as their
+/// fixpoint signal).
+fn rebuilds_default(g: &IncrementalMig, conv: [MigSignal; 3], cand: MigSignal) -> bool {
+    match normalize_maj(conv[0], conv[1], conv[2]) {
+        Ok(nk) => !cand.is_complemented() && g.maj_children(cand.node()) == Some(nk),
+        Err(s) => cand == s,
+    }
+}
+
 /// The in-place *eliminate* pass (`Ω.M; Ω.D R→L`): merges sibling
-/// majority nodes that share two children when both are single-fanout,
-/// splicing the merged structure into the graph. Functionally identical
-/// to [`crate::rewrite::eliminate`], but touches only the rewritten
-/// regions. Returns the number of merges fired.
+/// majority nodes that share two children when both are single-fanout.
+/// Decision-identical to the rebuilding [`crate::rewrite::eliminate`]
+/// (fanout counts are taken on the pass-start graph, patterns are
+/// matched on image structures), but runs the mapped-round protocol on
+/// the persistent graph: one topological sweep of
+/// [`IncrementalMig::rechild_to`] plus a single linear repair in
+/// [`IncrementalMig::finish_mapped_round`] — no per-rewrite fanout
+/// walks, which on deep graphs turn the spliced form of this pass
+/// quadratic. Returns the number of merges fired.
 pub fn eliminate_inplace(g: &mut IncrementalMig) -> usize {
     let order = g.topo_order();
+    // Pass-start reference counts (gate edges + outputs), the analogue
+    // of the rebuild pass's `fanout_counts` snapshot of its source.
+    let old_refs = g.refs.clone();
+    g.begin_mapped_round();
+    let mut map: Vec<MigSignal> = (0..g.len()).map(|i| MigSignal::new(i, false)).collect();
     let mut fired = 0usize;
     for &idx in &order {
         let idx = idx as usize;
-        let Some(kids) = g.maj_children(idx) else {
+        let MigNode::Maj(kids) = g.nodes[idx] else {
             continue;
         };
+        let conv = kids.map(|k| map[k.node()].complement_if(k.is_complemented()));
+        let mut image = None;
         for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
-            let (a, b) = (kids[i], kids[j]);
-            if g.refs(a.node()) != 1 || g.refs(b.node()) != 1 {
+            let (a, b) = (conv[i], conv[j]);
+            if old_refs[kids[i].node()] != 1 || old_refs[kids[j].node()] != 1 {
                 continue;
             }
             let (Some(ca), Some(cb)) = (g.children_through(a), g.children_through(b)) else {
@@ -943,46 +1001,69 @@ pub fn eliminate_inplace(g: &mut IncrementalMig) -> usize {
             // Shared pair (x, y); leftovers u (from a), v (from b).
             if let Some((x, y, u, v)) = crate::rewrite::shared_pair(ca, cb) {
                 let k = 3 - i - j;
-                let z = kids[k];
+                let z = conv[k];
                 let len_before = g.len();
                 let inner = g.maj(u, v, z);
                 let top = g.maj(x, y, inner);
-                if top.regular() == MigSignal::new(idx, false) {
+                if rebuilds_default(g, conv, top) {
                     g.undo_tail(len_before); // rebuilt itself: no-op
                 } else {
-                    g.replace(idx, top);
                     fired += 1;
+                    image = Some(top);
                 }
                 break;
             }
         }
+        // The default image: the node over its mapped children. A fired
+        // pattern supersedes the node without entering it into the
+        // strash — exactly as the rebuild pass never constructs the
+        // default structure of a node its hook rewrote.
+        map[idx] = match image {
+            Some(s) => s,
+            None => match g.rechild_to(idx, conv) {
+                Rechild::Superseded(s) => s,
+                _ => MigSignal::new(idx, false),
+            },
+        };
     }
+    g.finish_mapped_round(&map);
     fired
 }
 
 /// The in-place *reshape* pass (`Ω.A; Ψ.C`): moves variables between
-/// adjacent levels, splicing in place. `deeper` selects the push
-/// direction, as [`crate::rewrite::reshape`]. Returns the number of
-/// rewrites fired.
+/// adjacent levels. `deeper` selects the push direction, as
+/// [`crate::rewrite::reshape`], whose decision procedure this pass
+/// mirrors on the mapped-round protocol (see [`eliminate_inplace`] for
+/// the protocol rationale); level comparisons read image levels, which
+/// [`IncrementalMig::rechild_to`] keeps current during the sweep.
+/// Returns the number of rewrites fired.
 pub fn reshape_inplace(g: &mut IncrementalMig, deeper: bool) -> usize {
     let order = g.topo_order();
+    let old_refs = g.refs.clone();
+    g.begin_mapped_round();
+    let mut map: Vec<MigSignal> = (0..g.len()).map(|i| MigSignal::new(i, false)).collect();
     let mut fired = 0usize;
-    'nodes: for &idx in &order {
+    for &idx in &order {
         let idx = idx as usize;
-        let Some(kids) = g.maj_children(idx) else {
+        let MigNode::Maj(kids) = g.nodes[idx] else {
             continue;
         };
-        let self_sig = MigSignal::new(idx, false);
+        let conv = kids.map(|k| map[k.node()].complement_if(k.is_complemented()));
+        let mut image = None;
+        // Once a pattern matched, the node is decided (the rebuild hook
+        // returns there) — later families are not tried even when the
+        // candidate turned out to rebuild the default image.
+        let mut decided = false;
         // Ω.A: M(x, u, M(y, u, z)) = M(z, u, M(y, u, x)).
-        for g_pos in 0..3 {
-            let gg = kids[g_pos];
-            if g.refs(gg.node()) != 1 {
+        'assoc: for g_pos in 0..3 {
+            let gg = conv[g_pos];
+            if old_refs[kids[g_pos].node()] != 1 {
                 continue;
             }
             let Some(inner) = g.children_through(gg) else {
                 continue;
             };
-            let others = [kids[(g_pos + 1) % 3], kids[(g_pos + 2) % 3]];
+            let others = [conv[(g_pos + 1) % 3], conv[(g_pos + 2) % 3]];
             for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
                 let Some([y, z]) = crate::rewrite::remove_child(inner, u) else {
                     continue;
@@ -990,46 +1071,57 @@ pub fn reshape_inplace(g: &mut IncrementalMig, deeper: bool) -> usize {
                 let (lx, lz) = (g.signal_level(x), g.signal_level(z));
                 let should = if deeper { lx > lz } else { lx < lz };
                 if should {
+                    decided = true;
                     let len_before = g.len();
                     let new_inner = g.maj(y, u, x);
                     let cand = g.maj(z, u, new_inner);
-                    if cand.regular() == self_sig {
+                    if rebuilds_default(g, conv, cand) {
                         g.undo_tail(len_before);
                     } else {
-                        g.replace(idx, cand);
                         fired += 1;
+                        image = Some(cand);
                     }
-                    continue 'nodes;
+                    break 'assoc;
                 }
             }
         }
         // Ψ.C: M(x, u, M(y, ū, z)) = M(x, u, M(y, x, z)).
-        for g_pos in 0..3 {
-            let gg = kids[g_pos];
-            if g.refs(gg.node()) != 1 {
-                continue;
-            }
-            let Some(inner) = g.children_through(gg) else {
-                continue;
-            };
-            let others = [kids[(g_pos + 1) % 3], kids[(g_pos + 2) % 3]];
-            for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
-                let Some([r0, r1]) = crate::rewrite::remove_child(inner, !u) else {
+        if !decided {
+            'compl: for g_pos in 0..3 {
+                let gg = conv[g_pos];
+                if old_refs[kids[g_pos].node()] != 1 {
+                    continue;
+                }
+                let Some(inner) = g.children_through(gg) else {
                     continue;
                 };
-                let len_before = g.len();
-                let new_inner = g.maj(r0, r1, x);
-                let cand = g.maj(x, u, new_inner);
-                if cand.regular() == self_sig {
-                    g.undo_tail(len_before);
-                } else {
-                    g.replace(idx, cand);
-                    fired += 1;
+                let others = [conv[(g_pos + 1) % 3], conv[(g_pos + 2) % 3]];
+                for (u, x) in [(others[0], others[1]), (others[1], others[0])] {
+                    let Some([r0, r1]) = crate::rewrite::remove_child(inner, !u) else {
+                        continue;
+                    };
+                    let len_before = g.len();
+                    let new_inner = g.maj(r0, r1, x);
+                    let cand = g.maj(x, u, new_inner);
+                    if rebuilds_default(g, conv, cand) {
+                        g.undo_tail(len_before);
+                    } else {
+                        fired += 1;
+                        image = Some(cand);
+                    }
+                    break 'compl;
                 }
-                continue 'nodes;
             }
         }
+        map[idx] = match image {
+            Some(s) => s,
+            None => match g.rechild_to(idx, conv) {
+                Rechild::Superseded(s) => s,
+                _ => MigSignal::new(idx, false),
+            },
+        };
     }
+    g.finish_mapped_round(&map);
     fired
 }
 

@@ -40,6 +40,7 @@ pub mod fanout;
 pub mod hash;
 pub mod mig;
 pub mod opt;
+pub mod par;
 pub mod rewrite;
 pub mod signal;
 

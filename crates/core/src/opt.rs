@@ -31,6 +31,12 @@ use crate::rewrite::{eliminate, inverter_propagation, push_up, relevance, reshap
 /// costs recomputation — it never changes optimization results.
 pub const DEFAULT_CUT_CACHE_BOUND: usize = 1 << 18;
 
+/// Default gate-count threshold above which the in-place cut engine
+/// switches to the windowed (partition-parallel) round. Below it the
+/// cached whole-graph round wins; above it window-local cut enumeration
+/// is cheaper per round *and* fans out across workers.
+pub const DEFAULT_PAR_THRESHOLD: usize = 20_000;
+
 /// Options shared by the optimization algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptOptions {
@@ -41,6 +47,14 @@ pub struct OptOptions {
     /// Maximum resident cut sets in the incremental engine's cut cache
     /// (the memory bound; see [`DEFAULT_CUT_CACHE_BOUND`]).
     pub cut_cache_bound: usize,
+    /// Worker threads for the windowed round of the in-place cut engine
+    /// (`0` = auto: [`crate::par::num_threads`]). Results are
+    /// bit-identical for every value — workers only change wall-clock.
+    pub jobs: usize,
+    /// Gate count at which single-graph optimization switches to the
+    /// windowed round ([`DEFAULT_PAR_THRESHOLD`]; `usize::MAX` disables
+    /// windowing).
+    pub par_threshold: usize,
 }
 
 impl Default for OptOptions {
@@ -49,6 +63,8 @@ impl Default for OptOptions {
             effort: 40,
             early_exit: true,
             cut_cache_bound: DEFAULT_CUT_CACHE_BOUND,
+            jobs: 0,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
         }
     }
 }
@@ -107,6 +123,21 @@ pub struct OptStats {
     /// Proof attempts abandoned at the conflict budget (candidates kept
     /// unmerged — the engine never merges unproven).
     pub sat_budget_exhausted: u64,
+    /// Wall-clock nanoseconds spent enumerating cuts (cache-validated or
+    /// window-local), summed over rewrite rounds. On the parallel
+    /// windowed path this is per-worker time summed across workers, so
+    /// it can exceed the round's wall clock.
+    pub t_cut_enum_ns: u64,
+    /// Nanoseconds spent evaluating candidates (NPN canonicalization,
+    /// database lookups, MFFC gain estimation), summed like
+    /// [`OptStats::t_cut_enum_ns`].
+    pub t_eval_ns: u64,
+    /// Nanoseconds in the sequential commit sweep (candidate
+    /// instantiation, signature checks, map updates).
+    pub t_commit_ns: u64,
+    /// Nanoseconds in end-of-round garbage collection and derived-
+    /// structure repair (`finish_mapped_round`).
+    pub t_gc_ns: u64,
 }
 
 /// Generic driver: runs `cycle` up to `effort` times, tracking the iterate

@@ -37,9 +37,12 @@ use crate::database::{database, Database};
 use crate::npn;
 use crate::rewrite::RoundStats;
 use rms_core::fanout::{eliminate_inplace, reshape_inplace};
+use rms_core::hash::FxHashMap;
 use rms_core::opt::{OptOptions, OptStats};
+use rms_core::par::par_map_threads;
 use rms_core::rewrite::eliminate;
 use rms_core::{IncrementalMig, Mig, MigNode, MigSignal};
+use std::time::Instant;
 
 /// Whether the in-place engine reuses cached cuts across rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -388,10 +391,14 @@ pub fn round_inplace(
     // and best-candidate selection. Selecting here is decision-identical
     // to selecting in the sweep: round-start cuts, pristine MFFCs, and
     // the pure NPN/database lookups are all sweep-independent.
+    let t_pre = Instant::now();
+    let mut enum_ns = 0u64;
     let mut cands: Vec<Option<Candidate>> = vec![None; order.len()];
     for (pos, &idx) in order.iter().enumerate() {
         let idx = idx as usize;
+        let t0 = Instant::now();
         let list = cuts.ensure(g, idx);
+        enum_ns += t0.elapsed().as_nanos() as u64;
         let mut best: Option<(i64, Candidate)> = None;
         for &cut in list.iter() {
             if cut.is_trivial(idx) || cut.leaves().is_empty() {
@@ -420,6 +427,33 @@ pub fn round_inplace(
         }
         cands[pos] = best.map(|(_, c)| c);
     }
+    stats.t_cut_enum_ns += enum_ns;
+    stats.t_eval_ns += (t_pre.elapsed().as_nanos() as u64).saturating_sub(enum_ns);
+    commit_sweep(g, db, &order, &cands, accept_zero_gain, &mut stats);
+    stats.cut_sets_recomputed = cuts.recomputed;
+    stats.cut_sets_reused = cuts.reused;
+    stats.cut_sets_evicted = cuts.evicted;
+    cuts.recomputed = 0;
+    cuts.reused = 0;
+    cuts.evicted = 0;
+    stats
+}
+
+/// The sequential commit phase shared by [`round_inplace`] and
+/// [`round_windowed`]: the mapped topological sweep over precomputed
+/// per-node candidates. `cands` is aligned with `order`. Commit order is
+/// the topological order itself — fixed before any worker runs — which
+/// is what makes the windowed round bit-identical for every worker
+/// count.
+fn commit_sweep(
+    g: &mut IncrementalMig,
+    db: &Database,
+    order: &[u32],
+    cands: &[Option<Candidate>],
+    accept_zero_gain: bool,
+    stats: &mut RoundStats,
+) {
+    let t_commit = Instant::now();
     g.begin_mapped_round();
     let mut map: Vec<MigSignal> = (0..g.len()).map(|i| MigSignal::new(i, false)).collect();
     for (pos, &idx) in order.iter().enumerate() {
@@ -482,13 +516,202 @@ pub fn round_inplace(
             g.undo_tail(len_before);
         }
     }
+    stats.t_commit_ns += t_commit.elapsed().as_nanos() as u64;
+    let t_gc = Instant::now();
     g.finish_mapped_round(&map);
-    stats.cut_sets_recomputed = cuts.recomputed;
-    stats.cut_sets_reused = cuts.reused;
-    stats.cut_sets_evicted = cuts.evicted;
-    cuts.recomputed = 0;
-    cuts.reused = 0;
-    cuts.evicted = 0;
+    stats.t_gc_ns += t_gc.elapsed().as_nanos() as u64;
+}
+
+/// Nodes per window of the partition-parallel round.
+///
+/// Fixed — never derived from the worker count. The partition defines
+/// the frozen window boundaries and therefore every window's cut sets
+/// and candidates; `--jobs` only decides how many windows are evaluated
+/// concurrently, never what any window computes, so results are
+/// bit-identical for every worker count by construction.
+pub const WINDOW_NODES: usize = 4096;
+
+/// One window's evaluation result (cut enumeration + candidate
+/// selection over the frozen partition), plus its share of the round
+/// counters.
+struct WindowEval {
+    cands: Vec<Option<Candidate>>,
+    cuts: u64,
+    candidates: u64,
+    enum_ns: u64,
+    eval_ns: u64,
+}
+
+/// MFFC size of `root` with respect to `leaves` on a **shared** graph:
+/// the recursive deref walk of [`IncrementalMig::mffc_size`], but
+/// against a lazy local refcount overlay instead of mutating the
+/// graph's counts — windows evaluate concurrently on `&IncrementalMig`.
+/// The cone of a window-local cut never leaves the window (out-of-window
+/// children are always cut leaves), so the overlay stays small.
+fn mffc_size_frozen(
+    g: &IncrementalMig,
+    root: usize,
+    leaves: &[u32],
+    refs: &mut FxHashMap<u32, u32>,
+) -> u32 {
+    fn deref(
+        g: &IncrementalMig,
+        node: usize,
+        leaves: &[u32],
+        refs: &mut FxHashMap<u32, u32>,
+        count: &mut u32,
+    ) {
+        let Some(kids) = g.maj_children(node) else {
+            return;
+        };
+        for k in kids {
+            let c = k.node();
+            if leaves.contains(&(c as u32)) || g.maj_children(c).is_none() {
+                continue;
+            }
+            let r = refs.entry(c as u32).or_insert_with(|| g.refs(c));
+            *r -= 1;
+            if *r == 0 {
+                *count += 1;
+                deref(g, c, leaves, refs, count);
+            }
+        }
+    }
+    refs.clear();
+    let mut count = 1u32;
+    deref(g, root, leaves, refs, &mut count);
+    count
+}
+
+/// Evaluates one window: enumerates window-local cuts (children outside
+/// the window are frozen to leaf cuts, exactly like primary inputs) and
+/// selects at most one gain-filtered candidate per node — the same
+/// decision procedure as the [`round_inplace`] pre-pass, restricted to
+/// the window. Runs on a shared `&IncrementalMig`; mutates nothing.
+fn eval_window(
+    g: &IncrementalMig,
+    db: &Database,
+    window: &[u32],
+    accept_zero_gain: bool,
+) -> WindowEval {
+    let mut local: FxHashMap<u32, u32> = FxHashMap::default();
+    local.reserve(window.len());
+    for (p, &idx) in window.iter().enumerate() {
+        local.insert(idx, p as u32);
+    }
+    let mut lists: Vec<CutList> = Vec::with_capacity(window.len());
+    let mut scratch: Vec<Cut> = Vec::new();
+    let mut refs: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut out = WindowEval {
+        cands: vec![None; window.len()],
+        cuts: 0,
+        candidates: 0,
+        enum_ns: 0,
+        eval_ns: 0,
+    };
+    for (p, &idx) in window.iter().enumerate() {
+        let idx = idx as usize;
+        let MigNode::Maj(kids) = g.node(idx) else {
+            lists.push(CutList::default());
+            continue;
+        };
+        let t0 = Instant::now();
+        let mut cls = [CutList::default(); 3];
+        for (slot, k) in cls.iter_mut().zip(kids) {
+            *slot = match local.get(&(k.node() as u32)) {
+                Some(&lp) => lists[lp as usize],
+                None => leaf_cuts(k.node(), matches!(g.node(k.node()), MigNode::Const0)),
+            };
+        }
+        let list = compute_maj_cuts(
+            idx,
+            kids,
+            cls[0].as_slice(),
+            cls[1].as_slice(),
+            cls[2].as_slice(),
+            cuts::MAX_CUTS_PER_NODE,
+            &mut scratch,
+        );
+        lists.push(list);
+        let t1 = Instant::now();
+        out.enum_ns += (t1 - t0).as_nanos() as u64;
+        let mut best: Option<(i64, Candidate)> = None;
+        for &cut in list.iter() {
+            if cut.is_trivial(idx) || cut.leaves().is_empty() {
+                continue;
+            }
+            out.cuts += 1;
+            let (class, t) = npn::canonicalize(cut.tt);
+            let entry = db.entry(class);
+            let mffc = mffc_size_frozen(g, idx, cut.leaves(), &mut refs) as i64;
+            let gain = mffc - entry.gates() as i64;
+            if gain < 0 || (gain == 0 && !accept_zero_gain) {
+                continue;
+            }
+            out.candidates += 1;
+            if best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((
+                    gain,
+                    Candidate {
+                        cut,
+                        t,
+                        class,
+                        mffc,
+                    },
+                ));
+            }
+        }
+        out.cands[p] = best.map(|(_, c)| c);
+        out.eval_ns += t1.elapsed().as_nanos() as u64;
+    }
+    out
+}
+
+/// The partition-parallel rewrite round: carve the topological order
+/// into fixed-size windows ([`WINDOW_NODES`]), evaluate every window's
+/// candidates concurrently on `jobs` scoped workers
+/// ([`rms_core::par::par_map_threads`]), then commit all accepted
+/// rewrites in one sequential mapped sweep over the full order.
+///
+/// Window boundaries are frozen during evaluation: a child outside the
+/// window contributes only its trivial leaf cut, so no cut, MFFC cone,
+/// or candidate ever crosses a window — workers share the graph
+/// read-only. Quality trades against the whole-graph round (cuts
+/// spanning a boundary are not seen), which is why the script only
+/// takes this path above [`rms_core::opt::OptOptions::par_threshold`].
+///
+/// Determinism: the partition depends only on the topological order,
+/// the per-window evaluation is pure, and the commit phase runs
+/// sequentially in topological order — so the result is bit-identical
+/// for every `jobs` value (and trivially identical between the
+/// incremental and from-scratch engine modes, which differ only in cut
+/// caching — this round caches nothing across rounds).
+pub fn round_windowed(
+    g: &mut IncrementalMig,
+    db: &Database,
+    accept_zero_gain: bool,
+    jobs: usize,
+) -> RoundStats {
+    // No cut cache to invalidate, but the change log must still drain
+    // (it is bounded by consumers; this round is one).
+    let _ = g.take_changed();
+    let mut stats = RoundStats::default();
+    let order = g.topo_order();
+    let windows: Vec<&[u32]> = order.chunks(WINDOW_NODES).collect();
+    let shared: &IncrementalMig = g;
+    let evals = par_map_threads(&windows, jobs, |win| {
+        eval_window(shared, db, win, accept_zero_gain)
+    });
+    let mut cands: Vec<Option<Candidate>> = Vec::with_capacity(order.len());
+    for e in evals {
+        stats.cuts += e.cuts;
+        stats.candidates += e.candidates;
+        stats.t_cut_enum_ns += e.enum_ns;
+        stats.t_eval_ns += e.eval_ns;
+        cands.extend(e.cands);
+    }
+    stats.cut_sets_recomputed = order.len() as u64;
+    commit_sweep(g, db, &order, &cands, accept_zero_gain, &mut stats);
     stats
 }
 
@@ -512,6 +735,15 @@ pub const STAGNATION_WINDOW: usize = 8;
 pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mig, OptStats) {
     let db = database();
     let compacted = mig.compact();
+    // The windowed path is chosen once, from the compacted input size:
+    // the decision must not depend on intermediate iterates, or the
+    // threshold itself would make results run-order-sensitive.
+    let windowed = compacted.num_gates() >= opts.par_threshold;
+    let jobs = if opts.jobs == 0 {
+        rms_core::par::num_threads()
+    } else {
+        opts.jobs
+    };
     let mut g = IncrementalMig::from_mig(&compacted);
     let mut cuts = CutStore::with_capacity(opts.cut_cache_bound);
     let mut best = compacted;
@@ -519,11 +751,20 @@ pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mi
     let mut cycles = 0usize;
     let mut rewrites = 0u64;
     let mut stale = 0usize;
+    let mut phase_ns = [0u64; 4];
     for c in 0..opts.effort {
         let before = g.fingerprint();
         eliminate_inplace(&mut g);
-        let st = round_inplace(&mut g, &mut cuts, db, c % 2 == 1, mode);
+        let st = if windowed {
+            round_windowed(&mut g, db, c % 2 == 1, jobs)
+        } else {
+            round_inplace(&mut g, &mut cuts, db, c % 2 == 1, mode)
+        };
         rewrites += st.rewrites;
+        phase_ns[0] += st.t_cut_enum_ns;
+        phase_ns[1] += st.t_eval_ns;
+        phase_ns[2] += st.t_commit_ns;
+        phase_ns[3] += st.t_gc_ns;
         eliminate_inplace(&mut g);
         reshape_inplace(&mut g, c % 2 == 0);
         eliminate_inplace(&mut g);
@@ -548,6 +789,10 @@ pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mi
         gates_before: mig.num_gates() as u64,
         gates_after: out.num_gates() as u64,
         peak_nodes: g.peak_len() as u64,
+        t_cut_enum_ns: phase_ns[0],
+        t_eval_ns: phase_ns[1],
+        t_commit_ns: phase_ns[2],
+        t_gc_ns: phase_ns[3],
         ..OptStats::default()
     };
     (out, stats)

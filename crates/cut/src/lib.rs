@@ -61,7 +61,7 @@ pub mod sweep;
 pub use cuts::{Cut, CutList, MAX_CUTS_PER_NODE, MAX_CUT_INPUTS};
 pub use database::{database, prewarm, Database, DbEntry};
 pub use fraig::{fraig_pass, prove_signals, FraigOptions, FraigOutcome, FraigStats, ProveOutcome};
-pub use incremental::{cut_script_inplace, CutStore, EngineMode};
+pub use incremental::{cut_script_inplace, round_windowed, CutStore, EngineMode, WINDOW_NODES};
 pub use resub::{resub_pass, ResubOptions, ResubStats};
 pub use rewrite::{
     optimize_cut, optimize_cut_rram, optimize_cut_rram_stats, optimize_cut_stats,

@@ -87,6 +87,16 @@ pub struct RoundStats {
     /// Cut sets evicted by the cache's memory bound (in-place engine
     /// only; eviction costs recomputation, never results).
     pub cut_sets_evicted: u64,
+    /// Nanoseconds enumerating cuts this round (see
+    /// [`rms_core::opt::OptStats::t_cut_enum_ns`] for the parallel-sum
+    /// caveat).
+    pub t_cut_enum_ns: u64,
+    /// Nanoseconds evaluating candidates (NPN + database + MFFC).
+    pub t_eval_ns: u64,
+    /// Nanoseconds in the sequential commit sweep.
+    pub t_commit_ns: u64,
+    /// Nanoseconds in end-of-round GC / derived-structure repair.
+    pub t_gc_ns: u64,
 }
 
 /// Size of the maximum fanout-free cone of `root` with respect to

@@ -283,6 +283,24 @@ impl Pipeline {
         self
     }
 
+    /// Sets the worker count of the partition-parallel rewrite round
+    /// (0 = auto; see [`rms_core::opt::OptOptions::jobs`]). Applies
+    /// *within* a single circuit, on graphs at or above
+    /// [`Pipeline::par_threshold`] gates; the result is bit-identical
+    /// for every value.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs;
+        self
+    }
+
+    /// Sets the gate-count threshold above which the cut script uses the
+    /// partition-parallel windowed round (default:
+    /// [`rms_core::opt::DEFAULT_PAR_THRESHOLD`]; `usize::MAX` disables).
+    pub fn par_threshold(mut self, threshold: usize) -> Self {
+        self.options.par_threshold = threshold;
+        self
+    }
+
     /// Selects how the initial MIG is seeded (default: direct).
     pub fn frontend(mut self, frontend: Frontend) -> Self {
         self.frontend = frontend;

@@ -57,6 +57,13 @@ FLOW:
     --cut-cache N         max resident cut sets in the incremental engine's
                           cache (memory bound; eviction costs recomputation,
                           never results; default: 262144, ~44 MiB)
+    --jobs N              workers for the partition-parallel rewrite round
+                          (applies *within* one circuit, on graphs >= the
+                          --par-threshold gate count; results are bit-identical
+                          for every N; default: all cores, RMS_THREADS also works)
+    --par-threshold N     gate count at which the cut script switches to the
+                          windowed partition-parallel round ('off' disables;
+                          default: 20000)
 
 OUTPUT:
     --json                machine-readable report (run, verify)
@@ -91,7 +98,8 @@ BENCH:
                           suite, use a low --effort such as 2)
     --out FILE            where --profile writes its JSON (default:
                           BENCH_5.json, or BENCH_8.json with --suite large)
-    --iters N             timing iterations per engine for --profile (default: 3)
+    --iters N             timing iterations per engine for --profile; the
+                          median is recorded                 (default: 3)
     --list                list embedded benchmark names
     --sequential          disable the thread pool
     --jobs N              worker threads (default: all cores; RMS_THREADS also works)
@@ -171,6 +179,8 @@ struct FlowArgs {
     verify: VerifyMode,
     seed: Option<u64>,
     cut_cache: Option<usize>,
+    jobs: Option<usize>,
+    par_threshold: Option<usize>,
     json: bool,
     emit: Option<String>,
     output: Option<String>,
@@ -193,6 +203,8 @@ impl FlowArgs {
             verify: VerifyMode::Auto,
             seed: None,
             cut_cache: None,
+            jobs: None,
+            par_threshold: None,
             json: false,
             emit: None,
             output: None,
@@ -266,6 +278,23 @@ impl FlowArgs {
                             .map_err(|_| format!("--cut-cache expects a list count, got {v:?}"))?,
                     );
                 }
+                "--jobs" => {
+                    let v = value("--jobs")?;
+                    a.jobs = Some(
+                        v.parse()
+                            .map_err(|_| format!("--jobs expects a number, got {v:?}"))?,
+                    );
+                }
+                "--par-threshold" => {
+                    let v = value("--par-threshold")?;
+                    a.par_threshold = Some(if v == "off" {
+                        usize::MAX
+                    } else {
+                        v.parse().map_err(|_| {
+                            format!("--par-threshold expects a gate count or 'off', got {v:?}")
+                        })?
+                    });
+                }
                 "--json" => a.json = true,
                 "--emit" => a.emit = Some(value("--emit")?),
                 "--output" => a.output = Some(value("--output")?),
@@ -319,6 +348,12 @@ impl FlowArgs {
         }
         if let Some(bound) = self.cut_cache {
             pipeline = pipeline.cut_cache_bound(bound);
+        }
+        if let Some(jobs) = self.jobs {
+            pipeline = pipeline.jobs(jobs);
+        }
+        if let Some(threshold) = self.par_threshold {
+            pipeline = pipeline.par_threshold(threshold);
         }
         Ok(pipeline)
     }
@@ -705,9 +740,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("{out_path}: {e}"))?;
                 println!("wrote {out_path}");
                 if !report.all_passed() {
-                    return Err(
-                        "profile regression: a verification or differential check failed".into(),
-                    );
+                    return Err("profile regression: a verification, differential, \
+                                parallel-determinism, or quality (gates_delta) check failed"
+                        .into());
                 }
             }
             _ => unreachable!(),

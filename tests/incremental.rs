@@ -89,6 +89,15 @@ fn incremental_engine_is_deterministic_across_runs() {
             Engine::Incremental,
         );
         assert_bit_identical(&a, &b, &format!("seed {seed}"));
+        // The phase timings are wall-clock and legitimately differ
+        // between runs; every decision-bearing counter must not.
+        let (mut sa, mut sb) = (sa, sb);
+        for s in [&mut sa, &mut sb] {
+            s.t_cut_enum_ns = 0;
+            s.t_eval_ns = 0;
+            s.t_commit_ns = 0;
+            s.t_gc_ns = 0;
+        }
         assert_eq!(sa, sb, "seed {seed}: stats diverged");
     }
 }
@@ -109,4 +118,94 @@ fn rebuild_engine_stays_available_as_baseline() {
     );
     assert_eq!(out.truth_tables(), nl.truth_tables());
     assert!(out.num_gates() <= mig.compact().num_gates());
+}
+
+/// Runs the cut script with the windowed partition-parallel round
+/// forced on (threshold 1) at a given worker count.
+fn run_windowed(mig: &Mig, effort: usize, jobs: usize) -> Mig {
+    let mut opts = OptOptions::with_effort(effort);
+    opts.par_threshold = 1;
+    opts.jobs = jobs;
+    run_algorithm_engine(
+        mig,
+        Algorithm::Cut,
+        Realization::Maj,
+        &opts,
+        Engine::Incremental,
+    )
+    .0
+}
+
+#[test]
+fn windowed_round_is_bit_identical_across_worker_counts() {
+    // The tentpole determinism contract: the partition-parallel round
+    // must produce the same final netlist — nodes, levels, fingerprint —
+    // for every --jobs value. 50 seeded random netlists, workers 1/2/8.
+    for seed in 0..50u64 {
+        let nl = random_netlist("win_prop", seed, 8, 3, 120);
+        let mig = Mig::from_netlist(&nl);
+        let reference = nl.truth_tables();
+        let j1 = run_windowed(&mig, 4, 1);
+        let j2 = run_windowed(&mig, 4, 2);
+        let j8 = run_windowed(&mig, 4, 8);
+        assert_bit_identical(&j1, &j2, &format!("seed {seed}: jobs 1 vs 2"));
+        assert_bit_identical(&j1, &j8, &format!("seed {seed}: jobs 1 vs 8"));
+        assert_eq!(j1.truth_tables(), reference, "seed {seed}: function");
+    }
+}
+
+#[test]
+fn windowed_round_is_deterministic_across_multiple_windows() {
+    // Above WINDOW_NODES (4096) gates the partition is no longer a
+    // single window, so this is the case where worker scheduling could
+    // actually interleave window evaluations — the commit order must
+    // still make the result worker-count-independent. One generated
+    // random control DAG, jobs 1 vs 4, plus a SAT-miter equivalence
+    // spot-check of the optimized graph against its source netlist.
+    // 16 inputs keeps the miter bounded-tractable (array multipliers
+    // like xl_mul32 are SAT-hostile and blow the conflict budget).
+    let nl = random_netlist("win_large", 3, 16, 8, 9000);
+    let mig = Mig::from_netlist(&nl);
+    assert!(
+        mig.compact().num_gates() > rms_cut::WINDOW_NODES,
+        "circuit no longer spans multiple windows: {} gates",
+        mig.compact().num_gates()
+    );
+    let j1 = run_windowed(&mig, 1, 1);
+    let j4 = run_windowed(&mig, 1, 4);
+    assert_bit_identical(&j1, &j4, "win_large: jobs 1 vs 4");
+    match rms_flow::check_netlists(
+        &nl,
+        &j1.to_netlist(),
+        rms_flow::VerifyMode::Sat,
+        rms_flow::DEFAULT_VERIFY_SEED,
+    ) {
+        Ok(outcome) => assert!(outcome.is_proof() && outcome.passed(), "{outcome:?}"),
+        Err(e) => panic!("miter construction failed: {e}"),
+    }
+}
+
+#[test]
+fn windowed_and_cached_paths_agree_on_function() {
+    // The windowed round sees strictly fewer cuts (none across window
+    // boundaries), so gate counts may differ from the cached path — but
+    // the function may not, and both paths must stay deterministic.
+    for seed in [1u64, 5, 9] {
+        let nl = random_netlist("win_vs_cache", seed, 7, 2, 90);
+        let mig = Mig::from_netlist(&nl);
+        let windowed = run_windowed(&mig, 4, 2);
+        let cached = run_algorithm_engine(
+            &mig,
+            Algorithm::Cut,
+            Realization::Maj,
+            &OptOptions::with_effort(4),
+            Engine::Incremental,
+        )
+        .0;
+        assert_eq!(
+            windowed.truth_tables(),
+            cached.truth_tables(),
+            "seed {seed}: windowed vs cached function"
+        );
+    }
 }
