@@ -540,12 +540,12 @@ fn profile_netlist_row(
     });
     // The sequential run pins jobs = 1 so incremental_ms measures the
     // single-worker engine even when the ambient options say "auto".
-    let mut seq_opts = *opts;
+    let mut seq_opts = opts.clone();
     seq_opts.jobs = 1;
     let (incremental, (inc, stats)) = time_median(iters, || {
         rms_cut::optimize_cut_stats_engine(&mig, &seq_opts, Engine::Incremental)
     });
-    let mut par_opts = *opts;
+    let mut par_opts = opts.clone();
     par_opts.jobs = PROFILE_JOBS;
     let (par, (par_out, _)) = time_median(iters, || {
         rms_cut::optimize_cut_stats_engine(&mig, &par_opts, Engine::Incremental)

@@ -1,0 +1,135 @@
+//! Cooperative cancellation for long-running optimization work.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle that drivers poll at
+//! *deterministic checkpoint boundaries* — optimization-cycle starts,
+//! window boundaries of the partition-parallel round, post-pass rounds,
+//! and SAT restart boundaries. Because the poll sites are fixed points of
+//! the deterministic schedule (never wall-clock driven), two runs that
+//! both complete are bit-identical whether or not a token was attached;
+//! cancellation only decides *where* a run stops, not *what* it computes.
+//!
+//! The token is zero-dependency: an `AtomicBool` for explicit
+//! cancellation plus an optional absolute [`Instant`] deadline. Once
+//! either trips, [`CancelToken::cancelled`] latches `true` forever (the
+//! deadline check writes the flag through, so later polls are a single
+//! relaxed atomic load even after the clock call).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation handle; see the module docs.
+///
+/// `Default` yields an inert token that never cancels, so APIs can embed
+/// one unconditionally without changing behavior for callers that do not
+/// use deadlines.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh token with no deadline; cancels only via [`Self::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
+            }),
+        }
+    }
+
+    /// A token whose deadline already lies in the past (cancelled on the
+    /// first poll). Used by fault-injection tests to exercise deadline
+    /// paths without sleeping.
+    pub fn expired() -> Self {
+        let t = CancelToken::new();
+        t.cancel();
+        t
+    }
+
+    /// Flags the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled (explicitly or by deadline).
+    /// Latching: once true, stays true.
+    pub fn cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.inner.deadline {
+            if Instant::now() >= d {
+                self.inner.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether this token can ever cancel (has a deadline or was already
+    /// cancelled). Inert tokens let hot paths skip the poll entirely.
+    pub fn is_armed(&self) -> bool {
+        self.inner.deadline.is_some() || self.inner.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Token identity: two tokens are equal when they share the same inner
+/// state (clones of one another). This keeps `PartialEq` derivable for
+/// option structs that embed a token.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_by_default() {
+        let t = CancelToken::new();
+        assert!(!t.cancelled());
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.cancelled());
+        assert!(c.is_armed());
+    }
+
+    #[test]
+    fn deadline_in_past_cancels() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_armed());
+        assert!(t.cancelled());
+        // Latches.
+        assert!(t.cancelled());
+    }
+
+    #[test]
+    fn clone_equality_is_identity() {
+        let t = CancelToken::new();
+        assert_eq!(t, t.clone());
+        assert_ne!(t, CancelToken::new());
+    }
+}

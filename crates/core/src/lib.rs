@@ -35,6 +35,7 @@
 //! cost-model documentation, and `rms-flow` for the end-to-end pipeline
 //! that drives it.
 
+pub mod cancel;
 pub mod cost;
 pub mod fanout;
 pub mod hash;
@@ -44,6 +45,7 @@ pub mod par;
 pub mod rewrite;
 pub mod signal;
 
+pub use cancel::CancelToken;
 pub use cost::{LevelProfile, MigStats, Realization, RramCost};
 pub use fanout::IncrementalMig;
 pub use hash::netlist_structural_hash;

@@ -22,6 +22,7 @@
 //! cut variant from plain `rms-core` degrades gracefully to the
 //! underlying Ω/Ψ script with identity rounds.
 
+use crate::cancel::CancelToken;
 use crate::cost::{Realization, RramCost};
 use crate::mig::Mig;
 use crate::rewrite::{eliminate, inverter_propagation, push_up, relevance, reshape, InverterCases};
@@ -38,7 +39,7 @@ pub const DEFAULT_CUT_CACHE_BOUND: usize = 1 << 18;
 pub const DEFAULT_PAR_THRESHOLD: usize = 20_000;
 
 /// Options shared by the optimization algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OptOptions {
     /// Maximum number of cycles (`effort` in the paper; 40 in Sec. IV-A).
     pub effort: usize,
@@ -55,6 +56,10 @@ pub struct OptOptions {
     /// windowed round ([`DEFAULT_PAR_THRESHOLD`]; `usize::MAX` disables
     /// windowing).
     pub par_threshold: usize,
+    /// Cooperative-cancellation handle, polled at cycle/window/round
+    /// boundaries (see [`crate::cancel`]). The default token is inert;
+    /// runs that complete are bit-identical with or without one.
+    pub cancel: CancelToken,
 }
 
 impl Default for OptOptions {
@@ -65,6 +70,7 @@ impl Default for OptOptions {
             cut_cache_bound: DEFAULT_CUT_CACHE_BOUND,
             jobs: 0,
             par_threshold: DEFAULT_PAR_THRESHOLD,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -138,6 +144,9 @@ pub struct OptStats {
     /// Nanoseconds in end-of-round garbage collection and derived-
     /// structure repair (`finish_mapped_round`).
     pub t_gc_ns: u64,
+    /// Whether the run stopped early at a cancellation checkpoint (the
+    /// returned graph is still the best *verified-complete* iterate).
+    pub cancelled: bool,
 }
 
 /// Generic driver: runs `cycle` up to `effort` times, tracking the iterate
@@ -147,14 +156,22 @@ fn drive<S: PartialOrd + Copy>(
     opts: &OptOptions,
     score: impl Fn(&Mig) -> S,
     mut cycle: impl FnMut(&Mig, usize) -> Mig,
-) -> (Mig, usize) {
+) -> (Mig, usize, bool) {
     let mut current = mig.compact();
     let mut best = current.clone();
     let mut best_score = score(&best);
     let mut cycles = 0;
+    let mut cancelled = false;
     // One fingerprint per cycle, carried over — not two.
     let mut fp = fingerprint(&current);
     for c in 0..opts.effort {
+        // Cycle boundaries are the coarse cancellation checkpoints of
+        // Algs. 1–4 and the cut scripts: the best iterate so far is a
+        // complete, committed graph, so stopping here is always safe.
+        if opts.cancel.cancelled() {
+            cancelled = true;
+            break;
+        }
         current = cycle(&current, c);
         cycles = c + 1;
         let s = score(&current);
@@ -168,7 +185,7 @@ fn drive<S: PartialOrd + Copy>(
         }
         fp = new_fp;
     }
-    (best, cycles)
+    (best, cycles, cancelled)
 }
 
 /// Assembles an [`OptStats`] from a finished run.
@@ -200,7 +217,7 @@ pub fn optimize_area(mig: &Mig, opts: &OptOptions) -> Mig {
 
 /// [`optimize_area`] with run statistics.
 pub fn optimize_area_stats(mig: &Mig, opts: &OptOptions) -> (Mig, OptStats) {
-    let (out, cycles) = drive(
+    let (out, cycles, cancelled) = drive(
         mig,
         opts,
         |m| (m.num_gates(), m.depth()),
@@ -211,7 +228,8 @@ pub fn optimize_area_stats(mig: &Mig, opts: &OptOptions) -> (Mig, OptStats) {
         },
     );
     let out = eliminate(&out);
-    let stats = stats_of(mig, &out, cycles, 3, 1, 0);
+    let mut stats = stats_of(mig, &out, cycles, 3, 1, 0);
+    stats.cancelled = cancelled;
     (out, stats)
 }
 
@@ -225,7 +243,7 @@ pub fn optimize_depth(mig: &Mig, opts: &OptOptions) -> Mig {
 
 /// [`optimize_depth`] with run statistics.
 pub fn optimize_depth_stats(mig: &Mig, opts: &OptOptions) -> (Mig, OptStats) {
-    let (out, cycles) = drive(
+    let (out, cycles, cancelled) = drive(
         mig,
         opts,
         |m| (m.depth(), m.num_gates()),
@@ -236,7 +254,8 @@ pub fn optimize_depth_stats(mig: &Mig, opts: &OptOptions) -> (Mig, OptStats) {
         },
     );
     let out = push_up(&out);
-    let stats = stats_of(mig, &out, cycles, 3, 1, 0);
+    let mut stats = stats_of(mig, &out, cycles, 3, 1, 0);
+    stats.cancelled = cancelled;
     (out, stats)
 }
 
@@ -259,7 +278,7 @@ pub fn optimize_rram_stats(
     realization: Realization,
     opts: &OptOptions,
 ) -> (Mig, OptStats) {
-    let (out, cycles) = drive(
+    let (out, cycles, cancelled) = drive(
         mig,
         opts,
         |m| {
@@ -275,7 +294,8 @@ pub fn optimize_rram_stats(
         },
     );
     let out = push_up(&out);
-    let stats = stats_of(mig, &out, cycles, 5, 1, 0);
+    let mut stats = stats_of(mig, &out, cycles, 5, 1, 0);
+    stats.cancelled = cancelled;
     (out, stats)
 }
 
@@ -295,7 +315,7 @@ pub fn optimize_steps_stats(
     realization: Realization,
     opts: &OptOptions,
 ) -> (Mig, OptStats) {
-    let (out, cycles) = drive(
+    let (out, cycles, cancelled) = drive(
         mig,
         opts,
         |m| {
@@ -310,7 +330,8 @@ pub fn optimize_steps_stats(
         },
     );
     let out = push_up(&out);
-    let stats = stats_of(mig, &out, cycles, 4, 1, 0);
+    let mut stats = stats_of(mig, &out, cycles, 4, 1, 0);
+    stats.cancelled = cancelled;
     (out, stats)
 }
 
@@ -332,7 +353,7 @@ pub type CutRound<'a> = &'a mut dyn FnMut(&Mig, bool) -> (Mig, u64);
 /// `rms-flow`); see the module docs.
 pub fn cut_script(mig: &Mig, opts: &OptOptions, round: CutRound) -> (Mig, OptStats) {
     let mut rewrites = 0u64;
-    let (out, cycles) = drive(
+    let (out, cycles, cancelled) = drive(
         mig,
         opts,
         |m| (m.num_gates(), m.depth()),
@@ -346,7 +367,8 @@ pub fn cut_script(mig: &Mig, opts: &OptOptions, round: CutRound) -> (Mig, OptSta
         },
     );
     let out = eliminate(&out);
-    let stats = stats_of(mig, &out, cycles, 5, 1, rewrites);
+    let mut stats = stats_of(mig, &out, cycles, 5, 1, rewrites);
+    stats.cancelled = cancelled;
     (out, stats)
 }
 
@@ -368,7 +390,7 @@ pub fn cut_rram_script(
     };
     let base = optimize_rram(mig, realization, opts);
     let mut rewrites = 0u64;
-    let (hybrid, cycles) = drive(mig, opts, score, |m, c| {
+    let (hybrid, cycles, cancelled) = drive(mig, opts, score, |m, c| {
         let (m, rw) = round(m, c % 2 == 1);
         rewrites += rw;
         let m = push_up(&m);
@@ -388,7 +410,7 @@ pub fn cut_rram_script(
     }
     // When the plain Alg. 3 result wins, the returned graph contains no
     // cut rewrites — do not attribute the hybrid loop's work to it.
-    let stats = stats_of(
+    let mut stats = stats_of(
         mig,
         &best,
         cycles,
@@ -396,6 +418,7 @@ pub fn cut_rram_script(
         1,
         if from_hybrid { rewrites } else { 0 },
     );
+    stats.cancelled = cancelled;
     (best, stats)
 }
 

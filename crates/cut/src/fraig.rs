@@ -37,7 +37,7 @@ use rms_sat::{Encoder, Lit, SatResult};
 const FRAIG_SEED: u64 = 0x000f_4a16_0b5e_55ed;
 
 /// Options of the fraig pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FraigOptions {
     /// Random simulation lanes beyond the engine's signature lane
     /// (total patterns = `64 * (1 + extra_words)`).
@@ -46,6 +46,9 @@ pub struct FraigOptions {
     pub conflict_budget: u64,
     /// Maximum bucket/prove/refine rounds.
     pub max_rounds: usize,
+    /// Cooperative cancellation, polled at round boundaries (every merge
+    /// the pass has committed so far remains SAT-proved and valid).
+    pub cancel: rms_core::CancelToken,
 }
 
 impl Default for FraigOptions {
@@ -54,6 +57,7 @@ impl Default for FraigOptions {
             extra_words: 7,
             conflict_budget: 10_000,
             max_rounds: 16,
+            cancel: rms_core::CancelToken::default(),
         }
     }
 }
@@ -329,6 +333,12 @@ pub fn fraig_pass(g: &mut IncrementalMig, opts: &FraigOptions) -> FraigOutcome {
     let mut retired = vec![false; g.len()];
 
     for round in 0..opts.max_rounds {
+        // Round boundaries are cancellation checkpoints: committed
+        // merges are individually SAT-proved, so stopping between
+        // rounds leaves a correct graph.
+        if opts.cancel.cancelled() {
+            break;
+        }
         // Partition into candidate classes (first-seen order).
         let mut class_of: FxHashMap<Vec<u64>, usize> = FxHashMap::default();
         let mut classes: Vec<Vec<u32>> = Vec::new();

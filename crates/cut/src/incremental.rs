@@ -593,7 +593,21 @@ fn eval_window(
     db: &Database,
     window: &[u32],
     accept_zero_gain: bool,
+    cancel: &rms_core::CancelToken,
 ) -> WindowEval {
+    // Window boundaries are the fine-grained cancellation checkpoints of
+    // the partition-parallel round: a cancelled window yields no
+    // candidates, so the round drains quickly and the (possibly partial)
+    // cycle result is discarded by the script's post-cycle cancel check.
+    if cancel.cancelled() {
+        return WindowEval {
+            cands: vec![None; window.len()],
+            cuts: 0,
+            candidates: 0,
+            enum_ns: 0,
+            eval_ns: 0,
+        };
+    }
     let mut local: FxHashMap<u32, u32> = FxHashMap::default();
     local.reserve(window.len());
     for (p, &idx) in window.iter().enumerate() {
@@ -691,6 +705,7 @@ pub fn round_windowed(
     db: &Database,
     accept_zero_gain: bool,
     jobs: usize,
+    cancel: &rms_core::CancelToken,
 ) -> RoundStats {
     // No cut cache to invalidate, but the change log must still drain
     // (it is bounded by consumers; this round is one).
@@ -700,7 +715,7 @@ pub fn round_windowed(
     let windows: Vec<&[u32]> = order.chunks(WINDOW_NODES).collect();
     let shared: &IncrementalMig = g;
     let evals = par_map_threads(&windows, jobs, |win| {
-        eval_window(shared, db, win, accept_zero_gain)
+        eval_window(shared, db, win, accept_zero_gain, cancel)
     });
     let mut cands: Vec<Option<Candidate>> = Vec::with_capacity(order.len());
     for e in evals {
@@ -751,12 +766,17 @@ pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mi
     let mut cycles = 0usize;
     let mut rewrites = 0u64;
     let mut stale = 0usize;
+    let mut cancelled = false;
     let mut phase_ns = [0u64; 4];
     for c in 0..opts.effort {
+        if opts.cancel.cancelled() {
+            cancelled = true;
+            break;
+        }
         let before = g.fingerprint();
         eliminate_inplace(&mut g);
         let st = if windowed {
-            round_windowed(&mut g, db, c % 2 == 1, jobs)
+            round_windowed(&mut g, db, c % 2 == 1, jobs, &opts.cancel)
         } else {
             round_inplace(&mut g, &mut cuts, db, c % 2 == 1, mode)
         };
@@ -769,6 +789,13 @@ pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mi
         reshape_inplace(&mut g, c % 2 == 0);
         eliminate_inplace(&mut g);
         cycles = c + 1;
+        // A cancel that fired mid-cycle may have truncated the windowed
+        // round: the iterate is functionally correct but not one a
+        // completed run could produce, so never let it become `best`.
+        if opts.cancel.cancelled() {
+            cancelled = true;
+            break;
+        }
         let score = (g.num_gates(), g.depth());
         if score < best_score {
             best_score = score;
@@ -793,6 +820,7 @@ pub fn cut_script_inplace(mig: &Mig, opts: &OptOptions, mode: EngineMode) -> (Mi
         t_eval_ns: phase_ns[1],
         t_commit_ns: phase_ns[2],
         t_gc_ns: phase_ns[3],
+        cancelled,
         ..OptStats::default()
     };
     (out, stats)
@@ -896,7 +924,7 @@ mod tests {
             let roomy = OptOptions::with_effort(6);
             let tight = OptOptions {
                 cut_cache_bound: MIN_CUT_CACHE_BOUND,
-                ..roomy
+                ..roomy.clone()
             };
             let (a, _) = cut_script_inplace(&m, &roomy, EngineMode::Incremental);
             let (b, _) = cut_script_inplace(&m, &tight, EngineMode::Incremental);

@@ -33,7 +33,7 @@ use crate::fraig::{append_cex_lane, init_sim, prove_signals, ProveOutcome};
 use rms_core::{IncrementalMig, MajBuilder, MigNode, MigSignal};
 
 /// Options of the resubstitution pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResubOptions {
     /// Divisor window size cap per node.
     pub max_divisors: usize,
@@ -41,6 +41,10 @@ pub struct ResubOptions {
     pub extra_words: usize,
     /// Conflict budget per substitution proof.
     pub conflict_budget: u64,
+    /// Cooperative cancellation, polled at window (per-node) boundaries;
+    /// accepted substitutions are individually SAT-proved, so stopping
+    /// between windows leaves a correct graph.
+    pub cancel: rms_core::CancelToken,
 }
 
 impl Default for ResubOptions {
@@ -49,6 +53,7 @@ impl Default for ResubOptions {
             max_divisors: 24,
             extra_words: 7,
             conflict_budget: 10_000,
+            cancel: rms_core::CancelToken::default(),
         }
     }
 }
@@ -138,6 +143,9 @@ pub fn resub_pass(g: &mut IncrementalMig, opts: &ResubOptions) -> ResubStats {
     let mut cexes: Vec<Vec<bool>> = Vec::new();
 
     for &nu in &topo {
+        if opts.cancel.cancelled() {
+            break;
+        }
         let n = nu as usize;
         if g.is_dead(n) || !matches!(g.node(n), MigNode::Maj(_)) {
             continue;

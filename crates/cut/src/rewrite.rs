@@ -303,7 +303,7 @@ pub fn optimize_cut_rram_stats(
     }
     // Final stage: fraig + resub polish, kept only when the R·S product
     // improves — the hybrid stays never-worse than plain Alg. 3.
-    match crate::sweep::rram_polish(&best, realization, &mut stats) {
+    match crate::sweep::rram_polish(&best, realization, &mut stats, &opts.cancel) {
         Some(polished) => (polished, stats),
         None => (best, stats),
     }

@@ -25,6 +25,7 @@ use crate::resub::{resub_pass, ResubOptions};
 use crate::rewrite::Engine;
 use rms_core::fanout::eliminate_inplace;
 use rms_core::opt::{OptOptions, OptStats};
+use rms_core::CancelToken;
 use rms_core::{IncrementalMig, Mig, Realization, RramCost};
 
 /// Which post passes a sweep script runs on top of the cut script.
@@ -59,7 +60,12 @@ const MAX_POST_ROUNDS: usize = 4;
 
 /// Runs the post passes over `base`, returning the best iterate by
 /// `(gates, depth)` and accumulating counters into `stats`.
-pub(crate) fn post_passes(base: &Mig, passes: SweepPasses, stats: &mut OptStats) -> Mig {
+pub(crate) fn post_passes(
+    base: &Mig,
+    passes: SweepPasses,
+    stats: &mut OptStats,
+    cancel: &CancelToken,
+) -> Mig {
     let compact = base.compact();
     if compact.num_gates() == 0 {
         return compact;
@@ -68,9 +74,19 @@ pub(crate) fn post_passes(base: &Mig, passes: SweepPasses, stats: &mut OptStats)
     let mut best = compact;
     let mut best_score = (best.num_gates(), best.depth());
     for _ in 0..MAX_POST_ROUNDS {
+        // Post-pass rounds are cancellation checkpoints; the best iterate
+        // is always a fully-committed graph, so stopping here is safe.
+        if cancel.cancelled() {
+            stats.cancelled = true;
+            break;
+        }
         let mut progress = 0u64;
         if passes.fraig {
-            let outcome = fraig_pass(&mut g, &FraigOptions::default());
+            let fopts = FraigOptions {
+                cancel: cancel.clone(),
+                ..FraigOptions::default()
+            };
+            let outcome = fraig_pass(&mut g, &fopts);
             stats.fraig_classes += outcome.stats.classes;
             stats.fraig_merges += outcome.stats.merges;
             stats.sat_conflicts += outcome.stats.sat_conflicts;
@@ -79,7 +95,11 @@ pub(crate) fn post_passes(base: &Mig, passes: SweepPasses, stats: &mut OptStats)
             stats.passes += 1;
         }
         if passes.resub {
-            let r = resub_pass(&mut g, &ResubOptions::default());
+            let ropts = ResubOptions {
+                cancel: cancel.clone(),
+                ..ResubOptions::default()
+            };
+            let r = resub_pass(&mut g, &ropts);
             stats.resubs += r.accepted;
             stats.sat_conflicts += r.sat_conflicts;
             stats.sat_budget_exhausted += r.budget_exhausted;
@@ -120,7 +140,7 @@ pub fn optimize_sweep_stats(
     if opts.effort == 0 {
         return (base, stats);
     }
-    let out = post_passes(&base, passes, &mut stats);
+    let out = post_passes(&base, passes, &mut stats, &opts.cancel);
     stats.gates_after = out.num_gates() as u64;
     (out, stats)
 }
@@ -131,13 +151,14 @@ pub(crate) fn rram_polish(
     best: &Mig,
     realization: Realization,
     stats: &mut OptStats,
+    cancel: &CancelToken,
 ) -> Option<Mig> {
     let score = |m: &Mig| {
         let c = RramCost::of(m, realization);
         (c.rrams.saturating_mul(c.steps), c.steps)
     };
     let mut post = OptStats::default();
-    let polished = post_passes(best, SweepPasses::BOTH, &mut post);
+    let polished = post_passes(best, SweepPasses::BOTH, &mut post, cancel);
     if score(&polished) < score(best) {
         stats.fraig_classes += post.fraig_classes;
         stats.fraig_merges += post.fraig_merges;

@@ -27,6 +27,9 @@ pub enum FlowError {
     Unsupported(String),
     /// The compiled program disagreed with the reference netlist.
     Verification(String),
+    /// The run was abandoned at a cooperative-cancellation checkpoint
+    /// (request deadline or explicit cancel) before producing a result.
+    Timeout(String),
 }
 
 impl FlowError {
@@ -58,6 +61,7 @@ impl fmt::Display for FlowError {
             }
             FlowError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             FlowError::Verification(msg) => write!(f, "verification failed: {msg}"),
+            FlowError::Timeout(msg) => write!(f, "timeout: {msg}"),
         }
     }
 }

@@ -183,6 +183,7 @@ pub struct Pipeline {
     verify: VerifyMode,
     seed: u64,
     engine: Engine,
+    best_effort: bool,
     parse_time: Duration,
 }
 
@@ -198,6 +199,7 @@ impl Pipeline {
             verify: VerifyMode::Auto,
             seed: DEFAULT_VERIFY_SEED,
             engine: Engine::default(),
+            best_effort: false,
             parse_time: Duration::ZERO,
         }
     }
@@ -344,6 +346,28 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a cooperative-cancellation token (usually one built with
+    /// [`rms_core::CancelToken::with_deadline`]). The optimizer polls it
+    /// at deterministic checkpoint boundaries; once it trips, the run
+    /// either fails with [`FlowError::Timeout`] or — under
+    /// [`Pipeline::best_effort`] — finishes from the best completed
+    /// iterate. Runs that complete are bit-identical with or without a
+    /// token.
+    pub fn cancel(mut self, cancel: rms_core::CancelToken) -> Self {
+        self.options.cancel = cancel;
+        self
+    }
+
+    /// Selects graceful degradation under cancellation: instead of a
+    /// [`FlowError::Timeout`], a cancelled run compiles and **fully
+    /// verifies** the best iterate the optimizer completed before the
+    /// deadline (the report's `opt.cancelled` flag records the
+    /// truncation). Default: off.
+    pub fn best_effort(mut self, best_effort: bool) -> Self {
+        self.best_effort = best_effort;
+        self
+    }
+
     /// A read-only view of the source netlist.
     pub fn netlist(&self) -> &Netlist {
         &self.netlist
@@ -368,6 +392,7 @@ impl Pipeline {
             verify,
             seed,
             engine,
+            best_effort,
             parse_time,
         } = self;
 
@@ -380,6 +405,14 @@ impl Pipeline {
         let (mig, opt_stats) =
             run_algorithm_engine(&initial_mig, algorithm, realization, &options, engine);
         let optimize = t0.elapsed();
+        if opt_stats.cancelled && !best_effort {
+            return Err(FlowError::Timeout(format!(
+                "optimization of {:?} abandoned after {} of {} cycles at the request deadline                  (re-run with best-effort to keep the best completed iterate)",
+                netlist.name(),
+                opt_stats.cycles,
+                options.effort
+            )));
+        }
         // Report the engine that actually ran, not the one requested:
         // the hybrid cut+RRAM script only exists on the rebuild driver,
         // and the sweep/resub scripts only exist in-place (a rebuild
@@ -405,7 +438,16 @@ impl Pipeline {
 
         let t0 = Instant::now();
         let programs = [("array", &array.program), ("plim", &plim.program)];
-        let verify_outcome = verify::verify_programs(&netlist, &programs, verify, seed)?;
+        // Best-effort runs must still end in a *verified* result, so the
+        // verification stage runs to completion with an inert token; a
+        // strict (non-best-effort) deadline keeps cancelling through it.
+        let verify_cancel = if best_effort {
+            rms_core::CancelToken::default()
+        } else {
+            options.cancel.clone()
+        };
+        let verify_outcome =
+            verify::verify_programs(&netlist, &programs, verify, seed, &verify_cancel)?;
         if let VerifyOutcome::Failed {
             what,
             counterexample,

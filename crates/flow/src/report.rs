@@ -35,8 +35,16 @@ pub fn render_text(r: &FlowReport) -> String {
     );
     let _ = writeln!(
         out,
-        "opt:  {} cycles, {} passes, {} cut rewrites, peak {} nodes",
-        r.opt.cycles, r.opt.passes, r.opt.rewrites, r.opt.peak_nodes
+        "opt:  {} cycles, {} passes, {} cut rewrites, peak {} nodes{}",
+        r.opt.cycles,
+        r.opt.passes,
+        r.opt.rewrites,
+        r.opt.peak_nodes,
+        if r.opt.cancelled {
+            " (truncated at deadline)"
+        } else {
+            ""
+        }
     );
     let _ = writeln!(
         out,
@@ -124,6 +132,7 @@ pub fn render_json(r: &FlowReport) -> String {
         j.num_field("resubs", r.opt.resubs);
         j.num_field("sat_conflicts", r.opt.sat_conflicts);
         j.num_field("sat_budget_exhausted", r.opt.sat_budget_exhausted);
+        j.bool_field("cancelled", r.opt.cancelled);
     });
     j.str_field("verification", &r.verify.label());
     j.obj_field("verify", |j| {

@@ -24,12 +24,15 @@
 //! (the `rms verify` subcommand and the differential test harness).
 
 use crate::error::FlowError;
+use rms_core::CancelToken;
 use rms_logic::netlist::{Netlist, NetlistBuilder, Wire};
 use rms_logic::sim::random_patterns;
 use rms_logic::tt::MAX_VARS;
 use rms_rram::isa::Program;
 use rms_rram::machine::Machine;
-use rms_sat::{check_netlist_vs_program_limited, check_netlists_limited, MiterError, MiterOutcome};
+use rms_sat::{
+    check_netlist_vs_program_cancellable, check_netlists_limited, MiterError, MiterOutcome,
+};
 
 /// Inputs wider than this use the SAT tier rather than exhaustive
 /// simulation (under [`VerifyMode::Auto`]).
@@ -182,6 +185,7 @@ pub(crate) fn verify_programs(
     programs: &[(&str, &Program)],
     mode: VerifyMode,
     seed: u64,
+    cancel: &CancelToken,
 ) -> Result<VerifyOutcome, FlowError> {
     if mode == VerifyMode::Off {
         return Ok(VerifyOutcome::Skipped);
@@ -249,7 +253,12 @@ pub(crate) fn verify_programs(
     // SAT tier: refute a miter per program, under a conflict budget.
     let (mut conflicts, mut decisions) = (0u64, 0u64);
     for &(what, program) in programs {
-        match check_netlist_vs_program_limited(netlist, program, Some(SAT_CONFLICT_BUDGET)) {
+        match check_netlist_vs_program_cancellable(
+            netlist,
+            program,
+            Some(SAT_CONFLICT_BUDGET),
+            cancel,
+        ) {
             Ok(Some(MiterOutcome::Equivalent {
                 conflicts: c,
                 decisions: d,
@@ -263,11 +272,18 @@ pub(crate) fn verify_programs(
                     counterexample: inputs,
                 });
             }
+            Ok(None) if cancel.cancelled() => {
+                // `None` is also what a cancelled solver returns; the
+                // token tells the two apart.
+                return Err(FlowError::Timeout(format!(
+                    "{what}: verification abandoned at the request deadline"
+                )));
+            }
             Ok(None) if mode == VerifyMode::Auto => {
                 // Budget exhausted on an adversarial instance: degrade
                 // to sampling rather than hang (an explicit
                 // `--verify sat` would error out instead).
-                return verify_programs(netlist, programs, VerifyMode::Sampled, seed);
+                return verify_programs(netlist, programs, VerifyMode::Sampled, seed, cancel);
             }
             Ok(None) => {
                 return Err(FlowError::Verification(format!(

@@ -58,7 +58,8 @@ pub mod tseitin;
 
 pub use lit::{Lit, Var};
 pub use miter::{
-    check_netlist_vs_program, check_netlist_vs_program_limited, check_netlists,
+    check_netlist_vs_program, check_netlist_vs_program_cancellable,
+    check_netlist_vs_program_limited, check_netlists, check_netlists_cancellable,
     check_netlists_limited, Miter, MiterError, MiterOutcome,
 };
 pub use solver::{SatResult, Solver, SolverStats};

@@ -143,6 +143,14 @@ impl Miter {
         &mut self.enc
     }
 
+    /// Attaches a cooperative-cancellation token: a cancelled token makes
+    /// [`Miter::prove_limited`] return `Ok(None)` at the next solver
+    /// restart boundary, exactly like budget exhaustion. Callers tell the
+    /// two apart by checking the token afterwards.
+    pub fn set_cancel(&mut self, cancel: rms_core::CancelToken) {
+        self.enc.set_cancel(cancel);
+    }
+
     /// Encodes a netlist over the shared inputs; returns its output
     /// literals.
     ///
@@ -329,7 +337,25 @@ pub fn check_netlists_limited(
     b: &Netlist,
     max_conflicts: Option<u64>,
 ) -> Result<Option<MiterOutcome>, MiterError> {
+    check_netlists_cancellable(a, b, max_conflicts, &rms_core::CancelToken::default())
+}
+
+/// [`check_netlists_limited`] with a cancellation token: a cancelled
+/// token yields `Ok(None)` at the next solver restart boundary (check
+/// the token afterwards to distinguish cancellation from budget
+/// exhaustion).
+///
+/// # Errors
+///
+/// Returns [`MiterError`] on input/output arity mismatches.
+pub fn check_netlists_cancellable(
+    a: &Netlist,
+    b: &Netlist,
+    max_conflicts: Option<u64>,
+    cancel: &rms_core::CancelToken,
+) -> Result<Option<MiterOutcome>, MiterError> {
     let mut miter = Miter::new(a.num_inputs());
+    miter.set_cancel(cancel.clone());
     let oa = miter.add_netlist(a)?;
     let ob = miter.add_netlist(b)?;
     miter.prove_limited(&oa, &ob, max_conflicts)
@@ -360,7 +386,28 @@ pub fn check_netlist_vs_program_limited(
     program: &Program,
     max_conflicts: Option<u64>,
 ) -> Result<Option<MiterOutcome>, MiterError> {
+    check_netlist_vs_program_cancellable(
+        nl,
+        program,
+        max_conflicts,
+        &rms_core::CancelToken::default(),
+    )
+}
+
+/// [`check_netlist_vs_program_limited`] with a cancellation token (same
+/// contract as [`check_netlists_cancellable`]).
+///
+/// # Errors
+///
+/// Returns [`MiterError`] on arity mismatches or an invalid program.
+pub fn check_netlist_vs_program_cancellable(
+    nl: &Netlist,
+    program: &Program,
+    max_conflicts: Option<u64>,
+    cancel: &rms_core::CancelToken,
+) -> Result<Option<MiterOutcome>, MiterError> {
     let mut miter = Miter::new(nl.num_inputs());
+    miter.set_cancel(cancel.clone());
     let on = miter.add_netlist(nl)?;
     let op = miter.add_program(program)?;
     miter.prove_limited(&on, &op, max_conflicts)

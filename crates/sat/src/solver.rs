@@ -97,6 +97,9 @@ pub struct Solver {
     /// Set when an empty clause was derived at the root level.
     root_unsat: bool,
     stats: SolverStats,
+    /// Cooperative-cancellation handle, polled at restart boundaries
+    /// (see [`Solver::set_cancel`]). Inert by default.
+    cancel: rms_core::CancelToken,
 }
 
 impl Solver {
@@ -106,6 +109,16 @@ impl Solver {
             var_inc: 1.0,
             ..Solver::default()
         }
+    }
+
+    /// Attaches a cooperative-cancellation token. The search polls it at
+    /// restart boundaries (every 128·Luby conflicts): a cancelled token
+    /// makes [`Solver::solve_limited`] backtrack to the root and return
+    /// `None`, exactly like conflict-budget exhaustion — learned clauses
+    /// are kept and the call can be resumed. [`Solver::solve`] must not
+    /// be used with an armed token (it treats `None` as impossible).
+    pub fn set_cancel(&mut self, cancel: rms_core::CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Allocates a fresh variable.
@@ -448,6 +461,12 @@ impl Solver {
                     restart_idx += 1;
                     conflicts_left = RESTART_BASE * luby(restart_idx);
                     self.backtrack(0);
+                    // Restart boundaries double as the solver's
+                    // cancellation checkpoints: the trail is already at
+                    // the root, so abandoning here loses nothing.
+                    if self.cancel.cancelled() {
+                        return None;
+                    }
                 }
             } else if self.trail.len() == self.num_vars() {
                 return Some(SatResult::Sat);

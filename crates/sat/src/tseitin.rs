@@ -331,6 +331,12 @@ impl Encoder {
         self.solver.solve()
     }
 
+    /// Attaches a cooperative-cancellation token to the underlying
+    /// solver (see [`Solver::set_cancel`]).
+    pub fn set_cancel(&mut self, cancel: rms_core::CancelToken) {
+        self.solver.set_cancel(cancel);
+    }
+
     /// Solves with a conflict budget; `None` when the budget ran out
     /// (see [`Solver::solve_limited`]).
     pub fn solve_limited(&mut self, max_conflicts: Option<u64>) -> Option<SatResult> {

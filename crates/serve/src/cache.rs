@@ -218,6 +218,19 @@ impl ResultCache {
         }
     }
 
+    /// A snapshot of the live contents in recency order (coldest
+    /// first), used by journal compaction — replaying the snapshot in
+    /// order through [`ResultCache::insert`] reproduces the LRU order.
+    pub fn snapshot(&self) -> Vec<(CacheKey, Entry)> {
+        self.recency
+            .values()
+            .map(|key| {
+                let slot = self.map.get(key).expect("recency and map agree");
+                (key.clone(), slot.entry.clone())
+            })
+            .collect()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

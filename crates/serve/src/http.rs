@@ -12,12 +12,29 @@
 //!
 //! One thread per connection, `Connection: close` after each response —
 //! deliberately simple; the synthesis work dwarfs connection setup.
+//!
+//! # Robustness
+//!
+//! - **Connection shedding**: at most `Service::max_conns` connections
+//!   are served concurrently; excess connections get an immediate
+//!   `503 Service Unavailable` instead of queuing without bound.
+//! - **Socket timeouts**: every accepted socket gets the service's
+//!   read/write timeout, so a stalled peer cannot pin a connection slot
+//!   (and its thread) forever.
+//! - **Graceful shutdown**: [`HttpServer::run`] watches a shutdown flag
+//!   checked after every accept; once raised (wake the blocking accept
+//!   with a self-connection — see [`HttpServer::local_addr`]) the
+//!   listener stops accepting and drains in-flight requests before
+//!   returning, so the caller can compact the cache journal knowing no
+//!   request is mid-insert.
 
-use crate::service::Service;
+use crate::service::{kind, Service};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line and each header line.
 const MAX_LINE_BYTES: usize = 64 << 10;
@@ -26,15 +43,19 @@ const MAX_LINE_BYTES: usize = 64 << 10;
 /// actually arrives, never from the client-claimed `Content-Length`.
 const BODY_CHUNK_BYTES: usize = 64 << 10;
 
-/// Binds `addr` and serves connections forever (the `rms serve --http`
-/// entry point).
+/// How long [`HttpServer::run`] waits for in-flight connections to
+/// finish after the shutdown flag is raised.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Binds `addr` and serves connections forever (the embedding entry
+/// point without shutdown control).
 ///
 /// # Errors
 ///
 /// Returns the bind error; per-connection errors are contained.
 pub fn serve_http(service: Arc<Service>, addr: &str) -> io::Result<()> {
-    let listener = TcpListener::bind(addr)?;
-    accept_loop(service, listener)
+    let server = HttpServer::bind(service, addr)?;
+    server.run(&AtomicBool::new(false))
 }
 
 /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port), returns the
@@ -45,21 +66,125 @@ pub fn serve_http(service: Arc<Service>, addr: &str) -> io::Result<()> {
 ///
 /// Returns the bind error.
 pub fn spawn_http(service: Arc<Service>, addr: &str) -> io::Result<SocketAddr> {
-    let listener = TcpListener::bind(addr)?;
-    let bound = listener.local_addr()?;
+    let server = HttpServer::bind(service, addr)?;
+    let bound = server.local_addr();
     thread::spawn(move || {
-        let _ = accept_loop(service, listener);
+        let _ = server.run(&AtomicBool::new(false));
     });
     Ok(bound)
 }
 
-fn accept_loop(service: Arc<Service>, listener: TcpListener) -> io::Result<()> {
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let service = Arc::clone(&service);
-        thread::spawn(move || handle_connection(&service, stream));
+/// A bound HTTP listener with explicit lifecycle control (the
+/// `rms serve --http` entry point, which needs SIGTERM-driven
+/// shutdown).
+pub struct HttpServer {
+    service: Arc<Service>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+impl HttpServer {
+    /// Binds `addr` without serving yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(service: Arc<Service>, addr: &str) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(HttpServer {
+            service,
+            listener,
+            local_addr,
+        })
     }
-    Ok(())
+
+    /// The actually-bound address (resolves `:0` to the ephemeral
+    /// port). A shutdown driver connects here once after raising the
+    /// flag to wake the blocking accept.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Accepts and serves connections until `shutdown` is observed
+    /// true, then drains in-flight requests (bounded by an internal
+    /// deadline) and returns. The flag is checked after each accept;
+    /// because `accept` blocks, raising the flag must be followed by a
+    /// connection to [`HttpServer::local_addr`] to wake the loop.
+    ///
+    /// # Errors
+    ///
+    /// Per-connection errors are contained; only listener-level
+    /// failures propagate.
+    pub fn run(&self, shutdown: &AtomicBool) -> io::Result<()> {
+        let active = Arc::new(AtomicUsize::new(0));
+        let max_conns = self.service.max_conns();
+        let io_timeout = self.service.io_timeout();
+        for stream in self.listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let _ = stream.set_read_timeout(io_timeout);
+            let _ = stream.set_write_timeout(io_timeout);
+            // Claim a connection slot or shed the connection: the slot
+            // is taken *before* the worker spawns so the cap bounds
+            // live threads, not just requests.
+            if active.fetch_add(1, Ordering::SeqCst) >= max_conns {
+                active.fetch_sub(1, Ordering::SeqCst);
+                // Shed on a detached thread so a slow peer cannot stall
+                // the accept loop; the thread is short-lived (bounded
+                // drain + one write).
+                thread::spawn(move || shed_connection(stream, max_conns));
+                continue;
+            }
+            let service = Arc::clone(&self.service);
+            let guard = ConnGuard(Arc::clone(&active));
+            thread::spawn(move || {
+                let _guard = guard;
+                handle_connection(&service, stream);
+            });
+        }
+        // Drain: wait for in-flight workers so the caller can compact
+        // the journal with no insert racing it.
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+}
+
+/// Answers a connection past the cap with `503`. The client's pending
+/// request bytes are drained (bounded) first: closing a socket with
+/// unread received data sends RST, which would destroy the 503 before
+/// the peer can read it.
+fn shed_connection(mut stream: TcpStream, max_conns: usize) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 64 << 10 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break, // EOF or timed out: peer is done sending
+            Ok(n) => drained += n,
+        }
+    }
+    let response = Response::error(
+        503,
+        "Service Unavailable",
+        kind::OVERLOADED,
+        &format!("connection limit of {max_conns} reached, try again"),
+    );
+    let _ = write_response(&mut stream, &response);
+}
+
+/// Releases a connection slot when the worker finishes (or panics).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 struct Request {
@@ -83,16 +208,16 @@ impl Response {
         }
     }
 
-    fn error(status: u16, reason: &'static str, message: &str) -> Response {
+    fn error(status: u16, reason: &'static str, kind: &str, message: &str) -> Response {
         Response {
             status,
             reason,
-            body: format!(
-                "{{\"protocol\":\"{}\",\"status\":\"error\",\"error\":\"{}\"}}",
-                crate::service::PROTOCOL,
-                rms_flow::escape_json(message)
-            ),
+            body: crate::service::error_line("", kind, message),
         }
+    }
+
+    fn bad_request(status: u16, reason: &'static str, message: &str) -> Response {
+        Response::error(status, reason, kind::BAD_REQUEST, message)
     }
 }
 
@@ -112,23 +237,25 @@ fn handle_connection(service: &Service, mut stream: TcpStream) {
 /// actually arrive — a hostile `Content-Length` never translates into a
 /// large allocation.
 fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, Response> {
-    let mut reader = BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| Response::error(500, "Internal Server Error", &e.to_string()))?,
-    );
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| {
+        Response::error(500, "Internal Server Error", kind::INTERNAL, &e.to_string())
+    })?);
     let request_line = read_header_line(&mut reader)?;
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Err(Response::error(
+        return Err(Response::bad_request(
             400,
             "Bad Request",
             "malformed request line",
         ));
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(Response::error(400, "Bad Request", "expected HTTP/1.x"));
+        return Err(Response::bad_request(
+            400,
+            "Bad Request",
+            "expected HTTP/1.x",
+        ));
     }
     let mut content_length = 0usize;
     loop {
@@ -137,17 +264,21 @@ fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request
             break;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(Response::error(400, "Bad Request", "malformed header line"));
+            return Err(Response::bad_request(
+                400,
+                "Bad Request",
+                "malformed header line",
+            ));
         };
         if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
-                .map_err(|_| Response::error(400, "Bad Request", "bad Content-Length"))?;
+                .map_err(|_| Response::bad_request(400, "Bad Request", "bad Content-Length"))?;
         }
     }
     if content_length > max_body_bytes {
-        return Err(Response::error(
+        return Err(Response::bad_request(
             413,
             "Payload Too Large",
             &format!(
@@ -163,11 +294,11 @@ fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request
         body.resize(start + chunk, 0);
         reader
             .read_exact(&mut body[start..])
-            .map_err(|_| Response::error(400, "Bad Request", "truncated request body"))?;
+            .map_err(|_| Response::bad_request(400, "Bad Request", "truncated request body"))?;
         remaining -= chunk;
     }
     let body = String::from_utf8(body)
-        .map_err(|_| Response::error(400, "Bad Request", "request body is not UTF-8"))?;
+        .map_err(|_| Response::bad_request(400, "Bad Request", "request body is not UTF-8"))?;
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
@@ -181,9 +312,9 @@ fn read_header_line<R: BufRead>(reader: &mut R) -> Result<String, Response> {
     let mut limited = reader.take(MAX_LINE_BYTES as u64);
     limited
         .read_line(&mut line)
-        .map_err(|e| Response::error(400, "Bad Request", &e.to_string()))?;
+        .map_err(|e| Response::bad_request(400, "Bad Request", &e.to_string()))?;
     if !line.ends_with('\n') && line.len() >= MAX_LINE_BYTES {
-        return Err(Response::error(
+        return Err(Response::bad_request(
             431,
             "Request Header Fields Too Large",
             "header line too long",
@@ -208,12 +339,12 @@ fn route(service: &Service, request: &Request) -> Response {
                 }
             }
             if lines.is_empty() {
-                return Response::error(400, "Bad Request", "empty request body");
+                return Response::bad_request(400, "Bad Request", "empty request body");
             }
             Response::ok(lines.join("\n"))
         }
-        ("GET" | "POST", _) => Response::error(404, "Not Found", "no such route"),
-        _ => Response::error(405, "Method Not Allowed", "use GET or POST"),
+        ("GET" | "POST", _) => Response::bad_request(404, "Not Found", "no such route"),
+        _ => Response::bad_request(405, "Method Not Allowed", "use GET or POST"),
     }
 }
 
@@ -324,5 +455,61 @@ mod tests {
         // transported fine → 200 with an error envelope per line).
         let ok = post(addr, "{\"op\":\"ping\"}");
         assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_503_and_recovers() {
+        let addr = start_with(ServeConfig {
+            max_conns: 1,
+            ..ServeConfig::default()
+        });
+        // Occupy the single slot with a connection that never finishes
+        // its request (the socket timeout would reap it eventually, but
+        // not within this test).
+        let mut holder = TcpStream::connect(addr).expect("connect holder");
+        holder
+            .write_all(b"POST /synth HTTP/1.1\r\n")
+            .expect("partial request");
+        // Once the holder's accept lands, every further connection is
+        // shed with 503. Poll because the accept races this thread.
+        let mut shed = None;
+        for _ in 0..200 {
+            let r = exchange(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+            if r.starts_with("HTTP/1.1 503") {
+                shed = Some(r);
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        let shed = shed.expect("a connection past the cap must be shed with 503");
+        assert!(shed.contains("\"kind\":\"overloaded\""), "{shed}");
+        // Releasing the slot restores service.
+        drop(holder);
+        let mut recovered = false;
+        for _ in 0..200 {
+            let r = exchange(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+            if r.starts_with("HTTP/1.1 200") {
+                recovered = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(recovered, "server must recover once the slot frees up");
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_and_returns() {
+        let service = Arc::new(Service::new(ServeConfig::default()));
+        let server = HttpServer::bind(service, "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = thread::spawn(move || server.run(&flag));
+        // Serve one request, then shut down.
+        let r = exchange(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr); // wake the blocking accept
+        handle.join().expect("run thread").expect("clean shutdown");
     }
 }

@@ -25,19 +25,32 @@
 //! assembled sequentially in input order so the byte stream is identical
 //! across worker counts.
 //!
+//! The server is hardened for long-lived deployment: the cache can be
+//! journaled to disk ([`persist`], `--cache-dir`) and survives `kill
+//! -9` with byte-identical warm hits, per-request deadlines cancel the
+//! optimizer cooperatively at deterministic checkpoints
+//! (`--deadline-ms`, [`rms_core::CancelToken`]), panics are isolated
+//! per request behind `catch_unwind`, and the failure paths are
+//! testable through a fault-injection registry ([`faults`],
+//! `RMS_FAULTS`).
+//!
 //! The wire protocol is documented on the [`service`] module; the
-//! `ARCHITECTURE.md` section "The synthesis server" at the repository
-//! root covers the design in prose.
+//! `ARCHITECTURE.md` sections "The synthesis server" and "Robustness"
+//! at the repository root cover the design in prose.
 
 pub mod cache;
+pub mod faults;
 pub mod http;
 pub mod json;
+pub mod persist;
 pub mod service;
 pub mod stdio;
 
 pub use cache::{CacheKey, CacheStats, Entry, Provenance, ResultCache};
-pub use http::{serve_http, spawn_http};
+pub use http::{serve_http, spawn_http, HttpServer};
+pub use persist::{Journal, ReplayStats, JOURNAL_FILE, JOURNAL_MAGIC};
 pub use service::{
-    RequestOptions, ServeConfig, Service, DEFAULT_CACHE_BYTES, DEFAULT_MAX_BODY_BYTES, PROTOCOL,
+    RequestOptions, ServeConfig, Service, DEFAULT_CACHE_BYTES, DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_MAX_CONNS, PROTOCOL,
 };
 pub use stdio::run_stdio;

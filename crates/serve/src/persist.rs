@@ -1,0 +1,476 @@
+//! Crash-safe persistence for the result cache: an append-only journal
+//! of cache entries under `--cache-dir`.
+//!
+//! # Journal format
+//!
+//! The journal file (`journal.rms`) starts with the 8-byte magic
+//! [`JOURNAL_MAGIC`] and is followed by length-prefixed records:
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a checksum of payload][payload]
+//! ```
+//!
+//! The payload is a flat binary encoding of one `(CacheKey, Entry)`
+//! pair (see [`encode_record`]). Records are appended and flushed as
+//! entries are inserted, so every completed insert is durable against
+//! process death (`kill -9`) — the bytes reach the kernel page cache
+//! before the response that announced the entry is written.
+//!
+//! # Recovery
+//!
+//! On startup the journal is replayed record by record. Replay stops at
+//! the first torn or corrupt record — a truncated header, a length that
+//! overruns the file, a checksum mismatch, or a payload that fails to
+//! decode — and the file is truncated back to the last good record, so
+//! a crash mid-append costs at most the entry being written, never the
+//! prefix. A file with a bad magic is discarded wholesale (it is not a
+//! journal).
+//!
+//! # Compaction
+//!
+//! On clean shutdown ([`Journal::compact`]) the journal is rewritten
+//! from the live cache contents — dropping evicted and superseded
+//! records — into a temporary file that is fsynced and atomically
+//! renamed over the old journal, so a crash during compaction leaves
+//! either the old or the new journal intact, never a hybrid.
+
+use crate::cache::{CacheKey, Entry, Provenance, ResultCache};
+use crate::faults;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// First 8 bytes of every journal file.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"RMSJ0001";
+
+/// File name of the journal inside the cache directory.
+pub const JOURNAL_FILE: &str = "journal.rms";
+
+/// Upper bound on a single record payload (a report plus provenance;
+/// 256 MiB is far beyond any real entry). Lengths above this are
+/// treated as corruption rather than allocated.
+const MAX_RECORD_BYTES: u32 = 256 << 20;
+
+/// FNV-1a over `bytes` — the record checksum. Not cryptographic; it
+/// guards against torn writes and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over a record payload; every `take_*`
+/// returns `None` past the end, so decoding a truncated payload fails
+/// cleanly instead of panicking.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn take_u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn take_str(&mut self) -> Option<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn take_bool(&mut self) -> Option<bool> {
+        match self.take(1)? {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Encodes one cache entry as a record payload (no framing).
+pub fn encode_record(key: &CacheKey, entry: &Entry) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + key.options.len() + entry.report_json.len());
+    put_u64(&mut buf, key.structure);
+    put_u32(&mut buf, key.inputs);
+    put_u32(&mut buf, key.outputs);
+    put_u32(&mut buf, key.gates);
+    put_str(&mut buf, &key.options);
+    put_str(&mut buf, &entry.report_json);
+    put_str(&mut buf, &entry.provenance.request_id);
+    put_str(&mut buf, &entry.provenance.verified);
+    buf.push(entry.provenance.proof as u8);
+    put_u64(&mut buf, entry.provenance.sat_conflicts);
+    put_u64(&mut buf, entry.provenance.sat_decisions);
+    put_u64(&mut buf, entry.provenance.cached_at);
+    put_u64(&mut buf, entry.hits);
+    buf
+}
+
+/// Decodes a record payload back into a `(CacheKey, Entry)` pair.
+/// Returns `None` on any truncation or malformed field — replay treats
+/// that as a corrupt tail.
+pub fn decode_record(payload: &[u8]) -> Option<(CacheKey, Entry)> {
+    let mut c = Cursor::new(payload);
+    let key = CacheKey {
+        structure: c.take_u64()?,
+        inputs: c.take_u32()?,
+        outputs: c.take_u32()?,
+        gates: c.take_u32()?,
+        options: c.take_str()?,
+    };
+    let entry = Entry {
+        report_json: c.take_str()?,
+        provenance: Provenance {
+            request_id: c.take_str()?,
+            verified: c.take_str()?,
+            proof: c.take_bool()?,
+            sat_conflicts: c.take_u64()?,
+            sat_decisions: c.take_u64()?,
+            cached_at: c.take_u64()?,
+        },
+        hits: c.take_u64()?,
+    };
+    if !c.at_end() {
+        return None;
+    }
+    Some((key, entry))
+}
+
+/// What replay found on startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Records restored into the cache.
+    pub replayed: usize,
+    /// Bytes discarded from a torn or corrupt tail (0 for a clean
+    /// journal).
+    pub truncated_bytes: u64,
+}
+
+/// The open journal: an append handle positioned after the last valid
+/// record.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("path", &self.path).finish()
+    }
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal in `dir`, replays every
+    /// surviving record into `cache`, truncates any torn tail, and
+    /// returns the journal positioned for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from creating the directory or opening,
+    /// reading, and truncating the journal file. Corruption is not an
+    /// error — it is truncated away and reported in [`ReplayStats`].
+    pub fn open(dir: &Path, cache: &mut ResultCache) -> io::Result<(Journal, ReplayStats)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut stats = ReplayStats::default();
+
+        // A fresh (or non-journal) file: start over with just the magic.
+        let valid_end = if bytes.len() < JOURNAL_MAGIC.len() || !bytes.starts_with(JOURNAL_MAGIC) {
+            stats.truncated_bytes = bytes.len() as u64;
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(JOURNAL_MAGIC)?;
+            file.flush()?;
+            return Ok((Journal { path, file }, stats));
+        } else {
+            let mut pos = JOURNAL_MAGIC.len();
+            // A torn header (or the clean end at pos == len) stops the
+            // replay; every later break truncates back to `pos`.
+            while let Some(header) = bytes.get(pos..pos + 12) {
+                let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+                let checksum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+                if len > MAX_RECORD_BYTES {
+                    break; // nonsense length: corrupt
+                }
+                let Some(payload) = bytes.get(pos + 12..pos + 12 + len as usize) else {
+                    break; // torn payload
+                };
+                if fnv1a64(payload) != checksum {
+                    break; // bit rot or torn write
+                }
+                let Some((key, entry)) = decode_record(payload) else {
+                    break; // checksum ok but undecodable: corrupt
+                };
+                cache.insert(key, entry);
+                stats.replayed += 1;
+                pos += 12 + len as usize;
+            }
+            pos
+        };
+
+        if (valid_end as u64) < bytes.len() as u64 {
+            stats.truncated_bytes = bytes.len() as u64 - valid_end as u64;
+            file.set_len(valid_end as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((Journal { path, file }, stats))
+    }
+
+    /// Appends one entry and flushes it to the OS, making it durable
+    /// against process death before the caller announces the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns write/flush errors (including injected ones, fault point
+    /// `journal-append`); the caller decides whether to keep the
+    /// journal.
+    pub fn append(&mut self, key: &CacheKey, entry: &Entry) -> io::Result<()> {
+        if let Some(e) = faults::io_error("journal-append") {
+            return Err(e);
+        }
+        let payload = encode_record(key, entry);
+        let mut framed = Vec::with_capacity(12 + payload.len());
+        put_u32(&mut framed, payload.len() as u32);
+        put_u64(&mut framed, fnv1a64(&payload));
+        framed.extend_from_slice(&payload);
+        self.file.write_all(&framed)?;
+        self.file.flush()
+    }
+
+    /// Rewrites the journal to exactly `entries` (the live cache
+    /// contents, coldest first) via write-to-temporary, fsync, and
+    /// atomic rename — the clean-shutdown compaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the rewrite; the old journal stays
+    /// intact if anything fails before the rename.
+    pub fn compact(&mut self, entries: &[(CacheKey, Entry)]) -> io::Result<()> {
+        if let Some(e) = faults::io_error("journal-compact") {
+            return Err(e);
+        }
+        let tmp = self.path.with_extension("rms.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(JOURNAL_MAGIC);
+            for (key, entry) in entries {
+                let payload = encode_record(key, entry);
+                put_u32(&mut bytes, payload.len() as u32);
+                put_u64(&mut bytes, fnv1a64(&payload));
+                bytes.extend_from_slice(&payload);
+            }
+            out.write_all(&bytes)?;
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen the append handle on the new file.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rms-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(i: u64) -> (CacheKey, Entry) {
+        (
+            CacheKey {
+                structure: 0x1234_5678 + i,
+                inputs: 3,
+                outputs: 1,
+                gates: 5,
+                options: format!("alg=cut;effort={i}"),
+            },
+            Entry {
+                report_json: format!("{{\"i\":{i}}}"),
+                provenance: Provenance {
+                    request_id: format!("r{i}"),
+                    verified: "exhaustive".into(),
+                    proof: true,
+                    sat_conflicts: i,
+                    sat_decisions: i * 2,
+                    cached_at: i + 1,
+                },
+                hits: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let (key, entry) = sample(7);
+        let payload = encode_record(&key, &entry);
+        let (k2, e2) = decode_record(&payload).expect("decodes");
+        assert_eq!(key, k2);
+        assert_eq!(entry.report_json, e2.report_json);
+        assert_eq!(entry.provenance, e2.provenance);
+        // Any truncation fails cleanly.
+        for cut in 0..payload.len() {
+            assert!(decode_record(&payload[..cut]).is_none(), "cut at {cut}");
+        }
+        // Trailing garbage fails too.
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode_record(&long).is_none());
+    }
+
+    #[test]
+    fn append_then_replay_restores_entries() {
+        let dir = tmp_dir("replay");
+        let mut cache = ResultCache::new(1 << 20);
+        let (mut journal, stats) = Journal::open(&dir, &mut cache).expect("open");
+        assert_eq!(stats, ReplayStats::default());
+        for i in 0..3 {
+            let (k, e) = sample(i);
+            journal.append(&k, &e).expect("append");
+        }
+        drop(journal);
+
+        let mut warm = ResultCache::new(1 << 20);
+        let (_, stats) = Journal::open(&dir, &mut warm).expect("reopen");
+        assert_eq!(stats.replayed, 3);
+        assert_eq!(stats.truncated_bytes, 0);
+        let hit = warm.lookup(&sample(1).0).expect("replayed entry");
+        assert_eq!(hit.report_json, "{\"i\":1}");
+        assert_eq!(hit.provenance.request_id, "r1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_survives() {
+        let dir = tmp_dir("torn");
+        let mut cache = ResultCache::new(1 << 20);
+        let (mut journal, _) = Journal::open(&dir, &mut cache).expect("open");
+        for i in 0..2 {
+            let (k, e) = sample(i);
+            journal.append(&k, &e).expect("append");
+        }
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Tear the file mid-record: chop 5 bytes off the tail.
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let file = OpenOptions::new().write(true).open(&path).expect("open");
+        file.set_len(len - 5).expect("truncate");
+        drop(file);
+
+        let mut warm = ResultCache::new(1 << 20);
+        let (mut journal, stats) = Journal::open(&dir, &mut warm).expect("recover");
+        assert_eq!(stats.replayed, 1, "the intact prefix survives");
+        assert!(stats.truncated_bytes > 0, "the torn record is discarded");
+        assert!(warm.lookup(&sample(0).0).is_some());
+        assert!(warm.lookup(&sample(1).0).is_none());
+
+        // The journal keeps working after recovery: appends land after
+        // the truncated tail and replay cleanly.
+        let (k, e) = sample(9);
+        journal.append(&k, &e).expect("append after recovery");
+        drop(journal);
+        let mut again = ResultCache::new(1 << 20);
+        let (_, stats) = Journal::open(&dir, &mut again).expect("reopen");
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(stats.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_magic_discards_the_file() {
+        let dir = tmp_dir("magic");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join(JOURNAL_FILE), b"not a journal at all").expect("write");
+        let mut cache = ResultCache::new(1 << 20);
+        let (_, stats) = Journal::open(&dir, &mut cache).expect("open");
+        assert_eq!(stats.replayed, 0);
+        assert!(stats.truncated_bytes > 0);
+        assert_eq!(cache.stats().entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_rewrites_to_live_contents() {
+        let dir = tmp_dir("compact");
+        let mut cache = ResultCache::new(1 << 20);
+        let (mut journal, _) = Journal::open(&dir, &mut cache).expect("open");
+        for i in 0..4 {
+            let (k, e) = sample(i);
+            journal.append(&k, &e).expect("append");
+        }
+        // Compact down to two entries (as if two were evicted).
+        let live = vec![sample(1), sample(3)];
+        journal.compact(&live).expect("compact");
+        // Appends still work after compaction.
+        let (k, e) = sample(8);
+        journal.append(&k, &e).expect("append after compact");
+        drop(journal);
+
+        let mut warm = ResultCache::new(1 << 20);
+        let (_, stats) = Journal::open(&dir, &mut warm).expect("reopen");
+        assert_eq!(stats.replayed, 3);
+        assert!(warm.lookup(&sample(1).0).is_some());
+        assert!(warm.lookup(&sample(3).0).is_some());
+        assert!(warm.lookup(&sample(8).0).is_some());
+        assert!(warm.lookup(&sample(0).0).is_none(), "compacted away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,12 +15,82 @@
 //!   HTTP/1.1) with a content-addressed, proof-carrying result cache.
 //!
 //! Run `rms help` (or any subcommand with `--help`) for the flag list.
+//!
+//! # Exit codes
+//!
+//! The exit status is a small taxonomy scripts can branch on:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 1 | run failed (I/O on outputs, benchmark regression, transport error) |
+//! | 2 | usage error (unknown flag/subcommand, bad flag value) |
+//! | 3 | input error (unparsable or empty circuit, unknown benchmark) |
+//! | 4 | verification failure (circuits proved inequivalent) |
+//! | 5 | timeout (`--timeout` deadline expired before completion) |
+//! | 6 | internal error (a panic was caught at the top level) |
 
 use rms_bench::reports;
 use rms_core::opt::{Algorithm, OptOptions};
-use rms_core::Realization;
+use rms_core::{CancelToken, Realization};
 use rms_flow::{Engine, FlowError, Frontend, InputFormat, Pipeline, VerifyMode, VerifyOutcome};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// A classified CLI failure: the process exit code plus the diagnostic
+/// printed to stderr.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    /// Exit 1: the run itself failed (output I/O, regressions).
+    fn other(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+
+    /// Exit 2: the command line was malformed.
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 2,
+            message: message.into(),
+        }
+    }
+
+    /// Exit 3: the input circuit was unusable.
+    fn input(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 3,
+            message: message.into(),
+        }
+    }
+
+    /// Exit 4: verification proved the result wrong.
+    fn verification(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 4,
+            message: message.into(),
+        }
+    }
+
+    /// Classifies a pipeline error: input problems are exit 3,
+    /// verification failures 4, deadline expiry 5.
+    fn from_flow(e: FlowError) -> CliError {
+        let code = match &e {
+            FlowError::Verification(_) => 4,
+            FlowError::Timeout(_) => 5,
+            _ => 3,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
 
 const USAGE: &str = "\
 rms - RRAM-aware MIG logic synthesis (DATE 2016 reproduction)
@@ -64,6 +134,12 @@ FLOW:
     --par-threshold N     gate count at which the cut script switches to the
                           windowed partition-parallel round ('off' disables;
                           default: 20000)
+    --timeout MS          deadline for the optimization in milliseconds; on
+                          expiry the run exits 5 with a structured timeout
+                          error (completed runs are unaffected and stay
+                          bit-identical)
+    --best-effort         with --timeout: instead of failing, return the best
+                          verified iterate completed before the deadline
 
 OUTPUT:
     --json                machine-readable report (run, verify)
@@ -116,8 +192,32 @@ SERVE:
     --cache-mb N          result-cache LRU budget in MiB     (default: 64)
     --cache-bytes N       exact budget in bytes (overrides --cache-mb)
     --max-body-mb N       HTTP request-body cap in MiB       (default: 64;
-                          oversized requests get 413 Payload Too Large)
+                          oversized requests get 413 Payload Too Large; also
+                          caps stdio request lines)
+    --cache-dir DIR       persist the result cache to an append-only journal
+                          in DIR; entries survive restarts (and kill -9) and
+                          warm hits after a restart are byte-identical
+    --deadline-ms N       default per-request optimization deadline; expired
+                          requests get a structured kind:\"timeout\" error
+                          (requests may override with \"deadline_ms\")
+    --best-effort         return the best verified iterate instead of a
+                          timeout error when a deadline expires (the
+                          truncated result is never cached)
+    --max-conns N         concurrent HTTP connection cap     (default: 256;
+                          excess connections are shed with 503)
     --jobs N              default batch fan-out workers      (default: all cores)
+    On SIGTERM the HTTP server stops accepting, drains in-flight
+    requests, compacts the journal, and exits 0. The stdio transport
+    compacts on stdin EOF.
+
+EXIT CODES:
+    0  success
+    1  run failure (output I/O, bench regression, server error)
+    2  usage error (unknown flag/subcommand, malformed command line)
+    3  input error (unreadable or unparsable circuit)
+    4  verification failure (optimized circuit not equivalent)
+    5  timeout (--timeout deadline expired without --best-effort)
+    6  internal error (panic caught at top level)
 
 EXAMPLES:
     rms run --input adder.blif --opt rram --realization imp --json
@@ -137,30 +237,46 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprint!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     if rest.iter().any(|a| a == "--help" || a == "-h") {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let result = match cmd.as_str() {
-        "run" => cmd_run(rest),
-        "optimize" => cmd_optimize(rest),
-        "compile" => cmd_compile(rest),
-        "verify" => cmd_verify(rest),
-        "bench" => cmd_bench(rest),
-        "serve" => cmd_serve(rest),
-        "help" | "--help" | "-h" => {
-            print!("{USAGE}");
-            Ok(())
+    // A panic anywhere below is caught and mapped to the dedicated
+    // internal-error exit code, so scripts can tell a crash from a bad
+    // input. The `cli-panic` fault point lets the robustness tests
+    // exercise this path from outside the process.
+    let dispatch = std::panic::catch_unwind(|| {
+        if rms_serve::faults::fire("cli-panic") {
+            panic!("injected fault: cli-panic");
         }
-        other => Err(format!("unknown subcommand {other:?}; try `rms help`")),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("rms: {msg}");
-            ExitCode::FAILURE
+        match cmd.as_str() {
+            "run" => cmd_run(rest),
+            "optimize" => cmd_optimize(rest),
+            "compile" => cmd_compile(rest),
+            "verify" => cmd_verify(rest),
+            "bench" => cmd_bench(rest),
+            "serve" => cmd_serve(rest),
+            "help" | "--help" | "-h" => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            other => Err(CliError::usage(format!(
+                "unknown subcommand {other:?}; try `rms help`"
+            ))),
+        }
+    });
+    match dispatch {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("rms: {}", e.message);
+            ExitCode::from(e.code)
+        }
+        Err(_) => {
+            // The default panic hook already printed the panic message.
+            eprintln!("rms: internal error (panic caught at top level)");
+            ExitCode::from(6)
         }
     }
 }
@@ -181,6 +297,8 @@ struct FlowArgs {
     cut_cache: Option<usize>,
     jobs: Option<usize>,
     par_threshold: Option<usize>,
+    timeout_ms: Option<u64>,
+    best_effort: bool,
     json: bool,
     emit: Option<String>,
     output: Option<String>,
@@ -205,6 +323,8 @@ impl FlowArgs {
             cut_cache: None,
             jobs: None,
             par_threshold: None,
+            timeout_ms: None,
+            best_effort: false,
             json: false,
             emit: None,
             output: None,
@@ -295,6 +415,13 @@ impl FlowArgs {
                         })?
                     });
                 }
+                "--timeout" => {
+                    let v = value("--timeout")?;
+                    a.timeout_ms = Some(v.parse().map_err(|_| {
+                        format!("--timeout expects a deadline in milliseconds, got {v:?}")
+                    })?);
+                }
+                "--best-effort" => a.best_effort = true,
                 "--json" => a.json = true,
                 "--emit" => a.emit = Some(value("--emit")?),
                 "--output" => a.output = Some(value("--output")?),
@@ -306,35 +433,39 @@ impl FlowArgs {
         Ok(a)
     }
 
-    fn pipeline(&self) -> Result<Pipeline, String> {
+    fn pipeline(&self) -> Result<Pipeline, CliError> {
         let sources =
             self.input.is_some() as u8 + self.bench.is_some() as u8 + self.expr.is_some() as u8;
         if sources != 1 {
-            return Err("give exactly one of --input, --bench, --expr".into());
+            return Err(CliError::usage(
+                "give exactly one of --input, --bench, --expr",
+            ));
         }
+        let flow = CliError::from_flow;
         let pipeline = if let Some(path) = &self.input {
             if path == "-" {
-                let netlist = rms_flow::input::load_stdin(self.format).map_err(err_str)?;
+                let netlist = rms_flow::input::load_stdin(self.format).map_err(flow)?;
                 Pipeline::new(netlist)
             } else {
                 match self.format {
                     Some(format) => {
-                        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+                        let bytes = std::fs::read(path)
+                            .map_err(|e| CliError::input(format!("{path}: {e}")))?;
                         let name = std::path::Path::new(path)
                             .file_stem()
                             .and_then(|s| s.to_str())
                             .unwrap_or("circuit")
                             .to_string();
-                        Pipeline::from_bytes(format, &bytes, &name).map_err(err_str)?
+                        Pipeline::from_bytes(format, &bytes, &name).map_err(flow)?
                     }
-                    None => Pipeline::from_path(path).map_err(err_str)?,
+                    None => Pipeline::from_path(path).map_err(flow)?,
                 }
             }
         } else if let Some(name) = &self.bench {
-            Pipeline::from_bench(name).map_err(err_str)?
+            Pipeline::from_bench(name).map_err(flow)?
         } else {
             let text = self.expr.as_deref().unwrap();
-            Pipeline::from_str(InputFormat::Expr, text, "expr").map_err(err_str)?
+            Pipeline::from_str(InputFormat::Expr, text, "expr").map_err(flow)?
         };
         let mut pipeline = pipeline
             .algorithm(self.algorithm)
@@ -342,7 +473,11 @@ impl FlowArgs {
             .effort(self.effort)
             .engine(self.engine)
             .frontend(self.frontend)
-            .verify_mode(self.verify);
+            .verify_mode(self.verify)
+            .best_effort(self.best_effort);
+        if let Some(ms) = self.timeout_ms {
+            pipeline = pipeline.cancel(CancelToken::with_deadline(Duration::from_millis(ms)));
+        }
         if let Some(seed) = self.seed {
             pipeline = pipeline.seed(seed);
         }
@@ -359,13 +494,9 @@ impl FlowArgs {
     }
 }
 
-fn err_str(e: FlowError) -> String {
-    e.to_string()
-}
-
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let a = FlowArgs::parse(args)?;
-    let out = a.pipeline()?.run().map_err(err_str)?;
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let a = FlowArgs::parse(args).map_err(CliError::usage)?;
+    let out = a.pipeline()?.run().map_err(CliError::from_flow)?;
     if a.json {
         print!("{}", rms_flow::render_json(&out.report));
     } else {
@@ -374,9 +505,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_optimize(args: &[String]) -> Result<(), String> {
-    let a = FlowArgs::parse(args)?;
-    let out = a.pipeline()?.run().map_err(err_str)?;
+fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
+    let a = FlowArgs::parse(args).map_err(CliError::usage)?;
+    let out = a.pipeline()?.run().map_err(CliError::from_flow)?;
     let emitted: Option<Vec<u8>> = match a.emit.as_deref() {
         None => None,
         Some("blif") => Some(rms_logic::blif::write(&out.mig.to_netlist()).into_bytes()),
@@ -389,21 +520,21 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         }
         Some("aig") => Some(rms_logic::aiger::write_binary(&out.mig.to_netlist())),
         Some("dot") => Some(out.mig.to_dot().into_bytes()),
-        Some(other) => return Err(format!("unknown --emit format {other:?}")),
+        Some(other) => return Err(CliError::usage(format!("unknown --emit format {other:?}"))),
     };
     // When the emitted circuit occupies stdout, the report moves to
     // stderr so both streams stay parseable.
     let mut stdout_taken = false;
     match (emitted, &a.output) {
         (Some(bytes), Some(path)) => {
-            std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(path, &bytes).map_err(|e| CliError::other(format!("{path}: {e}")))?;
             eprintln!("wrote {path}");
         }
         (Some(bytes), None) => {
             use std::io::Write as _;
             std::io::stdout()
                 .write_all(&bytes)
-                .map_err(|e| format!("stdout: {e}"))?;
+                .map_err(|e| CliError::other(format!("stdout: {e}")))?;
             stdout_taken = true;
         }
         (None, _) => {}
@@ -421,9 +552,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let a = FlowArgs::parse(args)?;
-    let out = a.pipeline()?.run().map_err(err_str)?;
+fn cmd_compile(args: &[String]) -> Result<(), CliError> {
+    let a = FlowArgs::parse(args).map_err(CliError::usage)?;
+    let out = a.pipeline()?.run().map_err(CliError::from_flow)?;
     let (what, program) = if a.plim {
         ("plim", &out.plim.program)
     } else {
@@ -445,17 +576,17 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 
 /// Loads one side of an equivalence check: a circuit file path,
 /// `bench:NAME` for an embedded benchmark, or `-` for stdin.
-fn load_side(spec: &str) -> Result<rms_logic::Netlist, String> {
+fn load_side(spec: &str) -> Result<rms_logic::Netlist, CliError> {
     if spec == "-" {
-        return rms_flow::input::load_stdin(None).map_err(err_str);
+        return rms_flow::input::load_stdin(None).map_err(CliError::from_flow);
     }
     if let Some(name) = spec.strip_prefix("bench:") {
-        return rms_flow::input::load_bench(name).map_err(err_str);
+        return rms_flow::input::load_bench(name).map_err(CliError::from_flow);
     }
-    rms_flow::input::load_path(std::path::Path::new(spec)).map_err(err_str)
+    rms_flow::input::load_path(std::path::Path::new(spec)).map_err(CliError::from_flow)
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), String> {
+fn cmd_verify(args: &[String]) -> Result<(), CliError> {
     let mut sides: Vec<&String> = Vec::new();
     let mut mode = VerifyMode::Auto;
     let mut seed = rms_flow::DEFAULT_VERIFY_SEED;
@@ -466,35 +597,41 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             "--verify" | "--mode" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| format!("{flag} requires a value"))?;
-                mode =
-                    VerifyMode::from_name(v).ok_or_else(|| format!("unknown verify mode {v:?}"))?;
+                    .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))?;
+                mode = VerifyMode::from_name(v)
+                    .ok_or_else(|| CliError::usage(format!("unknown verify mode {v:?}")))?;
             }
             "--seed" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--seed requires a value".to_string())?;
+                    .ok_or_else(|| CliError::usage("--seed requires a value"))?;
                 seed = v
                     .parse()
-                    .map_err(|_| format!("--seed expects a u64, got {v:?}"))?;
+                    .map_err(|_| CliError::usage(format!("--seed expects a u64, got {v:?}")))?;
             }
             "--json" => json = true,
             other if other.starts_with("--") => {
-                return Err(format!("unknown flag {other:?}; try `rms help`"))
+                return Err(CliError::usage(format!(
+                    "unknown flag {other:?}; try `rms help`"
+                )))
             }
             _ => sides.push(flag),
         }
     }
     let [a_spec, b_spec] = sides.as_slice() else {
-        return Err("verify needs exactly two circuits (file path or bench:NAME)".into());
+        return Err(CliError::usage(
+            "verify needs exactly two circuits (file path or bench:NAME)",
+        ));
     };
     if mode == VerifyMode::Off {
-        return Err("--verify off makes no sense for `rms verify`".into());
+        return Err(CliError::usage(
+            "--verify off makes no sense for `rms verify`",
+        ));
     }
     let a = load_side(a_spec)?;
     let b = load_side(b_spec)?;
     let t0 = std::time::Instant::now();
-    let outcome = rms_flow::check_netlists(&a, &b, mode, seed).map_err(err_str)?;
+    let outcome = rms_flow::check_netlists(&a, &b, mode, seed).map_err(CliError::from_flow)?;
     let elapsed = t0.elapsed();
     if json {
         let (conflicts, decisions) = match &outcome {
@@ -542,79 +679,162 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             counterexample,
         } => {
             let assignment = rms_flow::format_assignment(a.input_names(), &counterexample);
-            Err(format!(
+            Err(CliError::verification(format!(
                 "NOT equivalent: {what}; counterexample: {assignment}"
-            ))
+            )))
         }
         _ => Ok(()),
     }
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
+/// SIGTERM plumbing for `rms serve --http`: a flag the handler raises
+/// and the shutdown watcher polls. `signal(2)` is declared by hand —
+/// the workspace links no libc crate — and only on Unix.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: Option<extern "C" fn(i32)>) -> Option<extern "C" fn(i32)>;
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        // Only an atomic store: everything else (draining, compaction)
+        // happens on the watcher thread, where it is async-signal-safe
+        // to do real work.
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler; returns false if the registration failed
+    /// (the process then keeps the default terminate-on-SIGTERM).
+    pub fn install() -> bool {
+        // SAFETY: `signal` with a non-capturing extern "C" handler that
+        // only stores to an atomic is the textbook async-signal-safe
+        // registration.
+        unsafe { signal(SIGTERM, Some(on_sigterm)) }.is_some() || !RECEIVED.load(Ordering::SeqCst)
+    }
+
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut http: Option<String> = None;
-    let mut cache_bytes = rms_serve::DEFAULT_CACHE_BYTES;
-    let mut max_body_bytes = rms_serve::DEFAULT_MAX_BODY_BYTES;
-    let mut jobs = 0usize; // 0 = default thread pool
+    let mut config = rms_serve::ServeConfig::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<String, String> {
+        let mut value = |name: &str| -> Result<String, CliError> {
             it.next()
                 .cloned()
-                .ok_or_else(|| format!("{name} requires a value"))
+                .ok_or_else(|| CliError::usage(format!("{name} requires a value")))
+        };
+        let num = |name: &str, v: &str| -> Result<usize, CliError> {
+            v.parse()
+                .map_err(|_| CliError::usage(format!("{name} expects a number, got {v:?}")))
         };
         match flag.as_str() {
             "--http" => http = Some(value("--http")?),
             "--cache-mb" => {
                 let v = value("--cache-mb")?;
-                let mb: usize = v
-                    .parse()
-                    .map_err(|_| format!("--cache-mb expects a number, got {v:?}"))?;
-                cache_bytes = mb << 20;
+                config.cache_bytes = num("--cache-mb", &v)? << 20;
             }
             "--cache-bytes" => {
                 let v = value("--cache-bytes")?;
-                cache_bytes = v
-                    .parse()
-                    .map_err(|_| format!("--cache-bytes expects a number, got {v:?}"))?;
+                config.cache_bytes = num("--cache-bytes", &v)?;
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir")?));
             }
             "--jobs" => {
                 let v = value("--jobs")?;
-                jobs = v
-                    .parse()
-                    .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+                config.jobs = num("--jobs", &v)?;
             }
             "--max-body-mb" => {
                 let v = value("--max-body-mb")?;
-                let mb: usize = v
-                    .parse()
-                    .map_err(|_| format!("--max-body-mb expects a number, got {v:?}"))?;
-                max_body_bytes = mb << 20;
+                config.max_body_bytes = num("--max-body-mb", &v)? << 20;
             }
-            other => return Err(format!("unknown flag {other:?}; try `rms help`")),
+            "--max-conns" => {
+                let v = value("--max-conns")?;
+                config.max_conns = num("--max-conns", &v)?;
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                config.deadline_ms = Some(num("--deadline-ms", &v)? as u64);
+            }
+            "--best-effort" => config.best_effort = true,
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown flag {other:?}; try `rms help`"
+                )))
+            }
         }
     }
-    let service = std::sync::Arc::new(rms_serve::Service::new(rms_serve::ServeConfig {
-        cache_bytes,
-        jobs,
-        max_body_bytes,
-    }));
+    let service = std::sync::Arc::new(rms_serve::Service::new(config));
+    if let Some(replay) = service.replay_stats() {
+        eprintln!(
+            "rms serve: cache journal replayed {} entr{} ({} torn byte{} discarded)",
+            replay.replayed,
+            if replay.replayed == 1 { "y" } else { "ies" },
+            replay.truncated_bytes,
+            if replay.truncated_bytes == 1 { "" } else { "s" }
+        );
+    }
     match http {
         Some(addr) => {
-            eprintln!(
-                "rms serve: listening on http://{addr} (POST /synth, GET /stats, GET /health)"
-            );
-            rms_serve::serve_http(service, &addr).map_err(|e| format!("{addr}: {e}"))
+            let server = rms_serve::HttpServer::bind(std::sync::Arc::clone(&service), &addr)
+                .map_err(|e| CliError::other(format!("{addr}: {e}")))?;
+            let bound = server.local_addr();
+            // The bound address goes to *stdout* (and is flushed) so
+            // wrappers binding port 0 can parse the real port.
+            {
+                use std::io::Write as _;
+                let mut out = std::io::stdout();
+                let _ = writeln!(
+                    out,
+                    "rms serve: listening on http://{bound} (POST /synth, GET /stats, GET /health)"
+                );
+                let _ = out.flush();
+            }
+            let shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            #[cfg(unix)]
+            {
+                sigterm::install();
+                let shutdown = std::sync::Arc::clone(&shutdown);
+                std::thread::spawn(move || loop {
+                    if sigterm::received() {
+                        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+                        // Wake the blocking accept with a self-connection.
+                        let _ = std::net::TcpStream::connect(bound);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                });
+            }
+            server
+                .run(&shutdown)
+                .map_err(|e| CliError::other(format!("{addr}: {e}")))?;
+            // Graceful exit: in-flight requests drained by run();
+            // compact the journal before leaving.
+            service.shutdown();
+            eprintln!("rms serve: shut down cleanly");
+            Ok(())
         }
         None => {
             eprintln!("rms serve: reading JSONL requests from stdin (one object per line)");
             let stdin = std::io::stdin();
             let mut stdout = std::io::stdout().lock();
-            rms_serve::run_stdio(&service, stdin.lock(), &mut stdout).map_err(|e| e.to_string())
+            rms_serve::run_stdio(&service, stdin.lock(), &mut stdout)
+                .map_err(|e| CliError::other(e.to_string()))
         }
     }
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let mut sections: Vec<&str> = Vec::new();
     let mut effort = OptOptions::default().effort;
     let mut jobs = 0usize; // 0 = default thread pool
@@ -636,27 +856,31 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 out_path = Some(
                     it.next()
                         .cloned()
-                        .ok_or_else(|| "--out requires a value".to_string())?,
+                        .ok_or_else(|| CliError::usage("--out requires a value"))?,
                 );
             }
             "--suite" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--suite requires a value".to_string())?;
+                    .ok_or_else(|| CliError::usage("--suite requires a value"))?;
                 match v.as_str() {
                     "small" | "large" => suite = v.clone(),
-                    other => return Err(format!("--suite expects small or large, got {other:?}")),
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--suite expects small or large, got {other:?}"
+                        )))
+                    }
                 }
             }
             "--iters" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--iters requires a value".to_string())?;
+                    .ok_or_else(|| CliError::usage("--iters requires a value"))?;
                 iters = v
                     .parse()
-                    .map_err(|_| format!("--iters expects a number, got {v:?}"))?;
+                    .map_err(|_| CliError::usage(format!("--iters expects a number, got {v:?}")))?;
                 if iters == 0 {
-                    return Err("--iters must be at least 1".into());
+                    return Err(CliError::usage("--iters must be at least 1"));
                 }
             }
             "--list" => {
@@ -678,20 +902,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--jobs" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--jobs requires a value".to_string())?;
+                    .ok_or_else(|| CliError::usage("--jobs requires a value"))?;
                 jobs = v
                     .parse()
-                    .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+                    .map_err(|_| CliError::usage(format!("--jobs expects a number, got {v:?}")))?;
             }
             "--effort" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--effort requires a value".to_string())?;
-                effort = v
-                    .parse()
-                    .map_err(|_| format!("--effort expects a number, got {v:?}"))?;
+                    .ok_or_else(|| CliError::usage("--effort requires a value"))?;
+                effort = v.parse().map_err(|_| {
+                    CliError::usage(format!("--effort expects a number, got {v:?}"))
+                })?;
             }
-            other => return Err(format!("unknown flag {other:?}; try `rms help`")),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown flag {other:?}; try `rms help`"
+                )))
+            }
         }
     }
     if sections.is_empty() {
@@ -716,10 +944,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 let report = rms_bench::runner::run_sweep(&opts, jobs);
                 print!("{}", reports::sweep_report(&report));
                 if !report.all_passed() {
-                    return Err(
-                        "sweep regression: a verification, baseline, or determinism check failed"
-                            .into(),
-                    );
+                    return Err(CliError::other(
+                        "sweep regression: a verification, baseline, or determinism check failed",
+                    ));
                 }
             }
             "profile" => {
@@ -737,12 +964,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 });
                 print!("{}", reports::profile_report(&report));
                 std::fs::write(&out_path, report.to_json())
-                    .map_err(|e| format!("{out_path}: {e}"))?;
+                    .map_err(|e| CliError::other(format!("{out_path}: {e}")))?;
                 println!("wrote {out_path}");
                 if !report.all_passed() {
-                    return Err("profile regression: a verification, differential, \
-                                parallel-determinism, or quality (gates_delta) check failed"
-                        .into());
+                    return Err(CliError::other(
+                        "profile regression: a verification, differential, \
+                         parallel-determinism, or quality (gates_delta) check failed",
+                    ));
                 }
             }
             _ => unreachable!(),

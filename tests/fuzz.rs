@@ -1,0 +1,198 @@
+//! No-panic fuzz properties over every parser the tool exposes to
+//! untrusted bytes: BLIF, PLA, Verilog, expression, truth-table, and
+//! AIGER (ASCII and binary) frontends, format sniffing, the serve JSON
+//! parser, and the serve request handler itself.
+//!
+//! Each case feeds seeded random bytes, truncated prefixes of valid
+//! inputs, or byte-mutated valid inputs; the property is always the
+//! same — the parser returns `Ok` or `Err`, it never panics. The
+//! workspace's deterministic [`SplitMix64`] drives generation, so every
+//! failure reproduces from the printed seed. Across all properties this
+//! suite runs well over 10,000 cases.
+
+use rram_mig::flow::input::{self, InputFormat};
+use rram_mig::logic::rng::SplitMix64;
+use rram_mig::logic::{aiger, bench_suite, blif, pla, verilog};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const FORMATS: [InputFormat; 6] = [
+    InputFormat::Blif,
+    InputFormat::Pla,
+    InputFormat::Verilog,
+    InputFormat::Expr,
+    InputFormat::TruthTable,
+    InputFormat::Aiger,
+];
+
+/// Asserts that parsing `bytes` as `format` does not panic; the result
+/// (accept or reject) is irrelevant.
+fn must_not_panic(format: InputFormat, bytes: &[u8], what: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = input::parse_bytes(format, bytes, "fuzz");
+    }));
+    assert!(
+        outcome.is_ok(),
+        "{what}: parser for {format:?} panicked on {} bytes: {:?}",
+        bytes.len(),
+        preview(bytes),
+    );
+}
+
+/// Asserts that sniffing + parsing `bytes` with no declared format does
+/// not panic.
+fn sniffed_must_not_panic(bytes: &[u8], what: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Ok(format) = input::sniff_bytes(bytes) {
+            let _ = input::parse_bytes(format, bytes, "fuzz");
+        }
+    }));
+    assert!(
+        outcome.is_ok(),
+        "{what}: sniffed parse panicked on {} bytes: {:?}",
+        bytes.len(),
+        preview(bytes),
+    );
+}
+
+/// First bytes of the offending input, escaped, for the failure message.
+fn preview(bytes: &[u8]) -> String {
+    let head: Vec<u8> = bytes.iter().copied().take(64).collect();
+    format!("{}", String::from_utf8_lossy(&head).escape_debug())
+}
+
+/// One valid exemplar per concrete syntax, produced by the workspace's
+/// own writers where they exist (so the corpus tracks the dialect the
+/// parsers actually accept).
+fn corpus() -> Vec<(InputFormat, Vec<u8>)> {
+    let nl = bench_suite::build("rd53_f2").expect("exemplar benchmark");
+    vec![
+        (InputFormat::Blif, blif::write(&nl).into_bytes()),
+        (InputFormat::Pla, pla::write(&nl).into_bytes()),
+        (InputFormat::Verilog, verilog::write(&nl).into_bytes()),
+        (
+            InputFormat::Expr,
+            b"f = maj(a, b, c) ^ !d\ng = a & b | c\n".to_vec(),
+        ),
+        (InputFormat::TruthTable, b"f = 0xe8\ng = 0x96\n".to_vec()),
+        (InputFormat::Aiger, aiger::write_ascii(&nl).into_bytes()),
+        (InputFormat::Aiger, aiger::write_binary(&nl)),
+    ]
+}
+
+fn random_bytes(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let len = rng.next_index(max_len + 1);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Random printable-ish ASCII, which gets deeper into line-oriented
+/// parsers than raw bytes (fewer early UTF-8/keyword rejections).
+fn random_text(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    const ALPHABET: &[u8] = b" \t\n.=()&|^!01-xfabcmj_;,[]#\\\"aig aag .i .o .names .model end";
+    let len = rng.next_index(max_len + 1);
+    (0..len)
+        .map(|_| ALPHABET[rng.next_index(ALPHABET.len())])
+        .collect()
+}
+
+#[test]
+fn random_bytes_never_panic_any_parser() {
+    // 6 formats x 2 generators x 200 cases = 2400, plus 400 sniffed.
+    let mut rng = SplitMix64::new(0xF077_1234_5678_9ABC);
+    for format in FORMATS {
+        for case in 0..200 {
+            let bytes = random_bytes(&mut rng, 256);
+            must_not_panic(format, &bytes, &format!("random bytes case {case}"));
+            let text = random_text(&mut rng, 256);
+            must_not_panic(format, &text, &format!("random text case {case}"));
+        }
+    }
+    for case in 0..400 {
+        let bytes = random_bytes(&mut rng, 256);
+        sniffed_must_not_panic(&bytes, &format!("sniffed random case {case}"));
+    }
+}
+
+#[test]
+fn truncated_valid_inputs_never_panic() {
+    // 7 corpus entries x 300 truncations = 2100 cases.
+    let mut rng = SplitMix64::new(0x7514_AC47_ED00_0001);
+    for (format, valid) in corpus() {
+        for case in 0..300 {
+            let cut = rng.next_index(valid.len() + 1);
+            must_not_panic(format, &valid[..cut], &format!("truncation case {case}"));
+        }
+    }
+}
+
+#[test]
+fn byte_mutated_valid_inputs_never_panic() {
+    // 7 corpus entries x 300 mutations = 2100 cases.
+    let mut rng = SplitMix64::new(0x3117_A7ED_0000_0002);
+    for (format, valid) in corpus() {
+        for case in 0..300 {
+            let mut bytes = valid.clone();
+            let flips = 1 + rng.next_index(4);
+            for _ in 0..flips {
+                let at = rng.next_index(bytes.len());
+                bytes[at] = rng.next_u64() as u8;
+            }
+            must_not_panic(format, &bytes, &format!("mutation case {case}"));
+        }
+    }
+}
+
+#[test]
+fn serve_json_parser_never_panics() {
+    // 2000 random + 2000 mutated = 4000 cases.
+    use rms_serve::json::Value;
+    let mut rng = SplitMix64::new(0x9E37_79B9_7F4A_7C15);
+    const VALID: &str = r#"{"id":"r1","bench":"rd53_f2","opt":"cut","effort":12,
+        "deadline_ms":100,"best_effort":true,"batch":[{"id":"x","expr":"f=a&b"}],
+        "nested":{"a":[1,2.5,-3e4,true,false,null,"A\n"]}}"#;
+    for case in 0..2000 {
+        let bytes = random_text(&mut rng, 200);
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = Value::parse(&text);
+        }));
+        assert!(outcome.is_ok(), "random JSON case {case}: {text:?}");
+    }
+    for case in 0..2000 {
+        let mut bytes = VALID.as_bytes().to_vec();
+        let flips = 1 + rng.next_index(4);
+        for _ in 0..flips {
+            let at = rng.next_index(bytes.len());
+            bytes[at] = rng.next_u64() as u8;
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = Value::parse(&text);
+        }));
+        assert!(outcome.is_ok(), "mutated JSON case {case}: {text:?}");
+    }
+}
+
+#[test]
+fn serve_request_handler_never_panics_on_mutated_requests() {
+    // 500 cases through the full request path (parse, validate, answer
+    // in-band) — kept cheap by pointing valid-after-mutation requests at
+    // `op":"stats"` instead of a synthesis run.
+    let service = rms_serve::Service::new(rms_serve::ServeConfig::default());
+    let mut rng = SplitMix64::new(0x5E11_0000_0000_0003);
+    const VALID: &str = r#"{"id":"s","op":"stats","deadline_ms":5,"best_effort":false}"#;
+    for case in 0..500 {
+        let mut bytes = VALID.as_bytes().to_vec();
+        let flips = 1 + rng.next_index(3);
+        for _ in 0..flips {
+            let at = rng.next_index(bytes.len());
+            bytes[at] = rng.next_u64() as u8;
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| service.handle_line(&text)));
+        let response = outcome.unwrap_or_else(|_| panic!("handler case {case}: {text:?}"));
+        assert!(
+            response.starts_with("{\"protocol\":"),
+            "case {case}: malformed envelope {response:?}"
+        );
+    }
+}
